@@ -1,0 +1,387 @@
+// Command sww-bench regenerates every table and figure of the paper's
+// evaluation and prints each as a paper-vs-measured comparison.
+//
+// Usage:
+//
+//	sww-bench [-only t1|t2|fig2|steps|sizes|text|article|matrix|
+//	                 energy|carbon|traffic|cdn|video|storage|ablations]
+//
+// Without -only, all experiments run in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sww/internal/cdn"
+
+	"sww/internal/experiments"
+	_ "sww/internal/genai/imagegen"
+	_ "sww/internal/genai/textgen"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment")
+	flag.Parse()
+
+	all := []struct {
+		key  string
+		name string
+		run  func() error
+	}{
+		{"matrix", "E2 §6.2 capability matrix", runMatrix},
+		{"fig2", "E3 Figure 2: Wikimedia landscape page", runFig2},
+		{"article", "E4 §6.2 text experiment: newspaper article", runArticle},
+		{"t1", "E5 Table 1: ELO & CLIP, time per step", runTable1},
+		{"steps", "E6a §6.3.1 inference-step sweep", runSteps},
+		{"sizes", "E6b §6.3.1 image-size sweep", runSizes},
+		{"text", "E7 §6.3.2 text-to-text models", runText},
+		{"t2", "E8 Table 2: compression, time & energy", runTable2},
+		{"energy", "E9 §6.4 transmit vs generate", runEnergy},
+		{"carbon", "E10 §6.4 embodied carbon", runCarbon},
+		{"traffic", "E11 §7 traffic projection", runTraffic},
+		{"cdn", "E12 §2.2 CDN modes", runCDN},
+		{"video", "E13 §3.2 video negotiation", runVideo},
+		{"storage", "§2.1 server storage", runStorage},
+		{"ablations", "design-choice ablations", runAblations},
+		{"h3", "E14 §3.1 HTTP/3 negotiation parity", runH3},
+		{"upscale", "E15 §2.2 content upscaling", runUpscale},
+		{"personalize", "E16 §2.3 personalization & echo chamber", runPersonalize},
+		{"placement", "E17 §7 cache-placement flexibility", runPlacement},
+	}
+	failed := false
+	for _, e := range all {
+		if *only != "" && e.key != *only {
+			continue
+		}
+		fmt.Printf("\n=== %s ===\n", e.name)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.key, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func runTable1() error {
+	rows, err := experiments.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %10s %10s %10s %10s %12s %14s\n",
+		"model", "paper ELO", "ELO", "paper CLIP", "CLIP", "laptop t/st", "workstn t/st")
+	for _, r := range rows {
+		lap, wkst := "–", "–"
+		if r.LaptopStep > 0 {
+			lap = fmt.Sprintf("%.2fs", r.LaptopStep.Seconds())
+		}
+		if r.WorkstationStep > 0 {
+			wkst = fmt.Sprintf("%.2fs", r.WorkstationStep.Seconds())
+		}
+		fmt.Printf("%-14s %10.0f %10.0f %10.2f %10.3f %12s %14s\n",
+			r.Model, r.PaperELO, r.ELO, r.PaperCLIP, r.CLIP, lap, wkst)
+	}
+	return nil
+}
+
+func runSteps() error {
+	rows, err := experiments.StepSweep()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paper: CLIP ~flat from 10..60 steps, time linear in steps (laptop, SD3)\n")
+	fmt.Printf("%6s %8s %10s\n", "steps", "CLIP", "gen time")
+	for _, r := range rows {
+		fmt.Printf("%6d %8.3f %9.1fs\n", r.Steps, r.CLIP, r.GenTime.Seconds())
+	}
+	return nil
+}
+
+func runSizes() error {
+	rows, err := experiments.SizeSweep()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paper anchors (SD3, 15 steps): laptop 7/19/310s, workstation 1.0/1.7/6.2s\n")
+	fmt.Printf("%10s %12s %14s\n", "size", "laptop", "workstation")
+	for _, r := range rows {
+		fmt.Printf("%5dx%-4d %11.1fs %13.2fs\n", r.Dim, r.Dim, r.Laptop.Seconds(), r.Workstation.Seconds())
+	}
+	return nil
+}
+
+func runText() error {
+	rows, err := experiments.Text2Text()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paper: SBERT 0.82-0.91; overshoot mean ~1.3%%, quartiles often >10%%, max 20%%;\n")
+	fmt.Printf("       times 6.98-14.33s (workstation) / 16.06-34.04s (laptop); benefit only 2.5x\n")
+	fmt.Printf("%-18s %11s %7s %9s %9s %9s %8s\n",
+		"model", "paper SBERT", "SBERT", "ovsh mean", "p25", "p75", "speedup")
+	for _, r := range rows {
+		fmt.Printf("%-18s %11.2f %7.3f %8.1f%% %8.1f%% %8.1f%% %7.2fx\n",
+			r.Model, r.PaperSBERT, r.SBERT,
+			100*r.OvershootMean, 100*r.OvershootP25, 100*r.OvershootP75,
+			r.SpeedupWorkstation)
+	}
+	fmt.Printf("\n%-18s", "gen time (wkst/laptop)")
+	for _, w := range []int{50, 100, 150, 250} {
+		fmt.Printf(" %12dw", w)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-18s", r.Model)
+		for _, w := range []int{50, 100, 150, 250} {
+			t := r.Times[w]
+			fmt.Printf(" %5.1f/%-6.1fs", t.Workstation.Seconds(), t.Laptop.Seconds())
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runTable2() error {
+	rows, err := experiments.Table2()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paper rows: 19.14x/7s/0.02Wh/1.0s/0.04Wh; 76.56x/19s/0.05Wh/1.7s/0.06Wh;\n")
+	fmt.Printf("            306.24x/310s/0.90Wh/6.2s/0.21Wh; 1.93x/32s/0.01Wh/13.0s/0.51Wh\n")
+	fmt.Printf("%-16s %9s %9s %8s %10s %10s %10s %10s\n",
+		"media", "size[B]", "meta[B]", "ratio", "lap gen", "lap Wh", "wkst gen", "wkst Wh")
+	for _, r := range rows {
+		fmt.Printf("%-16s %9d %9d %8.2f %9.1fs %10.3f %9.1fs %10.3f\n",
+			r.Label, r.SizeBytes, r.MetadataBytes, r.Ratio,
+			r.LaptopGen.Seconds(), r.LaptopEnergyWh,
+			r.WorkstationGen.Seconds(), r.WorkstationWhGen)
+	}
+	return nil
+}
+
+func runFig2() error {
+	r, err := experiments.Fig2Wikimedia()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paper: 49 images, 1400kB -> 8.92kB (157x, worst case 68x);\n")
+	fmt.Printf("       laptop 310s (6.32s/image), workstation ~49s (~1s/image)\n\n")
+	fmt.Printf("images:                 %d\n", r.Images)
+	fmt.Printf("original media:         %d B\n", r.OriginalBytes)
+	fmt.Printf("prompt metadata:        %d B\n", r.MetadataBytes)
+	fmt.Printf("compression factor:     %.1fx (worst case %.1fx)\n", r.CompressionFactor, r.WorstCaseFactor)
+	fmt.Printf("wire bytes generative:  %d B\n", r.GenerativeWireBytes)
+	fmt.Printf("wire bytes traditional: %d B (page-level factor %.1fx)\n", r.TraditionalWireBytes, r.WireFactor)
+	fmt.Printf("laptop generation:      %.0fs (%.2fs/image), %.2f Wh\n",
+		r.LaptopGen.Seconds(), r.LaptopPerImage.Seconds(), r.LaptopGenWh)
+	fmt.Printf("server generation:      %.0fs (%.2fs/image)\n",
+		r.ServerGen.Seconds(), r.ServerPerImage.Seconds())
+	fmt.Printf("mean CLIP of page:      %.3f\n", r.MeanCLIP)
+	fmt.Printf("transmit energy saved:  %.4f Wh\n", r.TransmitSavedWh)
+	return nil
+}
+
+func runArticle() error {
+	r, err := experiments.TextArticle()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paper: 2400B -> 778B (3.1x); laptop 41.9s, workstation >10s\n\n")
+	fmt.Printf("original:        %d B\n", r.OriginalBytes)
+	fmt.Printf("prompt form:     %d B\n", r.PromptBytes)
+	fmt.Printf("compression:     %.2fx\n", r.Compression)
+	fmt.Printf("laptop gen:      %.1fs\n", r.LaptopGen.Seconds())
+	fmt.Printf("workstation gen: %.1fs\n", r.WorkstationGen.Seconds())
+	fmt.Printf("SBERT vs source: %.3f\n", r.SBERT)
+	return nil
+}
+
+func runMatrix() error {
+	rows, err := experiments.CapabilityMatrix()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paper: only both-support uses generation; all else default HTTP/2\n")
+	fmt.Printf("%-14s %-18s %-18s %-18s %-12s %s\n",
+		"scenario", "server", "client", "negotiated", "served", "ok")
+	for _, r := range rows {
+		fmt.Printf("%-14s %-18s %-18s %-18s %-12s %v\n",
+			r.Scenario, r.Server, r.Client, r.Negotiated, r.ServedMode, r.OK)
+	}
+	return nil
+}
+
+func runEnergy() error {
+	c, err := experiments.CompareEnergy()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paper: large image transmit ~10ms vs 6.2s generation (620x);\n")
+	fmt.Printf("       transmit ~0.005Wh = 2.5%% of workstation generation (0.21Wh)\n\n")
+	fmt.Printf("transmit (100Mbps):  %v, %.4f Wh\n", c.TransmitTime, c.TransmitWh)
+	fmt.Printf("workstation gen:     %.1fs, %.3f Wh\n", c.GenerationTime.Seconds(), c.GenerationWh)
+	fmt.Printf("generation slowdown: %.0fx\n", c.SlowdownFactor)
+	fmt.Printf("transmit share:      %.1f%%\n", 100*c.TransmitShare)
+	fmt.Printf("laptop gen energy:   %.2f Wh\n", c.LaptopGenerationWh)
+	return nil
+}
+
+func runCarbon() error {
+	fig2, err := experiments.Fig2Wikimedia()
+	if err != nil {
+		return err
+	}
+	c := experiments.CarbonSavings(fig2.CompressionFactor)
+	fmt.Printf("paper: 6-7 kgCO2e/TB SSD; exabyte-scale compression saves millions of kg\n\n")
+	fmt.Printf("per TB:                %.1f kgCO2e\n", c.PerTBKg)
+	fmt.Printf("1 EB media x10 sites:  %.2e kgCO2e\n", c.MediaExabyteKg)
+	fmt.Printf("as prompts (%.0fx):     %.2e kgCO2e\n", fig2.CompressionFactor, c.PromptExabyteKg)
+	fmt.Printf("saved:                 %.2e kgCO2e (millions: %v)\n", c.SavedKg, c.SavedKg > 1e6)
+	return nil
+}
+
+func runTraffic() error {
+	fig2, err := experiments.Fig2Wikimedia()
+	if err != nil {
+		return err
+	}
+	t := experiments.ProjectTraffic(fig2.CompressionFactor)
+	fmt.Printf("paper: 2-3 EB/month mobile web -> tens of PB at ~two orders of magnitude\n\n")
+	fmt.Printf("baseline:   %.1f EB/month\n", t.BaselineEBPerMonth)
+	fmt.Printf("compression: %.0fx (measured, Figure 2 media ratio)\n", t.CompressionFactor)
+	fmt.Printf("projected:  %.1f PB/month\n", t.ProjectedPBPerMonth)
+	return nil
+}
+
+func runCDN() error {
+	rows, err := experiments.CDNSweep(2000, 30000, 64<<20)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paper §2.2: prompt caching keeps storage benefit; edge generation\n")
+	fmt.Printf("loses transmission benefit; energy trade-off at the edge\n")
+	fmt.Printf("%-16s %12s %8s %14s %14s %10s %12s\n",
+		"mode", "cache[B]", "hit", "to users[B]", "from origin[B]", "gen[Wh]", "embodied[kg]")
+	for _, r := range rows {
+		fmt.Printf("%-16s %12d %7.1f%% %14d %14d %10.1f %12.6f\n",
+			r.Mode, r.CacheBytes, 100*r.HitRate, r.BytesToUsers, r.BytesFromOrigin,
+			r.EdgeGenEnergyWh, r.EmbodiedKg)
+	}
+	return nil
+}
+
+func runVideo() error {
+	rows := experiments.VideoSweep()
+	fmt.Printf("paper §3.2: 60->30fps halves data; 4K->HD saves 2.3x (7GB/h -> 3GB/h)\n")
+	fmt.Printf("%-34s %-24s %10s\n", "client ability", "delivered", "savings")
+	for _, r := range rows {
+		fmt.Printf("%-34s %-24s %9.2fx\n", r.Ability, r.Delivered.Name, r.Savings)
+	}
+	srows, err := experiments.StreamingExperiment()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n10-minute 4K60 playback simulation (the evaluation §3.2 defers):\n")
+	fmt.Printf("%-24s %-22s %8s %9s %8s %10s %10s\n",
+		"device", "ability", "wire", "savings", "rebuf", "rt-factor", "boost[Wh]")
+	for _, r := range srows {
+		rep := r.Report
+		fmt.Printf("%-24s %-22s %7.2fG %8.2fx %8d %10.2f %10.3f\n",
+			r.Device, r.Ability, float64(rep.BytesDownloaded)/1e9,
+			rep.SavingsFactor, rep.Rebuffers, rep.RealTimeFactor, rep.BoostEnergyWh)
+	}
+	return nil
+}
+
+func runStorage() error {
+	s, err := experiments.StorageComparison()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paper §2.1: servers store prompts rather than content\n\n")
+	fmt.Printf("SWW storage:         %d B\n", s.SWWBytes)
+	fmt.Printf("traditional storage: %d B\n", s.TraditionalBytes)
+	fmt.Printf("ratio:               %.1fx\n", s.Ratio)
+	return nil
+}
+
+func runH3() error {
+	rows, err := experiments.H3CapabilityMatrix()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paper §3.1: \"similar use of SETTINGS under HTTP/3 can allow to advertise\"\n")
+	fmt.Printf("%-14s %-18s %s\n", "scenario", "negotiated", "ok")
+	for _, r := range rows {
+		fmt.Printf("%-14s %-18s %v\n", r.Scenario, r.Negotiated, r.OK)
+	}
+	return nil
+}
+
+func runUpscale() error {
+	r, err := experiments.UpscaleExperiment()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paper §2.2: upscaling reduces unique-content storage and is\n")
+	fmt.Printf("\"usually faster than content generation, with sub-second inference\"\n\n")
+	fmt.Printf("photos:            %d (128\u00b2 stored, 512\u00b2 rendered)\n", r.Photos)
+	fmt.Printf("wire, upscale:     %d B\n", r.UpscaleWireBytes)
+	fmt.Printf("wire, traditional: %d B (%.1fx savings)\n", r.TraditionalWireBytes, r.WireSavings)
+	fmt.Printf("upscale time:      %.2fs (laptop, all photos)\n", r.UpscaleTime.Seconds())
+	fmt.Printf("generate instead:  %.1fs (%.0fx slower)\n", r.GenerateTime.Seconds(), r.SpeedFactor)
+	return nil
+}
+
+func runPersonalize() error {
+	r, err := experiments.PersonalizationExperiment()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paper §2.3: on-device personalization; \"potential for harm ... echo chamber\"\n\n")
+	fmt.Printf("echo-chamber index, neutral:      %.3f\n", r.NeutralIndex)
+	fmt.Printf("echo-chamber index, personalized: %.3f (drift +%.3f)\n", r.PersonalizedIndex, r.Drift)
+	fmt.Printf("prompt adherence:  %.3f -> %.3f (preserved)\n", r.NeutralCLIP, r.PersonalizedCLIP)
+	return nil
+}
+
+func runPlacement() error {
+	load := cdn.DefaultPlacementLoad()
+	rows := cdn.PlacementSweep(load)
+	fmt.Printf("paper §7: traffic reduction \"provides more flexibility in cache placement,\n")
+	fmt.Printf("without breaching backbone traffic constraints\"; latency becomes minor\n")
+	fmt.Printf("(%.0f req/s, %.0f Gbps backbone, %.0f%% hit rate)\n\n",
+		load.RequestsPerSecond, load.BackboneCapacityGbps, 100*load.HitRate)
+	fmt.Printf("%-14s %-7s %6s %14s %10s %14s %12s\n",
+		"placement", "mode", "sites", "backbone", "feasible", "page latency", "rtt share")
+	for _, r := range rows {
+		mode := "media"
+		if r.SWW {
+			mode = "sww"
+		}
+		fmt.Printf("%-14s %-7s %6d %11.3fGbps %10v %14v %11.2f%%\n",
+			r.Placement.Name, mode, r.StorageSites, r.BackboneGbps, r.Feasible,
+			r.PageLatency.Round(time.Millisecond), 100*r.LatencyShare)
+	}
+	return nil
+}
+
+func runAblations() error {
+	n := experiments.NegotiationAblation(50)
+	fmt.Printf("SETTINGS vs per-request header (50 requests/conn):\n")
+	fmt.Printf("  SETTINGS total: %d B; header total: %d B\n",
+		n.SettingsTotalBytes, n.HeaderTotalBytes)
+
+	p, err := experiments.PreloadAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pipeline preloading (§4.1) on the %d-image page:\n", p.Items)
+	fmt.Printf("  preload load time: %v; per-invocation reload: %v (%.0f%% overhead)\n",
+		p.PreloadLoadTime, p.ReloadLoadTime, p.ReloadOverheadPct)
+	return nil
+}

@@ -1,0 +1,124 @@
+// Command sww-client is the §5.2 generative client: it connects to an
+// sww-server, advertises its generation ability, fetches a page,
+// generates the placeholder media locally, and "renders" the result
+// by writing the final HTML and all assets to an output directory
+// (this prototype's stand-in for the paper's PyQT GUI).
+//
+// Usage:
+//
+//	sww-client [-addr localhost:8420] [-path /wiki/landscape]
+//	           [-device laptop|workstation|mobile] [-out ./rendered]
+//	           [-traditional] [-image-model ...] [-text-model ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sww/internal/core"
+	"sww/internal/device"
+	"sww/internal/genai/imagegen"
+	"sww/internal/genai/textgen"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8420", "server address")
+	path := flag.String("path", "/wiki/landscape", "page to fetch")
+	dev := flag.String("device", "laptop", "device profile: laptop|workstation|mobile")
+	out := flag.String("out", "rendered", "output directory")
+	traditional := flag.Bool("traditional", false, "act as a non-generative (legacy) client")
+	imageModel := flag.String("image-model", imagegen.SD3Medium, "local image model")
+	textModel := flag.String("text-model", textgen.DeepSeek8, "local text model")
+	useH3 := flag.Bool("h3", false, "connect with the HTTP/3 mapping instead of HTTP/2")
+	flag.Parse()
+
+	profile, err := profileByName(*dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var proc *core.PageProcessor
+	if !*traditional {
+		proc, err = core.NewPageProcessor(profile, *imageModel, *textModel)
+		if err != nil {
+			log.Fatalf("building pipeline: %v", err)
+		}
+	}
+
+	nc, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatalf("dial: %v", err)
+	}
+	var client *core.Client
+	if *useH3 {
+		client, err = core.NewClientH3(nc, profile, proc)
+	} else {
+		client, err = core.NewClient(nc, profile, proc)
+	}
+	if err != nil {
+		log.Fatalf("handshake: %v", err)
+	}
+	defer client.Close()
+	fmt.Printf("negotiated ability: %v\n", client.Negotiated())
+
+	res, err := client.Fetch(*path)
+	if err != nil {
+		log.Fatalf("fetch %s: %v", *path, err)
+	}
+	fmt.Printf("mode:        %s\n", res.Mode)
+	fmt.Printf("wire bytes:  %d\n", res.WireBytes)
+	fmt.Printf("assets:      %d\n", len(res.Assets))
+	if res.Report != nil {
+		fmt.Printf("generated:   %d items in %.1f simulated %s-seconds (%.3f Wh)\n",
+			len(res.Report.Items), res.Report.SimGenTime.Seconds(), *dev, res.Report.EnergyWh)
+		if res.Report.OriginalBytes > 0 {
+			fmt.Printf("media ratio: %.1fx (%d B original vs %d B metadata)\n",
+				res.Report.MediaCompressionRatio(),
+				res.Report.OriginalBytes, res.Report.MetadataContentBytes)
+		}
+	}
+	fmt.Printf("transmit:    %v, %.5f Wh\n", res.TransmitTime, res.TransmitEnergyWh)
+
+	if err := writeRendered(*out, *path, res); err != nil {
+		log.Fatalf("writing output: %v", err)
+	}
+	fmt.Printf("rendered to %s\n", *out)
+}
+
+func profileByName(name string) (device.Profile, error) {
+	for _, p := range device.Profiles() {
+		if p.Class.String() == name {
+			return p, nil
+		}
+	}
+	return device.Profile{}, fmt.Errorf("unknown device %q (want laptop|workstation|mobile)", name)
+}
+
+// writeRendered stores the final page and its assets under dir,
+// mirroring asset paths as subdirectories.
+func writeRendered(dir, pagePath string, res *core.FetchResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	pageFile := strings.Trim(strings.ReplaceAll(pagePath, "/", "_"), "_")
+	if pageFile == "" {
+		pageFile = "index"
+	}
+	if err := os.WriteFile(filepath.Join(dir, pageFile+".html"), []byte(res.HTML), 0o644); err != nil {
+		return err
+	}
+	for assetPath, data := range res.Assets {
+		fp := filepath.Join(dir, filepath.FromSlash(strings.TrimPrefix(assetPath, "/")))
+		if err := os.MkdirAll(filepath.Dir(fp), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(fp, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// Command sww-convert is the §4.2 conversion script: it reads a
+// traditional HTML page, inverts its images to prompts, summarizes
+// long prose to bullet points, and writes the SWW form.
+//
+// Usage:
+//
+//	sww-convert [-in page.html] [-out page.sww.html]
+//	            [-min-image-words 3] [-min-text-words 60]
+//
+// Without -in, a built-in demo page is converted and printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sww/internal/convert"
+	"sww/internal/html"
+)
+
+const demoPage = `<!DOCTYPE html>
+<html><head><title>Autumn in the high valley</title></head><body>
+<h1>Autumn in the high valley</h1>
+<img src="/stock/larch-forest-golden-autumn.jpg" alt="golden larch forest on a mountain slope in autumn light" width="512" height="512">
+<p>Every October the larches along the high valley turn a deep gold, and the first snow usually dusts the ridgeline while the meadows below are still green. The contrast draws photographers from across the region, and the narrow road over the pass fills with cars on clear weekends, so the early bus from the village remains the quietest way up to the trailheads.</p>
+<img src="/photos/our-cabin.jpg" alt="our cabin" data-sww="unique">
+<p data-sww="unique">Book the cabin through the contact form; we answer within two days.</p>
+</body></html>`
+
+func main() {
+	in := flag.String("in", "", "input HTML file (default: built-in demo)")
+	out := flag.String("out", "", "output file (default: stdout)")
+	minImageWords := flag.Int("min-image-words", 3, "keep images with fewer prompt words unique")
+	minTextWords := flag.Int("min-text-words", 60, "keep shorter prose blocks unique")
+	flag.Parse()
+
+	src := demoPage
+	if *in != "" {
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			log.Fatalf("reading %s: %v", *in, err)
+		}
+		src = string(data)
+	}
+	doc := html.Parse(src)
+	opts := convert.DefaultOptions()
+	opts.MinImageWords = *minImageWords
+	opts.MinTextWords = *minTextWords
+	rep := convert.Convert(doc, opts, nil)
+
+	fmt.Fprintf(os.Stderr, "images: %d converted, %d kept unique\n", rep.ImagesConverted, rep.ImagesKept)
+	fmt.Fprintf(os.Stderr, "text:   %d converted, %d kept unique\n", rep.TextConverted, rep.TextKept)
+	fmt.Fprintf(os.Stderr, "html:   %d B -> %d B\n", rep.BytesBefore, rep.BytesAfter)
+	if rep.ImagesConverted > 0 {
+		fmt.Fprintf(os.Stderr, "mean inversion fidelity: %.2f\n", rep.MeanFidelity)
+	}
+
+	result := html.RenderString(doc)
+	if *out == "" {
+		fmt.Println(result)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(result), 0o644); err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

@@ -1,0 +1,83 @@
+// Command sww-server runs the §5.1 generative server: an HTTP/2
+// server that advertises SETTINGS_GEN_ABILITY, serves the built-in
+// demo site in prompt form to generative clients, and falls back to
+// traditional content (stored originals or server-side generation)
+// for everyone else.
+//
+// Usage:
+//
+//	sww-server [-addr :8420] [-image-model sd3-medium]
+//	           [-text-model deepseek-r1-8b] [-policy generative|traditional]
+//
+// The demo site contains /wiki/landscape (Figure 2), /news/article
+// (§6.2 text experiment) and /blog/hike (§2.1 travel blog).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"sww/internal/core"
+	"sww/internal/genai/imagegen"
+	"sww/internal/genai/textgen"
+	"sww/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8420", "listen address")
+	imageModel := flag.String("image-model", imagegen.SD3Medium, "server-side image model")
+	textModel := flag.String("text-model", textgen.DeepSeek8, "server-side text model")
+	policy := flag.String("policy", "generative", "serve policy: generative|traditional")
+	useH3 := flag.Bool("h3", false, "serve the HTTP/3 mapping instead of HTTP/2")
+	flag.Parse()
+
+	srv, err := core.NewServer(*imageModel, *textModel)
+	if err != nil {
+		log.Fatalf("building server: %v", err)
+	}
+	switch *policy {
+	case "generative":
+		srv.Policy = core.PolicyGenerative
+	case "traditional":
+		srv.Policy = core.PolicyTraditional
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	pages := []*core.Page{
+		workload.WikimediaLandscape(),
+		workload.NewsArticle(),
+		workload.TravelBlog(),
+	}
+	for _, p := range pages {
+		srv.AddPage(p)
+		fmt.Printf("serving %s (%d placeholders, media ratio %.1fx)\n",
+			p.Path, len(p.Placeholders()), p.MediaCompressionRatio())
+	}
+	sww, trad := srv.StorageBytes()
+	fmt.Printf("storage: %d B as SWW vs %d B traditional (%.1fx)\n",
+		sww, trad, float64(trad)/float64(sww))
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	proto := "h2c"
+	if *useH3 {
+		proto = "h3 (QUIC-shaped over TCP)"
+	}
+	fmt.Printf("sww-server listening on %s (%s, policy=%s)\n", l.Addr(), proto, *policy)
+	if *useH3 {
+		h3 := srv.H3Server()
+		for {
+			nc, err := l.Accept()
+			if err != nil {
+				log.Fatal(err)
+			}
+			go h3.ServeConn(nc)
+		}
+	}
+	log.Fatal(srv.Serve(l))
+}

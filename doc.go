@@ -1,0 +1,22 @@
+// Package sww is a Go reproduction of "The Small World Web of AI"
+// (HotNets '25): a web where media is distributed as prompts and
+// generated on end-user devices.
+//
+// The implementation lives under internal/: a from-scratch HTTP/2
+// stack with the SETTINGS_GEN_ABILITY (0x07) extension, HPACK, an
+// HTML parser, calibrated procedural generative models, quality
+// metrics (CLIP/SBERT/Elo analogues), a device energy model, the SWW
+// client/server engine, a page converter and a CDN simulator.
+//
+// Entry points:
+//
+//	cmd/sww-server   — serve an SWW site over HTTP/2
+//	cmd/sww-client   — fetch and locally render SWW pages
+//	cmd/sww-convert  — convert traditional HTML to SWW form
+//	cmd/sww-bench    — regenerate every table/figure of the paper
+//	examples/        — runnable API walkthroughs
+//
+// The benchmarks in bench_test.go drive the same experiments under
+// testing.B; see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for paper-vs-measured results.
+package sww

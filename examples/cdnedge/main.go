@@ -1,0 +1,77 @@
+// CDN edge: the paper's §2.2 scenario.
+//
+// Part 1 shows the protocol-level fallback: an SWW server whose pages
+// exist only as prompts serves a legacy client by generating the
+// media server-side ("the server uses the prompt to generate the
+// content before sending it") — storage savings retained,
+// transmission savings lost.
+//
+// Part 2 sweeps an edge cache over the three deployment modes of
+// §2.2 on a heavy-tailed request stream and prints the
+// storage/transmission/energy trade-off table.
+//
+// Run with:
+//
+//	go run ./examples/cdnedge
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"sww/internal/core"
+	"sww/internal/device"
+	"sww/internal/experiments"
+	"sww/internal/genai/imagegen"
+	"sww/internal/genai/textgen"
+	"sww/internal/workload"
+)
+
+func main() {
+	// Part 1: prompt-only origin serving a naive client.
+	page := workload.WikimediaLandscape()
+	page.Originals = nil // the origin stores prompts, nothing else
+
+	srv, err := core.NewServer(imagegen.SD3Medium, textgen.DeepSeek8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.AddPage(page)
+	sww, _ := srv.StorageBytes()
+	fmt.Printf("origin stores %d B of prompts for the %d-image gallery\n",
+		sww, workload.WikimediaImageCount)
+
+	cEnd, sEnd := net.Pipe()
+	srv.StartConn(sEnd)
+	legacy, err := core.NewClient(cEnd, device.Laptop, nil) // no pipeline: legacy
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer legacy.Close()
+
+	res, err := legacy.Fetch(workload.WikimediaPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := srv.ServerGenReport(workload.WikimediaPath)
+	fmt.Printf("legacy client served %q: %d assets, %d wire bytes\n",
+		res.Mode, len(res.Assets), res.WireBytes)
+	fmt.Printf("edge generated for %.0f simulated workstation-seconds (%.2f Wh)\n",
+		rep.SimGenTime.Seconds(),
+		device.Workstation.ImageGenEnergyWh(rep.SimGenTime))
+	fmt.Println("→ storage benefit kept, transmission benefit lost (§2.2)")
+
+	// Part 2: the three cache modes under one workload.
+	fmt.Println("\nedge cache sweep (2000 objects, 30000 requests, 64 MiB cache):")
+	rows, err := experiments.CDNSweep(2000, 30000, 64<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s %12s %8s %14s %10s\n",
+		"mode", "cache[B]", "hit", "to users[B]", "gen[Wh]")
+	for _, r := range rows {
+		fmt.Printf("%-16s %12d %7.1f%% %14d %10.1f\n",
+			r.Mode, r.CacheBytes, 100*r.HitRate, r.BytesToUsers, r.EdgeGenEnergyWh)
+	}
+}

@@ -1,0 +1,82 @@
+// Quickstart: the smallest complete SWW round trip.
+//
+// It builds a one-page site where a single image exists only as a
+// prompt, wires a generative server and a generative client together
+// over an in-process connection, and shows the client receiving the
+// prompt form and generating the picture locally.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"sww/internal/core"
+	"sww/internal/device"
+	"sww/internal/genai/imagegen"
+	"sww/internal/genai/textgen"
+	"sww/internal/html"
+)
+
+func main() {
+	// 1. An SWW page: the goldfish of Figure 1, stored as a prompt.
+	goldfish := core.GeneratedContent{
+		Type: core.ContentImage,
+		Meta: core.Metadata{
+			Prompt: "a cartoon goldfish with large friendly eyes swimming in a round glass bowl",
+			Name:   "goldfish",
+			Width:  256, Height: 256,
+		},
+	}
+	div, err := goldfish.Div()
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc := html.Parse(`<!DOCTYPE html><html><head><title>Quickstart</title></head><body><h1>My goldfish</h1></body></html>`)
+	doc.ByTag("body")[0].AppendChild(div)
+	page := &core.Page{Path: "/", Doc: doc}
+
+	fmt.Println("--- page as stored on the server (Figure 1, top) ---")
+	fmt.Println(page.HTML())
+
+	// 2. A generative server and a generative laptop client.
+	srv, err := core.NewServer(imagegen.SD3Medium, textgen.DeepSeek8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.AddPage(page)
+
+	cEnd, sEnd := net.Pipe()
+	srv.StartConn(sEnd)
+	proc, err := core.NewPageProcessor(device.Laptop, imagegen.SD3Medium, textgen.DeepSeek8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := core.NewClient(cEnd, device.Laptop, proc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	fmt.Printf("\nnegotiated ability: %v\n", client.Negotiated())
+
+	// 3. Fetch: the prompt crosses the wire, the pixels do not.
+	res, err := client.Fetch("/")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served mode: %s, wire bytes: %d\n\n", res.Mode, res.WireBytes)
+
+	fmt.Println("--- page after client-side generation (Figure 1, bottom) ---")
+	fmt.Println(res.HTML)
+
+	item := res.Report.Items[0]
+	fmt.Printf("\ngenerated %q: %d B PNG in %.1f simulated laptop-seconds (%.3f Wh)\n",
+		item.Name, item.OutputBytes, item.SimTime.Seconds(), item.EnergyWh)
+	fmt.Printf("prompt metadata was %d B; the equivalent photo would be %d B (%.1fx)\n",
+		item.ContentBytes, item.OriginalBytes,
+		float64(item.OriginalBytes)/float64(item.ContentBytes))
+}

@@ -1,0 +1,100 @@
+// Travel blog: the paper's §2.1 motivating scenario.
+//
+// The page mixes three kinds of content: generic text (shipped as
+// bullet points and expanded locally), stock landscape images
+// (shipped as prompts and generated locally), and unique content —
+// the author's summit photo and the precise route description — which
+// crosses the wire byte-for-byte, exactly as today.
+//
+// The example fetches the page twice, once as a generative client and
+// once as a legacy client, and compares what crossed the network.
+//
+// Run with:
+//
+//	go run ./examples/travelblog
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	"sww/internal/core"
+	"sww/internal/device"
+	"sww/internal/genai/imagegen"
+	"sww/internal/genai/textgen"
+	"sww/internal/workload"
+)
+
+func main() {
+	page := workload.TravelBlog()
+
+	fmt.Printf("page %s: %d placeholders, %d unique assets\n",
+		page.Path, len(page.Placeholders()), len(page.Unique))
+	for _, ph := range page.Placeholders() {
+		fmt.Printf("  [%s] %-12s %3d B metadata\n",
+			ph.Content.Type, ph.Content.Meta.Name, ph.Content.ContentSize())
+	}
+
+	gen := fetch(page, true)
+	trad := fetch(page, false)
+
+	fmt.Printf("\n%-22s %12s %12s\n", "", "generative", "traditional")
+	fmt.Printf("%-22s %12d %12d\n", "wire bytes", gen.WireBytes, trad.WireBytes)
+	fmt.Printf("%-22s %12d %12d\n", "assets fetched",
+		countFetched(gen), len(trad.Assets))
+	fmt.Printf("%-22s %11.1fx\n", "network savings",
+		float64(trad.WireBytes)/float64(gen.WireBytes))
+
+	fmt.Printf("\non-device generation: %.1f simulated laptop-seconds, %.3f Wh\n",
+		gen.Report.SimGenTime.Seconds(), gen.Report.EnergyWh)
+
+	// The unique content is identical in both modes.
+	const photo = "/unique/hornspitze-summit.jpg"
+	if string(gen.Assets[photo]) == string(trad.Assets[photo]) {
+		fmt.Println("unique summit photo: byte-identical in both modes ✓")
+	} else {
+		log.Fatal("unique content was altered!")
+	}
+	if strings.Contains(gen.HTML, "Bergstation car park") {
+		fmt.Println("unique route text: preserved verbatim ✓")
+	}
+}
+
+func fetch(page *core.Page, generative bool) *core.FetchResult {
+	srv, err := core.NewServer(imagegen.SD3Medium, textgen.DeepSeek8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.AddPage(page)
+	cEnd, sEnd := net.Pipe()
+	srv.StartConn(sEnd)
+	var proc *core.PageProcessor
+	if generative {
+		proc, err = core.NewPageProcessor(device.Laptop, imagegen.SD3Medium, textgen.DeepSeek8)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	client, err := core.NewClient(cEnd, device.Laptop, proc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	res, err := client.Fetch(page.Path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func countFetched(res *core.FetchResult) int {
+	n := 0
+	for path := range res.Assets {
+		if !strings.HasPrefix(path, "/generated/") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,72 @@
+// Wikimedia: the Figure 2 experiment as a runnable walkthrough.
+//
+// A search-results page with 49 landscape images (1.4 MB of original
+// media) is served in prompt form; a generative laptop client
+// regenerates every picture locally. The program prints the paper's
+// headline comparison and writes a few of the generated images to
+// ./wikimedia-out so you can look at them.
+//
+// Run with:
+//
+//	go run ./examples/wikimedia
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sww/internal/experiments"
+)
+
+func main() {
+	fmt.Println("running the Figure 2 experiment (this generates 49 images twice)...")
+	r, err := experiments.Fig2Wikimedia()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-28s %14s %14s\n", "", "paper", "measured")
+	fmt.Printf("%-28s %14s %14d\n", "images", "49", r.Images)
+	fmt.Printf("%-28s %14s %14d\n", "original media [B]", "1400000", r.OriginalBytes)
+	fmt.Printf("%-28s %14s %14d\n", "prompt metadata [B]", "8920", r.MetadataBytes)
+	fmt.Printf("%-28s %14s %13.1fx\n", "compression factor", "157x", r.CompressionFactor)
+	fmt.Printf("%-28s %14s %13.1fx\n", "worst case (428 B/asset)", "68x", r.WorstCaseFactor)
+	fmt.Printf("%-28s %14s %13.0fs\n", "laptop generation", "310s", r.LaptopGen.Seconds())
+	fmt.Printf("%-28s %14s %13.2fs\n", "laptop per image", "6.32s", r.LaptopPerImage.Seconds())
+	fmt.Printf("%-28s %14s %13.0fs\n", "server generation", "~49s", r.ServerGen.Seconds())
+	fmt.Printf("%-28s %14s %14.3f\n", "mean CLIP (SD3: 0.27)", "0.27", r.MeanCLIP)
+
+	// Regenerate a few images so they can be inspected on disk.
+	out := "wikimedia-out"
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	gen, err := experimentsFetchSample()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var paths []string
+	for p := range gen {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths[:3] {
+		fp := filepath.Join(out, filepath.Base(p))
+		if err := os.WriteFile(fp, gen[p], 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d B)\n", fp, len(gen[p]))
+	}
+}
+
+// experimentsFetchSample regenerates the gallery assets locally.
+func experimentsFetchSample() (map[string][]byte, error) {
+	res, err := experiments.FetchWikimediaGeneratively()
+	if err != nil {
+		return nil, err
+	}
+	return res.Assets, nil
+}

@@ -1,0 +1,3 @@
+module sww
+
+go 1.22

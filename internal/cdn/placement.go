@@ -1,0 +1,136 @@
+package cdn
+
+// Cache-placement analysis, paper §7 (Sustainability): "traffic
+// reduction on the network provides more flexibility in cache
+// placement, without breaching backbone traffic constraints. While
+// the main limitation to cache location was often the latency to the
+// user, in SWW the network latency is a minor problem compared with
+// other major challenges."
+//
+// The model is a two-tier topology: users reach a cache over an edge
+// link, and the cache reaches the origin over a shared backbone with
+// a capacity constraint. Placing the cache deeper in the network
+// (fewer, larger sites) raises user↔cache latency but consolidates
+// storage; whether that placement is feasible depends on how much
+// miss traffic the backbone must carry, and whether it is *tolerable*
+// depends on how much the extra latency matters against the rest of
+// the page load — which, under SWW, is dominated by generation time.
+
+import (
+	"time"
+)
+
+// A Placement describes where a cache tier sits.
+type Placement struct {
+	Name string
+	// UserRTT is the user↔cache round-trip time.
+	UserRTT time.Duration
+	// Sites is how many replicated cache sites this placement needs
+	// to cover the user population.
+	Sites int
+}
+
+// Standard placements, from metro edge to regional core.
+var (
+	PlacementMetro    = Placement{Name: "metro-edge", UserRTT: 5 * time.Millisecond, Sites: 200}
+	PlacementRegional = Placement{Name: "regional", UserRTT: 25 * time.Millisecond, Sites: 20}
+	PlacementCore     = Placement{Name: "core", UserRTT: 60 * time.Millisecond, Sites: 3}
+)
+
+// PlacementLoad parameterizes the workload for the analysis.
+type PlacementLoad struct {
+	// RequestsPerSecond across the user population.
+	RequestsPerSecond float64
+	// MediaBytes / PromptBytes per request (page media vs prompt
+	// form).
+	MediaBytes  int
+	PromptBytes int
+	// HitRate of the cache tier.
+	HitRate float64
+	// BackboneCapacityGbps is the shared constraint between the cache
+	// tier and the origin.
+	BackboneCapacityGbps float64
+	// GenerationTime is the client-side generation latency that
+	// dominates SWW page loads.
+	GenerationTime time.Duration
+}
+
+// PlacementResult is the analysis of one (placement, mode) cell.
+type PlacementResult struct {
+	Placement Placement
+	SWW       bool
+
+	// BackboneGbps is the miss traffic crossing the constraint.
+	BackboneGbps float64
+	// Feasible reports whether the backbone constraint holds.
+	Feasible bool
+
+	// PageLatency is the user-visible fetch latency: RTT-bound
+	// transfer plus (for SWW) on-device generation.
+	PageLatency time.Duration
+	// LatencyShare is UserRTT's fraction of the page latency — the
+	// §7 argument that "network latency is a minor problem" in SWW.
+	LatencyShare float64
+
+	// StorageSites is the replication factor, for embodied-carbon
+	// comparisons.
+	StorageSites int
+}
+
+// AnalyzePlacement computes the feasibility/latency cell for one
+// placement under one delivery mode.
+func AnalyzePlacement(p Placement, load PlacementLoad, sww bool) PlacementResult {
+	perReq := load.MediaBytes
+	if sww {
+		perReq = load.PromptBytes
+	}
+	missRate := 1 - load.HitRate
+	backboneBps := load.RequestsPerSecond * missRate * float64(perReq) * 8
+	res := PlacementResult{
+		Placement:    p,
+		SWW:          sww,
+		BackboneGbps: backboneBps / 1e9,
+		StorageSites: p.Sites,
+	}
+	res.Feasible = res.BackboneGbps <= load.BackboneCapacityGbps
+
+	// Page latency: two RTTs of protocol exchange plus the transfer
+	// (RTT-bound for small objects; bandwidth ignored at this scale)
+	// plus generation for SWW.
+	res.PageLatency = 2 * p.UserRTT
+	if sww {
+		res.PageLatency += load.GenerationTime
+	}
+	if res.PageLatency > 0 {
+		res.LatencyShare = float64(p.UserRTT) / float64(res.PageLatency)
+	}
+	return res
+}
+
+// DefaultPlacementLoad models a busy regional population requesting
+// the Figure 2 page: 10k req/s of a 1.4 MB media page whose prompt
+// form is ≈9.5 kB, against a 40 Gbps backbone; SWW generation on the
+// requesting devices takes the paper's ≈6.3 s per image — use the
+// medium-image single-asset figure (19 s page: conservative, one
+// 512² asset per request).
+func DefaultPlacementLoad() PlacementLoad {
+	return PlacementLoad{
+		RequestsPerSecond:    10_000,
+		MediaBytes:           1_400_000,
+		PromptBytes:          9_548,
+		HitRate:              0.90,
+		BackboneCapacityGbps: 40,
+		GenerationTime:       19 * time.Second,
+	}
+}
+
+// PlacementSweep analyzes all standard placements in both modes.
+func PlacementSweep(load PlacementLoad) []PlacementResult {
+	var out []PlacementResult
+	for _, p := range []Placement{PlacementMetro, PlacementRegional, PlacementCore} {
+		for _, sww := range []bool{false, true} {
+			out = append(out, AnalyzePlacement(p, load, sww))
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package cdn
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPlacementBackboneConstraint reproduces the §7 argument: with
+// media delivery, deep cache placements breach the backbone
+// constraint; with prompts, every placement is feasible.
+func TestPlacementBackboneConstraint(t *testing.T) {
+	load := DefaultPlacementLoad()
+	rows := PlacementSweep(load)
+	byKey := map[string]PlacementResult{}
+	for _, r := range rows {
+		key := r.Placement.Name
+		if r.SWW {
+			key += "/sww"
+		} else {
+			key += "/media"
+		}
+		byKey[key] = r
+	}
+	// Media at 10k req/s × 10% miss × 1.4 MB ≈ 11 Gbps: feasible on a
+	// 40 Gbps backbone at the metro edge, but the same analysis with
+	// a tighter constraint or higher load breaks. Use a tight
+	// backbone to show the breach.
+	tight := load
+	tight.BackboneCapacityGbps = 5
+	for _, p := range []Placement{PlacementMetro, PlacementRegional, PlacementCore} {
+		media := AnalyzePlacement(p, tight, false)
+		sww := AnalyzePlacement(p, tight, true)
+		if media.Feasible {
+			t.Errorf("%s: media delivery should breach a 5 Gbps backbone (%.1f Gbps)",
+				p.Name, media.BackboneGbps)
+		}
+		if !sww.Feasible {
+			t.Errorf("%s: prompt delivery should fit easily (%.3f Gbps)",
+				p.Name, sww.BackboneGbps)
+		}
+	}
+	// The prompt traffic is ~two orders of magnitude smaller.
+	ratio := byKey["core/media"].BackboneGbps / byKey["core/sww"].BackboneGbps
+	if ratio < 100 {
+		t.Errorf("backbone reduction = %.0fx, want ≈147x", ratio)
+	}
+}
+
+// TestPlacementLatencyShare reproduces "in SWW the network latency is
+// a minor problem": even at the deepest placement, the user RTT is a
+// negligible share of the SWW page latency, while for traditional
+// delivery it dominates.
+func TestPlacementLatencyShare(t *testing.T) {
+	load := DefaultPlacementLoad()
+	core := AnalyzePlacement(PlacementCore, load, true)
+	if core.LatencyShare > 0.01 {
+		t.Errorf("SWW latency share at core = %.3f, want <1%%", core.LatencyShare)
+	}
+	trad := AnalyzePlacement(PlacementCore, load, false)
+	if trad.LatencyShare < 0.3 {
+		t.Errorf("traditional latency share at core = %.3f, want dominant", trad.LatencyShare)
+	}
+	// Moving from metro to core costs SWW almost nothing.
+	metro := AnalyzePlacement(PlacementMetro, load, true)
+	delta := core.PageLatency - metro.PageLatency
+	if delta > 200*time.Millisecond {
+		t.Errorf("placement delta = %v", delta)
+	}
+	relative := float64(delta) / float64(core.PageLatency)
+	if relative > 0.01 {
+		t.Errorf("placement latency penalty = %.4f of page latency, want negligible", relative)
+	}
+}
+
+// TestPlacementStorageConsolidation: the deep placement needs ~70×
+// fewer sites, multiplying the embodied-carbon savings of E10.
+func TestPlacementStorageConsolidation(t *testing.T) {
+	if PlacementCore.Sites >= PlacementMetro.Sites/10 {
+		t.Errorf("core sites = %d vs metro %d", PlacementCore.Sites, PlacementMetro.Sites)
+	}
+	rows := PlacementSweep(DefaultPlacementLoad())
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+}
+
+func BenchmarkPlacementSweep(b *testing.B) {
+	load := DefaultPlacementLoad()
+	for i := 0; i < b.N; i++ {
+		if rows := PlacementSweep(load); len(rows) != 6 {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}

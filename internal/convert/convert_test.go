@@ -1,0 +1,212 @@
+package convert
+
+import (
+	"strings"
+	"testing"
+
+	"sww/internal/core"
+	"sww/internal/device"
+	"sww/internal/genai/imagegen"
+	"sww/internal/genai/textgen"
+	"sww/internal/html"
+)
+
+func TestInvertFromAltText(t *testing.T) {
+	doc := html.Parse(`<img src="/i/1.jpg" alt="a red lighthouse on a rocky coast at sunset">`)
+	inv := Invert(doc.ByTag("img")[0])
+	if !strings.Contains(inv.Prompt, "lighthouse") || !strings.Contains(inv.Prompt, "rocky coast") {
+		t.Errorf("prompt = %q", inv.Prompt)
+	}
+	if inv.Fidelity < 0.5 {
+		t.Errorf("fidelity = %.2f for a rich alt text", inv.Fidelity)
+	}
+}
+
+func TestInvertFromCaption(t *testing.T) {
+	doc := html.Parse(`<figure><img src="/i/2.jpg"><figcaption>Morning fog over the old harbor</figcaption></figure>`)
+	inv := Invert(doc.ByTag("img")[0])
+	if !strings.Contains(inv.Prompt, "harbor") {
+		t.Errorf("prompt = %q, caption not used", inv.Prompt)
+	}
+}
+
+func TestInvertFromFileName(t *testing.T) {
+	doc := html.Parse(`<img src="/photos/alpine_lake-sunrise.jpg">`)
+	inv := Invert(doc.ByTag("img")[0])
+	if !strings.Contains(inv.Prompt, "alpine lake sunrise") {
+		t.Errorf("prompt = %q, filename hint not used", inv.Prompt)
+	}
+}
+
+func TestInvertNoSignal(t *testing.T) {
+	doc := html.Parse(`<img src="/i/IMG_0417.JPG">`)
+	inv := Invert(doc.ByTag("img")[0])
+	if inv.Fidelity > 0.3 {
+		t.Errorf("fidelity = %.2f for a signal-free image, want low", inv.Fidelity)
+	}
+}
+
+func TestFileNameHint(t *testing.T) {
+	cases := map[string]string{
+		"/photos/alpine_lake-sunrise.jpg": "alpine lake sunrise",
+		"/i/IMG_0417.JPG":                 "img 0417", // lowercased words but short id... see below
+		"/x/0417.png":                     "",
+		"":                                "",
+		"/a/b/c/x.png":                    "",
+	}
+	for in, want := range cases {
+		got := fileNameHint(in)
+		if in == "/i/IMG_0417.JPG" {
+			// Mixed id forms are acceptable either way; just require
+			// no crash and lowercase output.
+			if got != strings.ToLower(got) {
+				t.Errorf("hint(%q) = %q not lowercased", in, got)
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("hint(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSummarizeText(t *testing.T) {
+	text := "The council approved the plan. It will cost ninety million. Work starts in january!"
+	bullets, words := SummarizeText(text)
+	if len(bullets) != 3 {
+		t.Fatalf("%d bullets: %v", len(bullets), bullets)
+	}
+	if words != 14 {
+		t.Errorf("words = %d", words)
+	}
+	if !strings.Contains(bullets[0], "council") || !strings.Contains(bullets[0], "approved") {
+		t.Errorf("bullet 0 = %q", bullets[0])
+	}
+	// Stopwords dropped.
+	if strings.Contains(" "+bullets[0]+" ", " the ") {
+		t.Errorf("bullet 0 kept stopwords: %q", bullets[0])
+	}
+}
+
+func testPage() *html.Node {
+	return html.Parse(`<!DOCTYPE html><html><body>
+<img src="/stock/mountain-panorama-dawn.jpg" alt="panoramic mountain view at dawn with pink light on the peaks" width="512" height="512">
+<img src="/photos/me-at-summit.jpg" alt="the author at the summit" data-sww="unique">
+<img src="/x/0001.png">
+<p>` + strings.Repeat("The valley trail passes several historic farms and offers wide views over the river. ", 6) + `</p>
+<p>Short note.</p>
+<p data-sww="unique">Contact us at the address below for bookings and questions.</p>
+</body></html>`)
+}
+
+func TestConvertPage(t *testing.T) {
+	doc := testPage()
+	rep := Convert(doc, DefaultOptions(), map[string]int{
+		"/stock/mountain-panorama-dawn.jpg": 30_000,
+	})
+	if rep.ImagesConverted != 1 {
+		t.Errorf("images converted = %d, want 1", rep.ImagesConverted)
+	}
+	if rep.ImagesKept != 2 { // the tagged-unique photo and the signal-free one
+		t.Errorf("images kept = %d, want 2", rep.ImagesKept)
+	}
+	if rep.TextConverted != 1 {
+		t.Errorf("text converted = %d, want 1", rep.TextConverted)
+	}
+	if rep.TextKept != 2 { // the short note and the tagged-unique paragraph
+		t.Errorf("text kept = %d, want 2", rep.TextKept)
+	}
+	if rep.MeanFidelity < 0.5 {
+		t.Errorf("mean fidelity = %.2f", rep.MeanFidelity)
+	}
+
+	// The produced divs must parse back and carry accounting.
+	phs, errs := core.FindPlaceholders(doc)
+	if len(errs) != 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	if len(phs) != 2 {
+		t.Fatalf("%d placeholders", len(phs))
+	}
+	var img core.Placeholder
+	for _, ph := range phs {
+		if ph.Content.Type == core.ContentImage {
+			img = ph
+		}
+	}
+	if img.Content.Meta.OriginalBytes != 30_000 {
+		t.Errorf("original bytes = %d", img.Content.Meta.OriginalBytes)
+	}
+	if img.Content.Meta.Width != 512 {
+		t.Errorf("width = %d, want preserved 512", img.Content.Meta.Width)
+	}
+	// Unique content untouched.
+	if len(doc.ByTag("img")) != 2 {
+		t.Errorf("unique images = %d, want 2 kept", len(doc.ByTag("img")))
+	}
+	if !strings.Contains(html.RenderString(doc), "Contact us") {
+		t.Error("unique paragraph lost")
+	}
+}
+
+func TestConvertTaggedGeneratableWins(t *testing.T) {
+	// The CMS tag forces conversion even when heuristics would skip.
+	doc := html.Parse(`<img src="/x/0001.png" data-sww="generatable"><p data-sww="generatable">Tiny.</p>`)
+	rep := Convert(doc, DefaultOptions(), nil)
+	if rep.ImagesConverted != 1 || rep.TextConverted != 1 {
+		t.Errorf("converted %d/%d, want 1/1", rep.ImagesConverted, rep.TextConverted)
+	}
+}
+
+// TestConvertThenProcess is the full §4.2→§4.1 loop: convert a
+// traditional page, then run the client pipeline on the result.
+func TestConvertThenProcess(t *testing.T) {
+	doc := testPage()
+	Convert(doc, DefaultOptions(), nil)
+	proc, err := core.NewPageProcessor(device.Laptop, imagegen.SD3Medium, textgen.DeepSeek8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assets, report, err := proc.Process(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Items) != 2 {
+		t.Fatalf("%d generated items", len(report.Items))
+	}
+	if len(assets) != 1 {
+		t.Fatalf("%d image assets", len(assets))
+	}
+	// The regenerated text must carry the original's content words.
+	if !strings.Contains(html.RenderString(doc), "valley") {
+		t.Error("converted text lost content")
+	}
+}
+
+func TestConvertIdempotentOnSWWPages(t *testing.T) {
+	doc := testPage()
+	Convert(doc, DefaultOptions(), nil)
+	before := html.RenderString(doc)
+	rep := Convert(doc, DefaultOptions(), nil)
+	if rep.ImagesConverted != 0 || rep.TextConverted != 0 {
+		t.Errorf("second pass converted %d/%d, want 0/0",
+			rep.ImagesConverted, rep.TextConverted)
+	}
+	if html.RenderString(doc) != before {
+		t.Error("second conversion changed the page")
+	}
+}
+
+func TestAttrInt(t *testing.T) {
+	doc := html.Parse(`<img width="300" height="abc">`)
+	img := doc.ByTag("img")[0]
+	if got := attrInt(img, "width", 256); got != 300 {
+		t.Errorf("width = %d", got)
+	}
+	if got := attrInt(img, "height", 256); got != 256 {
+		t.Errorf("bad height should fall back: %d", got)
+	}
+	if got := attrInt(img, "missing", 128); got != 128 {
+		t.Errorf("missing attr = %d", got)
+	}
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"sww/internal/device"
+	"sww/internal/genai"
+	"sww/internal/html"
+	"sww/internal/http2"
+	"sww/internal/http3"
+)
+
+// htmlRender is a tiny alias keeping server.go readable.
+func htmlRender(n *html.Node) string { return html.RenderString(n) }
+
+// clientConn abstracts the transport beneath the generative client,
+// so the same client logic runs over HTTP/2 and HTTP/3 (§3.1).
+type clientConn interface {
+	Negotiated() http2.GenAbility
+	ServerModelIDs() (image, text uint32)
+	// fetch GETs one path and returns status, the x-sww-mode header
+	// and the full body.
+	fetch(path string) (status int, mode string, body []byte, err error)
+	Close() error
+}
+
+// h2conn adapts http2.ClientConn.
+type h2conn struct{ cc *http2.ClientConn }
+
+func (c h2conn) Negotiated() http2.GenAbility     { return c.cc.Negotiated() }
+func (c h2conn) ServerModelIDs() (uint32, uint32) { return c.cc.ServerModelIDs() }
+func (c h2conn) Close() error                     { return c.cc.Close() }
+func (c h2conn) fetch(path string) (int, string, []byte, error) {
+	resp, err := c.cc.Get(path)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	body, err := http2.ReadAllBody(resp)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.Status, resp.HeaderValue(ModeHeader), body, nil
+}
+
+// h3conn adapts http3.ClientConn.
+type h3conn struct{ cc *http3.ClientConn }
+
+func (c h3conn) Negotiated() http2.GenAbility     { return c.cc.Negotiated() }
+func (c h3conn) ServerModelIDs() (uint32, uint32) { return c.cc.ServerModelIDs() }
+func (c h3conn) Close() error                     { return c.cc.Close() }
+func (c h3conn) fetch(path string) (int, string, []byte, error) {
+	resp, err := c.cc.Get(path)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.Status, resp.HeaderValue(ModeHeader), resp.Body, nil
+}
+
+// A Client is the §5.2 generative client: it connects, advertises its
+// generation ability, requests pages, generates placeholder content
+// locally, and "renders" the result (this prototype renders to a
+// final HTML string plus an asset map instead of a GUI).
+type Client struct {
+	conn clientConn
+	dev  device.Profile
+	proc *PageProcessor // nil for a traditional client
+}
+
+// NewClient performs connection setup over nc. A nil processor makes
+// a traditional (non-generative) client; otherwise the client
+// advertises full generation plus upscaling ability.
+func NewClient(nc net.Conn, dev device.Profile, proc *PageProcessor) (*Client, error) {
+	ability := http2.GenNone
+	if proc != nil {
+		ability = http2.GenFull | http2.GenUpscaleOnly
+	}
+	return NewClientWithAbility(nc, dev, proc, ability)
+}
+
+// NewClientWithAbility is NewClient with an explicit advertised
+// ability, for partial clients such as §3's upscale-only devices
+// (pass GenBasic|GenUpscaleOnly with a processor that has no
+// generation models).
+//
+// Model negotiation (§7): the client advertises its pipeline's models
+// and, when the server advertises models the client also has locally,
+// adopts them — server prompts are tuned for those models.
+func NewClientWithAbility(nc net.Conn, dev device.Profile, proc *PageProcessor, ability http2.GenAbility) (*Client, error) {
+	cfg := http2.Config{GenAbility: ability}
+	if proc != nil && proc.Pipeline != nil {
+		if m := proc.Pipeline.ImageModel(); m != nil {
+			cfg.ImageModelID = genai.ModelID(m.Name())
+		}
+		if m := proc.Pipeline.TextModel(); m != nil {
+			cfg.TextModelID = genai.ModelID(m.Name())
+		}
+	}
+	cc, err := http2.NewClientConn(nc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: h2conn{cc}, dev: dev, proc: proc}
+	c.adoptServerModels()
+	return c, nil
+}
+
+// NewClientH3 is NewClient over the HTTP/3 mapping (§3.1): the same
+// SWW client logic with the negotiation carried on the QUIC control
+// stream's SETTINGS.
+func NewClientH3(nc net.Conn, dev device.Profile, proc *PageProcessor) (*Client, error) {
+	ability := http2.GenNone
+	cfg := http3.Config{}
+	if proc != nil {
+		ability = http2.GenFull | http2.GenUpscaleOnly
+		if proc.Pipeline != nil {
+			if m := proc.Pipeline.ImageModel(); m != nil {
+				cfg.ImageModelID = genai.ModelID(m.Name())
+			}
+			if m := proc.Pipeline.TextModel(); m != nil {
+				cfg.TextModelID = genai.ModelID(m.Name())
+			}
+		}
+	}
+	cfg.GenAbility = ability
+	cc, err := http3.NewClientConn(nc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: h3conn{cc}, dev: dev, proc: proc}
+	c.adoptServerModels()
+	return c, nil
+}
+
+// adoptServerModels swaps the local pipeline to the server's
+// advertised models when they are locally available and can run on
+// this device class.
+func (c *Client) adoptServerModels() {
+	if c.proc == nil || c.proc.Pipeline == nil {
+		return
+	}
+	imgID, txtID := c.conn.ServerModelIDs()
+	cur := c.proc.Pipeline
+	imgName, txtName := "", ""
+	if m := cur.ImageModel(); m != nil {
+		imgName = m.Name()
+	}
+	if m := cur.TextModel(); m != nil {
+		txtName = m.Name()
+	}
+	changed := false
+	if imgID != 0 {
+		if m, ok := genai.ImageModelByID(imgID); ok && m.Name() != imgName && !m.ServerOnly() {
+			imgName = m.Name()
+			changed = true
+		}
+	}
+	if txtID != 0 {
+		if m, ok := genai.TextModelByID(txtID); ok && m.Name() != txtName {
+			txtName = m.Name()
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	if pl, err := genai.NewPipeline(c.dev.Class, imgName, txtName); err == nil {
+		c.proc.Pipeline = pl
+	}
+}
+
+// Models reports the pipeline models the client currently uses
+// (empty strings for missing modalities).
+func (c *Client) Models() (image, text string) {
+	if c.proc == nil || c.proc.Pipeline == nil {
+		return "", ""
+	}
+	if m := c.proc.Pipeline.ImageModel(); m != nil {
+		image = m.Name()
+	}
+	if m := c.proc.Pipeline.TextModel(); m != nil {
+		text = m.Name()
+	}
+	return image, text
+}
+
+// Negotiated exposes the connection's shared ability.
+func (c *Client) Negotiated() http2.GenAbility { return c.conn.Negotiated() }
+
+// Close shuts the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// A FetchResult is one fully rendered page with its accounting.
+type FetchResult struct {
+	// Mode is what the server chose: generative or traditional.
+	Mode string
+
+	// HTML is the final rendered document (prompts replaced).
+	HTML string
+
+	// Assets maps served or generated asset paths to their bytes.
+	Assets map[string][]byte
+
+	// WireBytes is everything that crossed the network: HTML plus all
+	// fetched assets. The SWW savings show up here.
+	WireBytes int
+
+	// Report is the client-side generation accounting (nil in
+	// traditional mode).
+	Report *ProcessReport
+
+	// TransmitEnergyWh is the network-side energy for WireBytes at
+	// the paper's 0.038 Wh/MB.
+	TransmitEnergyWh float64
+
+	// TransmitTime is the link time for WireBytes on this device.
+	TransmitTime time.Duration
+}
+
+// TotalSimTime returns transmit time plus on-device generation time.
+func (r *FetchResult) TotalSimTime() time.Duration {
+	t := r.TransmitTime
+	if r.Report != nil {
+		t += r.Report.SimGenTime
+	}
+	return t
+}
+
+// Fetch requests path, resolves the page per the negotiated mode, and
+// fetches every referenced same-site asset.
+func (c *Client) Fetch(path string) (*FetchResult, error) {
+	status, mode, body, err := c.conn.fetch(path)
+	if err != nil {
+		return nil, err
+	}
+	if status != 200 {
+		return nil, fmt.Errorf("core: GET %s: status %d: %s", path, status, body)
+	}
+	res := &FetchResult{
+		Mode:      mode,
+		Assets:    map[string][]byte{},
+		WireBytes: len(body),
+	}
+	doc := html.Parse(string(body))
+
+	if res.Mode == ModeGenerative {
+		if c.proc == nil {
+			return nil, fmt.Errorf("core: server sent generative content to a non-generative client")
+		}
+		// Upscale placeholders pull their low-resolution sources over
+		// this connection; their bytes count toward the wire total.
+		c.proc.FetchAsset = func(srcPath string) ([]byte, error) {
+			data, err := c.getAsset(srcPath)
+			if err != nil {
+				return nil, err
+			}
+			res.WireBytes += len(data)
+			return data, nil
+		}
+		assets, report, err := c.proc.Process(doc)
+		c.proc.FetchAsset = nil
+		if err != nil {
+			return nil, err
+		}
+		for p, data := range assets {
+			res.Assets[p] = data
+		}
+		res.Report = report
+	}
+
+	// Fetch remaining referenced assets (unique content in both
+	// modes; originals/server-generated media in traditional mode).
+	for _, src := range AssetPaths(doc) {
+		if _, generatedLocally := res.Assets[src]; generatedLocally {
+			continue
+		}
+		adata, err := c.getAsset(src)
+		if err != nil {
+			return nil, err
+		}
+		res.Assets[src] = adata
+		res.WireBytes += len(adata)
+	}
+
+	res.HTML = html.RenderString(doc)
+	res.TransmitEnergyWh = device.TransmitEnergyWh(int64(res.WireBytes))
+	res.TransmitTime = c.dev.TransmitTime(int64(res.WireBytes))
+	return res, nil
+}
+
+// getAsset GETs one same-site asset over the connection.
+func (c *Client) getAsset(path string) ([]byte, error) {
+	status, _, data, err := c.conn.fetch(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: fetching asset %s: %w", path, err)
+	}
+	if status != 200 {
+		return nil, fmt.Errorf("core: asset %s: status %d", path, status)
+	}
+	return data, nil
+}

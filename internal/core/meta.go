@@ -1,0 +1,211 @@
+// Package core implements the SWW engine of the paper: the
+// generated-content page representation (§4.1), the client-side
+// pipeline that turns prompt divs into media, the generative server
+// and client (§5) built on internal/http2's capability negotiation,
+// and the compression/energy accounting of §6.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"sww/internal/html"
+)
+
+// ContentType identifies what a generated-content division produces.
+// The prototype supports "img" and "txt" (§4.1).
+type ContentType string
+
+const (
+	// ContentImage is a text-to-image placeholder.
+	ContentImage ContentType = "img"
+	// ContentText is a text-to-text expansion placeholder.
+	ContentText ContentType = "txt"
+	// ContentUpscale is a §2.2 upscaling placeholder: the server
+	// stores and ships a low-resolution image; the client synthesizes
+	// the high-resolution version ("content upscaling is also usually
+	// faster than content generation").
+	ContentUpscale ContentType = "img-upscale"
+)
+
+// GeneratedClass is the HTML class that marks a generated-content
+// division (§4.1: "a class called generated content which has two
+// fields: content-type and metadata").
+const GeneratedClass = "generated-content"
+
+// Attribute names on a generated-content div.
+const (
+	attrContentType = "content-type"
+	attrMetadata    = "metadata"
+)
+
+// Metadata is the JSON dictionary carried by a generated-content div.
+// "Examples of metadata fields include the prompt or width and height
+// for images. These metadata fields vary between different types of
+// content." (§4.1)
+type Metadata struct {
+	// Prompt drives image generation and, for text, optionally
+	// prefixes the bullets.
+	Prompt string `json:"prompt,omitempty"`
+
+	// Name labels the content; generated image files are stored
+	// under it.
+	Name string `json:"name,omitempty"`
+
+	// Width and Height apply to images.
+	Width  int `json:"width,omitempty"`
+	Height int `json:"height,omitempty"`
+
+	// Steps overrides the diffusion step count (0 = default).
+	Steps int `json:"steps,omitempty"`
+
+	// Bullets carry the §2.1 lossless text form: "route-specific text
+	// is ... turned into bullet points that can be used in a prompt
+	// to generate the relevant text without loss of information".
+	Bullets []string `json:"bullets,omitempty"`
+
+	// Words is the requested expansion length for text content.
+	Words int `json:"words,omitempty"`
+
+	// OriginalBytes records the size of the media this placeholder
+	// replaced, for compression accounting against the original.
+	OriginalBytes int `json:"original_bytes,omitempty"`
+
+	// Src is the low-resolution source asset for upscale content.
+	Src string `json:"src,omitempty"`
+
+	// Scale is the integer upscale factor (≥2) for upscale content.
+	Scale int `json:"scale,omitempty"`
+
+	// ExpectedAlignment, when nonzero, is the §7 trust mechanism: the
+	// minimum prompt–content alignment the author attests the prompt
+	// achieves. Clients verify their generation against it and flag
+	// content that diverged ("verifying generated content on end-user
+	// devices").
+	ExpectedAlignment float64 `json:"expected_alignment,omitempty"`
+}
+
+// A GeneratedContent is the decoded form of one placeholder.
+type GeneratedContent struct {
+	Type ContentType
+	Meta Metadata
+}
+
+// WireSize returns the number of bytes this placeholder costs on the
+// wire: the JSON metadata plus the content-type attribute value.
+func (g GeneratedContent) WireSize() int {
+	b, _ := json.Marshal(g.Meta)
+	return len(b) + len(g.Type)
+}
+
+// ContentSize returns the paper's metadata accounting: the raw
+// information content without JSON syntax. For images this is
+// prompt + name + 4 B each for width and height (the paper's worst
+// case: 400 + 20 + 4 + 4 = 428 B); for text it is the bullets plus
+// name plus a 4 B length field. Figure 2's 8.92 kB and the Table 2
+// metadata column use this measure; WireSize reports what the
+// prototype's JSON encoding actually ships.
+func (g GeneratedContent) ContentSize() int {
+	switch g.Type {
+	case ContentImage:
+		return len(g.Meta.Prompt) + len(g.Meta.Name) + 8
+	case ContentText:
+		n := len(g.Meta.Name) + 4
+		for _, b := range g.Meta.Bullets {
+			n += len(b)
+		}
+		return n + len(g.Meta.Prompt)
+	case ContentUpscale:
+		return len(g.Meta.Src) + len(g.Meta.Name) + 4
+	}
+	return 0
+}
+
+// Div renders the placeholder as its HTML division (Figure 1, top).
+func (g GeneratedContent) Div() (*html.Node, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	meta, err := json.Marshal(g.Meta)
+	if err != nil {
+		return nil, err
+	}
+	return html.NewElement("div",
+		html.Attribute{Name: "class", Value: GeneratedClass},
+		html.Attribute{Name: attrContentType, Value: string(g.Type)},
+		html.Attribute{Name: attrMetadata, Value: string(meta)},
+	), nil
+}
+
+func (g GeneratedContent) validate() error {
+	switch g.Type {
+	case ContentImage:
+		if g.Meta.Prompt == "" {
+			return fmt.Errorf("core: image content %q has no prompt", g.Meta.Name)
+		}
+	case ContentText:
+		if len(g.Meta.Bullets) == 0 && g.Meta.Prompt == "" {
+			return fmt.Errorf("core: text content %q has neither bullets nor prompt", g.Meta.Name)
+		}
+	case ContentUpscale:
+		if g.Meta.Src == "" {
+			return fmt.Errorf("core: upscale content %q has no src", g.Meta.Name)
+		}
+		if g.Meta.Scale < 2 {
+			return fmt.Errorf("core: upscale content %q has scale %d, want ≥2", g.Meta.Name, g.Meta.Scale)
+		}
+	default:
+		return fmt.Errorf("core: unsupported content type %q", g.Type)
+	}
+	return nil
+}
+
+// ParseGeneratedDiv decodes a generated-content div.
+func ParseGeneratedDiv(n *html.Node) (GeneratedContent, error) {
+	var g GeneratedContent
+	if n.Type != html.ElementNode || !n.HasClass(GeneratedClass) {
+		return g, fmt.Errorf("core: node is not a generated-content div")
+	}
+	ct, ok := n.AttrValue(attrContentType)
+	if !ok {
+		return g, fmt.Errorf("core: generated-content div missing content-type")
+	}
+	g.Type = ContentType(strings.ToLower(ct))
+	raw, ok := n.AttrValue(attrMetadata)
+	if !ok {
+		return g, fmt.Errorf("core: generated-content div missing metadata")
+	}
+	if err := json.Unmarshal([]byte(raw), &g.Meta); err != nil {
+		return g, fmt.Errorf("core: bad metadata JSON: %w", err)
+	}
+	if err := g.validate(); err != nil {
+		return g, err
+	}
+	return g, nil
+}
+
+// A Placeholder pairs a generated-content div in a document with its
+// decoded metadata.
+type Placeholder struct {
+	Node    *html.Node
+	Content GeneratedContent
+}
+
+// FindPlaceholders extracts every generated-content division under
+// root, in document order. Divs with malformed metadata are returned
+// in the error slice but do not abort extraction (the page must still
+// render).
+func FindPlaceholders(root *html.Node) ([]Placeholder, []error) {
+	var out []Placeholder
+	var errs []error
+	for _, n := range root.ByClass(GeneratedClass) {
+		gc, err := ParseGeneratedDiv(n)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		out = append(out, Placeholder{Node: n, Content: gc})
+	}
+	return out, errs
+}

@@ -1,0 +1,122 @@
+package core
+
+// Personalized content, paper §2.3: "Generating content on end-user
+// devices also means that there is an opportunity to generate
+// personalized content on these devices. The generation algorithm can
+// use as an input information about users' background, preferences
+// and hobbies..."
+//
+// The paper flags this as a double-edged feature — engagement up,
+// echo-chamber risk up — and "urge[s] the wider web community to
+// consider the harms". Both edges are implemented here: a
+// Personalizer that biases prompts toward a user profile, and an
+// EchoChamberIndex that quantifies how far personalization pulls a
+// page's content toward that profile, so the harm is measurable
+// rather than hypothetical.
+
+import (
+	"strings"
+
+	"sww/internal/metrics"
+)
+
+// A UserProfile is the on-device preference record personalization
+// conditions on. It never leaves the device: under SWW the *client*
+// personalizes, which is the privacy argument for edge generation.
+type UserProfile struct {
+	// Interests are topics the user engages with.
+	Interests []string
+	// Tone is a stylistic preference folded into text prompts.
+	Tone string
+}
+
+// Embedding returns the profile's position in the shared feature
+// space.
+func (p UserProfile) Embedding() []float64 {
+	return metrics.EmbedText(strings.Join(p.Interests, " "))
+}
+
+// A Personalizer rewrites generated-content metadata before
+// generation. Strength in [0,1] controls how hard prompts are pulled
+// toward the profile (0 disables personalization).
+type Personalizer struct {
+	Profile  UserProfile
+	Strength float64
+}
+
+// Rewrite returns a personalized copy of gc. Image prompts gain
+// interest modifiers; text expansions gain interest-flavored bullets
+// and the profile's tone. Unique and upscale content is never
+// personalized (there is nothing to regenerate).
+func (pz *Personalizer) Rewrite(gc GeneratedContent) GeneratedContent {
+	if pz == nil || pz.Strength <= 0 || len(pz.Profile.Interests) == 0 {
+		return gc
+	}
+	n := int(pz.Strength*float64(len(pz.Profile.Interests)) + 0.5)
+	if n == 0 {
+		n = 1
+	}
+	if n > len(pz.Profile.Interests) {
+		n = len(pz.Profile.Interests)
+	}
+	picked := pz.Profile.Interests[:n]
+	out := gc
+	out.Meta = gc.Meta // struct copy; slices below are replaced, not mutated
+	switch gc.Type {
+	case ContentImage:
+		out.Meta.Prompt = gc.Meta.Prompt + ", featuring " + strings.Join(picked, " and ")
+	case ContentText:
+		bullets := append([]string(nil), gc.Meta.Bullets...)
+		for _, interest := range picked {
+			bullets = append(bullets, "connections to "+interest+" the reader cares about")
+		}
+		out.Meta.Bullets = bullets
+		if pz.Profile.Tone != "" {
+			out.Meta.Prompt = strings.TrimSpace(gc.Meta.Prompt + " in a " + pz.Profile.Tone + " tone")
+		}
+	}
+	return out
+}
+
+// PersonalizeDoc rewrites every placeholder in doc in place and
+// returns how many were personalized.
+func (pz *Personalizer) PersonalizeDoc(phs []Placeholder) int {
+	changed := 0
+	for _, ph := range phs {
+		rewritten := pz.Rewrite(ph.Content)
+		if rewritten.Meta.Prompt == ph.Content.Meta.Prompt &&
+			len(rewritten.Meta.Bullets) == len(ph.Content.Meta.Bullets) {
+			continue
+		}
+		div, err := rewritten.Div()
+		if err != nil {
+			continue
+		}
+		ph.Node.Parent.ReplaceChild(ph.Node, div)
+		changed++
+	}
+	return changed
+}
+
+// EchoChamberIndex measures how strongly a set of generated items
+// gravitates toward a user profile: the mean cosine between the
+// profile embedding and each item's content embedding, in [0,1]
+// (negative alignments clamp to 0). Comparing the index of a
+// personalized page against its neutral rendering quantifies the
+// §2.3 harm: values drifting toward 1 mean the user increasingly
+// sees only their own interests.
+func EchoChamberIndex(profile UserProfile, texts []string) float64 {
+	pe := profile.Embedding()
+	if len(texts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range texts {
+		c := metrics.Cosine(pe, metrics.EmbedText(t))
+		if c < 0 {
+			c = 0
+		}
+		sum += c
+	}
+	return sum / float64(len(texts))
+}

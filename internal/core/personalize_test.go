@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sww/internal/html"
+)
+
+func hikerProfile() UserProfile {
+	return UserProfile{
+		Interests: []string{"mountain hiking", "wildlife photography", "alpine huts"},
+		Tone:      "enthusiastic",
+	}
+}
+
+func TestPersonalizerRewriteImage(t *testing.T) {
+	pz := &Personalizer{Profile: hikerProfile(), Strength: 1}
+	gc := GeneratedContent{
+		Type: ContentImage,
+		Meta: Metadata{Prompt: "a scenic valley", Name: "v"},
+	}
+	out := pz.Rewrite(gc)
+	if !strings.Contains(out.Meta.Prompt, "mountain hiking") {
+		t.Errorf("prompt = %q, interests not folded in", out.Meta.Prompt)
+	}
+	if !strings.HasPrefix(out.Meta.Prompt, "a scenic valley") {
+		t.Error("original prompt lost")
+	}
+	// The input must not be mutated.
+	if gc.Meta.Prompt != "a scenic valley" {
+		t.Error("Rewrite mutated its input")
+	}
+}
+
+func TestPersonalizerRewriteText(t *testing.T) {
+	pz := &Personalizer{Profile: hikerProfile(), Strength: 0.5}
+	gc := GeneratedContent{
+		Type: ContentText,
+		Meta: Metadata{Name: "t", Bullets: []string{"weather warning issued"}},
+	}
+	out := pz.Rewrite(gc)
+	if len(out.Meta.Bullets) <= len(gc.Meta.Bullets) {
+		t.Error("no interest bullets added")
+	}
+	if !strings.Contains(out.Meta.Prompt, "enthusiastic") {
+		t.Errorf("tone missing: %q", out.Meta.Prompt)
+	}
+	if len(gc.Meta.Bullets) != 1 {
+		t.Error("input bullets mutated")
+	}
+}
+
+func TestPersonalizerStrengthZero(t *testing.T) {
+	pz := &Personalizer{Profile: hikerProfile(), Strength: 0}
+	gc := GeneratedContent{Type: ContentImage, Meta: Metadata{Prompt: "x", Name: "n"}}
+	if out := pz.Rewrite(gc); out.Meta.Prompt != "x" {
+		t.Error("strength 0 should not personalize")
+	}
+	var nilPz *Personalizer
+	if out := nilPz.Rewrite(gc); out.Meta.Prompt != "x" {
+		t.Error("nil personalizer should not personalize")
+	}
+}
+
+func TestPersonalizerSkipsUpscale(t *testing.T) {
+	pz := &Personalizer{Profile: hikerProfile(), Strength: 1}
+	gc := GeneratedContent{
+		Type: ContentUpscale,
+		Meta: Metadata{Name: "p", Src: "/lowres/p.png", Scale: 2},
+	}
+	out := pz.Rewrite(gc)
+	if out.Meta.Prompt != "" || out.Meta.Src != gc.Meta.Src {
+		t.Error("upscale content must not be personalized")
+	}
+}
+
+func TestPersonalizeDoc(t *testing.T) {
+	gc := GeneratedContent{
+		Type: ContentImage,
+		Meta: Metadata{Prompt: "a city street at night", Name: "street"},
+	}
+	div, err := gc.Div()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := html.Parse("<body></body>")
+	doc.ByTag("body")[0].AppendChild(div)
+
+	pz := &Personalizer{Profile: hikerProfile(), Strength: 1}
+	phs, _ := FindPlaceholders(doc)
+	if n := pz.PersonalizeDoc(phs); n != 1 {
+		t.Fatalf("personalized %d, want 1", n)
+	}
+	phs2, errs := FindPlaceholders(doc)
+	if len(errs) != 0 || len(phs2) != 1 {
+		t.Fatalf("rewritten div does not parse: %v", errs)
+	}
+	if !strings.Contains(phs2[0].Content.Meta.Prompt, "mountain hiking") {
+		t.Errorf("prompt = %q", phs2[0].Content.Meta.Prompt)
+	}
+}
+
+// TestEchoChamberIndex quantifies the §2.3 harm: personalized content
+// must measurably drift toward the profile.
+func TestEchoChamberIndex(t *testing.T) {
+	profile := hikerProfile()
+	neutral := []string{
+		"a city street at night with neon signs",
+		"the council approved a new budget for road maintenance",
+		"a bowl of fresh fruit on a wooden table",
+	}
+	pz := &Personalizer{Profile: profile, Strength: 1}
+	var personalized []string
+	for _, n := range neutral {
+		out := pz.Rewrite(GeneratedContent{Type: ContentImage, Meta: Metadata{Prompt: n, Name: "x"}})
+		personalized = append(personalized, out.Meta.Prompt)
+	}
+	ni := EchoChamberIndex(profile, neutral)
+	pi := EchoChamberIndex(profile, personalized)
+	if pi <= ni {
+		t.Errorf("echo chamber index did not rise: neutral %.3f vs personalized %.3f", ni, pi)
+	}
+	if pi-ni < 0.1 {
+		t.Errorf("personalization drift only %.3f, too weak to measure", pi-ni)
+	}
+	if EchoChamberIndex(profile, nil) != 0 {
+		t.Error("empty content should index 0")
+	}
+}

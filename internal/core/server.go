@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"sww/internal/device"
+	"sww/internal/genai"
+	"sww/internal/hpack"
+	"sww/internal/http2"
+	"sww/internal/http3"
+)
+
+// ServePolicy decides how the server answers a capable client (§5.1:
+// "A server can choose to serve traditional content even if the
+// client supports generative ability, for example to provide higher
+// performance or based on the availability of renewable energy.").
+type ServePolicy int
+
+const (
+	// PolicyGenerative serves prompts whenever the client can
+	// generate (the SWW default).
+	PolicyGenerative ServePolicy = iota
+	// PolicyTraditional always serves fully rendered content.
+	PolicyTraditional
+)
+
+// Mode names appear in the x-sww-mode response header so clients and
+// experiments can verify the negotiated path.
+const (
+	ModeHeader      = "x-sww-mode"
+	ModeGenerative  = "generative"
+	ModeTraditional = "traditional"
+)
+
+// A Server is the §5.1 generative server: it negotiates generative
+// ability through SETTINGS_GEN_ABILITY and serves each page in prompt
+// form or traditional form accordingly.
+type Server struct {
+	// Ability is advertised to clients. GenFull by default.
+	Ability http2.GenAbility
+
+	// Policy selects the answer for capable clients.
+	Policy ServePolicy
+
+	// ServerDevice runs server-side generation for non-capable
+	// clients (§6.2: "the server uses the prompt to generate the
+	// content before sending it"). The paper's edge server is the
+	// workstation.
+	serverProc *PageProcessor
+
+	mu     sync.RWMutex
+	pages  map[string]*Page
+	assets map[string]Asset
+	// genCache holds server-side generated traditional forms so
+	// repeat requests do not regenerate (the storage/transmission
+	// trade-off of §2.2 applies per unique object).
+	genCache map[string]*servedTraditional
+
+	h2 *http2.Server
+}
+
+type servedTraditional struct {
+	html   string
+	assets map[string][]byte
+	report *ProcessReport
+}
+
+// NewServer builds a generative server. imageModel/textModel
+// configure the server-side generation pipeline used for
+// non-generative clients; empty strings disable that path (such a
+// server can still serve pages whose originals are stored).
+func NewServer(imageModel, textModel string) (*Server, error) {
+	s := &Server{
+		Ability:  http2.GenFull | http2.GenUpscaleOnly,
+		pages:    map[string]*Page{},
+		assets:   map[string]Asset{},
+		genCache: map[string]*servedTraditional{},
+	}
+	if imageModel != "" || textModel != "" {
+		proc, err := NewPageProcessor(device.Workstation, imageModel, textModel)
+		if err != nil {
+			return nil, err
+		}
+		s.serverProc = proc
+	}
+	cfg := http2.Config{GenAbility: s.Ability}
+	// §7 model negotiation: advertise the models this site's prompts
+	// are tuned for, so capable clients can align.
+	if s.serverProc != nil && s.serverProc.Pipeline != nil {
+		if m := s.serverProc.Pipeline.ImageModel(); m != nil {
+			cfg.ImageModelID = genai.ModelID(m.Name())
+		}
+		if m := s.serverProc.Pipeline.TextModel(); m != nil {
+			cfg.TextModelID = genai.ModelID(m.Name())
+		}
+	}
+	s.h2 = &http2.Server{
+		Handler: http2.HandlerFunc(s.serve),
+		Config:  cfg,
+	}
+	return s, nil
+}
+
+// AddPage registers a page and its assets.
+func (s *Server) AddPage(p *Page) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages[p.Path] = p
+	for _, a := range p.Unique {
+		s.assets[a.Path] = a
+	}
+	for _, a := range p.Originals {
+		s.assets[a.Path] = a
+	}
+}
+
+// Page returns a registered page.
+func (s *Server) Page(path string) (*Page, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.pages[path]
+	return p, ok
+}
+
+// StorageBytes reports the server's storage footprint in SWW form
+// (prompt pages + unique assets only) and in traditional form
+// (pages rendered plus all original media) — the §2.1 storage
+// benefit.
+func (s *Server) StorageBytes() (sww, traditional int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, p := range s.pages {
+		sww += int64(p.SWWWireBytes())
+		for _, a := range p.Unique {
+			sww += int64(len(a.Data))
+			traditional += int64(len(a.Data))
+		}
+		if doc, err := p.TraditionalDoc(); err == nil {
+			traditional += int64(len(htmlRender(doc)))
+		} else {
+			traditional += int64(p.SWWWireBytes())
+		}
+		for _, a := range p.Originals {
+			traditional += int64(len(a.Data))
+		}
+	}
+	return sww, traditional
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error { return s.h2.Serve(l) }
+
+// ServeConn serves one connection, blocking until it dies.
+func (s *Server) ServeConn(c net.Conn) error { return s.h2.ServeConn(c) }
+
+// StartConn serves one connection in the background; it never blocks.
+func (s *Server) StartConn(c net.Conn) *http2.ServerConn { return s.h2.StartConn(c) }
+
+// SetConfig overrides the underlying HTTP/2 config (ability, windows)
+// before any connection is served.
+func (s *Server) SetConfig(cfg http2.Config) { s.h2.Config = cfg }
+
+// payload is the protocol-agnostic form of one response; the HTTP/2
+// and HTTP/3 adapters serialize it with their own header encodings.
+type payload struct {
+	status      int
+	contentType string
+	mode        string // ModeGenerative / ModeTraditional, "" for assets
+	body        []byte
+}
+
+// resolve is the protocol-agnostic request entry point: it implements
+// the SWW serving decision for a peer with the given negotiated
+// ability, regardless of whether the bytes travel over HTTP/2 or
+// HTTP/3.
+func (s *Server) resolve(method, path string, peerGen http2.GenAbility) payload {
+	if method != "GET" {
+		return payload{status: 405, contentType: "text/plain", body: []byte("method not allowed")}
+	}
+	s.mu.RLock()
+	asset, isAsset := s.assets[path]
+	page, isPage := s.pages[path]
+	s.mu.RUnlock()
+
+	switch {
+	case isAsset:
+		ct := asset.ContentType
+		if ct == "" {
+			ct = "application/octet-stream"
+		}
+		return payload{status: 200, contentType: ct, body: asset.Data}
+
+	case isPage:
+		generative := s.Policy == PolicyGenerative &&
+			peerGen.Supports(http2.GenBasic) &&
+			peerGen.Supports(page.Requirements())
+		if generative {
+			return payload{
+				status:      200,
+				contentType: "text/html; charset=utf-8",
+				mode:        ModeGenerative,
+				body:        []byte(page.HTML()),
+			}
+		}
+		return s.resolveTraditional(page)
+
+	default:
+		return payload{status: 404, contentType: "text/plain",
+			body: []byte(fmt.Sprintf("no such path %q", path))}
+	}
+}
+
+// resolveTraditional materializes fully rendered content: originals
+// when the page stores them, otherwise server-side generation from
+// the prompts.
+func (s *Server) resolveTraditional(p *Page) payload {
+	if len(p.Originals) > 0 {
+		if doc, err := p.TraditionalDoc(); err == nil {
+			return payload{
+				status:      200,
+				contentType: "text/html; charset=utf-8",
+				mode:        ModeTraditional,
+				body:        []byte(htmlRender(doc)),
+			}
+		}
+	}
+	st, err := s.generateTraditional(p)
+	if err != nil {
+		return payload{status: 500, contentType: "text/plain",
+			body: []byte(fmt.Sprintf("server-side generation failed: %v", err))}
+	}
+	return payload{
+		status:      200,
+		contentType: "text/html; charset=utf-8",
+		mode:        ModeTraditional,
+		body:        []byte(st.html),
+	}
+}
+
+// serve adapts resolve to HTTP/2.
+func (s *Server) serve(w *http2.ResponseWriter, r *http2.Request) {
+	pl := s.resolve(r.Method, r.Path, r.PeerGen)
+	fields := []hpack.HeaderField{
+		{Name: "content-type", Value: pl.contentType},
+		{Name: "content-length", Value: fmt.Sprint(len(pl.body))},
+	}
+	if pl.mode != "" {
+		fields = append(fields, hpack.HeaderField{Name: ModeHeader, Value: pl.mode})
+	}
+	w.WriteHeaders(pl.status, fields...)
+	w.Write(pl.body)
+}
+
+// serveH3 adapts resolve to HTTP/3.
+func (s *Server) serveH3(w *http3.ResponseWriter, r *http3.Request) {
+	pl := s.resolve(r.Method, r.Path, r.PeerGen)
+	fields := []http3.Field{{Name: "content-type", Value: pl.contentType}}
+	if pl.mode != "" {
+		fields = append(fields, http3.Field{Name: ModeHeader, Value: pl.mode})
+	}
+	w.WriteHeaders(pl.status, fields...)
+	w.Write(pl.body)
+}
+
+// H3Server returns an HTTP/3 server serving this site (§3.1: the
+// same SWW semantics over the HTTP/3 mapping).
+func (s *Server) H3Server() *http3.Server {
+	cfg := http3.Config{GenAbility: s.Ability}
+	if s.serverProc != nil && s.serverProc.Pipeline != nil {
+		if m := s.serverProc.Pipeline.ImageModel(); m != nil {
+			cfg.ImageModelID = genai.ModelID(m.Name())
+		}
+		if m := s.serverProc.Pipeline.TextModel(); m != nil {
+			cfg.TextModelID = genai.ModelID(m.Name())
+		}
+	}
+	return &http3.Server{Handler: http3.HandlerFunc(s.serveH3), Config: cfg}
+}
+
+// StartConnH3 serves one connection over HTTP/3 in the background.
+func (s *Server) StartConnH3(c net.Conn) *http3.ServerConn {
+	return s.H3Server().StartConn(c)
+}
+
+// generateTraditional materializes a page server-side and caches the
+// result, exposing generated media as served assets.
+func (s *Server) generateTraditional(p *Page) (*servedTraditional, error) {
+	s.mu.RLock()
+	cached, ok := s.genCache[p.Path]
+	s.mu.RUnlock()
+	if ok {
+		return cached, nil
+	}
+	if s.serverProc == nil {
+		return nil, fmt.Errorf("core: server has no generation pipeline and page %q has no originals", p.Path)
+	}
+	doc := p.Doc.Clone()
+	assets, report, err := s.serverProc.Process(doc)
+	if err != nil {
+		return nil, err
+	}
+	st := &servedTraditional{html: htmlRender(doc), assets: assets, report: report}
+	s.mu.Lock()
+	s.genCache[p.Path] = st
+	for path, data := range assets {
+		s.assets[path] = Asset{Path: path, ContentType: "image/png", Data: data}
+	}
+	s.mu.Unlock()
+	return st, nil
+}
+
+// ServerGenReport returns the accumulated server-side generation
+// report for a page (nil if the page was never served traditionally).
+func (s *Server) ServerGenReport(path string) *ProcessReport {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if st, ok := s.genCache[path]; ok {
+		return st.report
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+package core_test
+
+// End-to-end tests for §2.2 content upscaling and the §7 verification
+// mechanism.
+
+import (
+	"bytes"
+	"image/png"
+	"net"
+	"strings"
+	"testing"
+
+	"sww/internal/core"
+	"sww/internal/device"
+	"sww/internal/genai/imagegen"
+	"sww/internal/genai/textgen"
+	"sww/internal/html"
+	"sww/internal/http2"
+	"sww/internal/workload"
+)
+
+func galleryServer(t *testing.T) *core.Server {
+	t.Helper()
+	srv, err := core.NewServer(imagegen.SD3Medium, textgen.DeepSeek8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.AddPage(workload.PhotoGallery())
+	srv.AddPage(workload.WikimediaLandscape())
+	return srv
+}
+
+func TestUpscaleEndToEnd(t *testing.T) {
+	srv := galleryServer(t)
+	cEnd, sEnd := net.Pipe()
+	srv.StartConn(sEnd)
+	proc, err := core.NewPageProcessor(device.Laptop, imagegen.SD3Medium, textgen.DeepSeek8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := core.NewClient(cEnd, device.Laptop, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	res, err := client.Fetch(workload.PhotoGalleryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != core.ModeGenerative {
+		t.Fatalf("mode = %q", res.Mode)
+	}
+	if len(res.Report.Items) != 6 {
+		t.Fatalf("%d items", len(res.Report.Items))
+	}
+	// Every upscaled output must be a 512×512 PNG.
+	upscaled := 0
+	for path, data := range res.Assets {
+		if !strings.HasPrefix(path, "/generated/") {
+			continue
+		}
+		img, err := png.Decode(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if b := img.Bounds(); b.Dx() != 512 || b.Dy() != 512 {
+			t.Errorf("%s is %dx%d, want 512x512", path, b.Dx(), b.Dy())
+		}
+		upscaled++
+	}
+	if upscaled != 6 {
+		t.Errorf("%d upscaled assets", upscaled)
+	}
+	// The wire carried low-res sources, far below the full-res
+	// originals.
+	if res.WireBytes >= 6*512*512/8 {
+		t.Errorf("wire bytes = %d, upscaling saved nothing", res.WireBytes)
+	}
+	// Upscaling is fast: total simulated time well under one
+	// generation of the same output size.
+	if res.Report.SimGenTime.Seconds() > 5 {
+		t.Errorf("upscale page took %.1fs simulated", res.Report.SimGenTime.Seconds())
+	}
+}
+
+// TestUpscaleOnlyClient exercises §3's richer negotiation: a client
+// that can upscale but not generate gets upscale pages in SWW form
+// and full-generation pages traditionally.
+func TestUpscaleOnlyClient(t *testing.T) {
+	srv := galleryServer(t)
+	cEnd, sEnd := net.Pipe()
+	srv.StartConn(sEnd)
+	// A processor without generation models: upscaling only.
+	proc := &core.PageProcessor{Device: device.Laptop}
+	client, err := core.NewClientWithAbility(cEnd, device.Laptop, proc,
+		http2.GenBasic|http2.GenUpscaleOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	gallery, err := client.Fetch(workload.PhotoGalleryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gallery.Mode != core.ModeGenerative {
+		t.Errorf("gallery mode = %q, want generative for upscale-only client", gallery.Mode)
+	}
+	wiki, err := client.Fetch(workload.WikimediaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wiki.Mode != core.ModeTraditional {
+		t.Errorf("wikimedia mode = %q, want traditional (client cannot generate)", wiki.Mode)
+	}
+}
+
+func TestPageRequirements(t *testing.T) {
+	if got := workload.PhotoGallery().Requirements(); got != http2.GenBasic|http2.GenUpscaleOnly {
+		t.Errorf("gallery requirements = %v", got)
+	}
+	if got := workload.WikimediaLandscape().Requirements(); got != http2.GenBasic|http2.GenImage {
+		t.Errorf("wikimedia requirements = %v", got)
+	}
+	if got := workload.TravelBlog().Requirements(); got != http2.GenBasic|http2.GenImage|http2.GenText {
+		t.Errorf("travel blog requirements = %v", got)
+	}
+	empty := &core.Page{Path: "/x", Doc: html.Parse("<p>plain</p>")}
+	if got := empty.Requirements(); got != http2.GenNone {
+		t.Errorf("plain page requirements = %v", got)
+	}
+}
+
+func TestUpscaleTraditionalFallback(t *testing.T) {
+	srv := galleryServer(t)
+	cEnd, sEnd := net.Pipe()
+	srv.StartConn(sEnd)
+	client, err := core.NewClient(cEnd, device.Laptop, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	res, err := client.Fetch(workload.PhotoGalleryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != core.ModeTraditional {
+		t.Fatalf("mode = %q", res.Mode)
+	}
+	// The full-resolution originals crossed the wire.
+	if len(res.Assets) != 6 {
+		t.Errorf("%d assets", len(res.Assets))
+	}
+	for path, data := range res.Assets {
+		if len(data) != 512*512/8 {
+			t.Errorf("%s = %d B, want full-res original", path, len(data))
+		}
+	}
+}
+
+func TestUpscaleWithoutFetcherFails(t *testing.T) {
+	gc := core.GeneratedContent{
+		Type: core.ContentUpscale,
+		Meta: core.Metadata{Name: "p", Src: "/lowres/p.png", Scale: 2},
+	}
+	div, err := gc.Div()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := html.Parse("<body></body>")
+	doc.ByTag("body")[0].AppendChild(div)
+	proc := &core.PageProcessor{Device: device.Laptop}
+	if _, _, err := proc.Process(doc); err == nil {
+		t.Error("upscale without a fetcher should fail")
+	}
+}
+
+func TestUpscaleMetadataValidation(t *testing.T) {
+	bad := []core.GeneratedContent{
+		{Type: core.ContentUpscale, Meta: core.Metadata{Name: "a", Scale: 4}},            // no src
+		{Type: core.ContentUpscale, Meta: core.Metadata{Name: "a", Src: "/x", Scale: 1}}, // bad scale
+	}
+	for _, gc := range bad {
+		if _, err := gc.Div(); err == nil {
+			t.Errorf("%+v should fail validation", gc)
+		}
+	}
+	good := core.GeneratedContent{
+		Type: core.ContentUpscale,
+		Meta: core.Metadata{Name: "a", Src: "/lowres/a.png", Scale: 4},
+	}
+	if _, err := good.Div(); err != nil {
+		t.Errorf("valid upscale rejected: %v", err)
+	}
+	// Content accounting: src + name + 4.
+	if got := good.ContentSize(); got != len("/lowres/a.png")+1+4 {
+		t.Errorf("content size = %d", got)
+	}
+}
+
+// TestVerificationAttestations checks the §7 trust mechanism: the
+// client flags generations whose measured alignment falls below the
+// author's attestation.
+func TestVerificationAttestations(t *testing.T) {
+	makeDoc := func(model string, expected float64) (*html.Node, *core.PageProcessor) {
+		gc := core.GeneratedContent{
+			Type: core.ContentImage,
+			Meta: core.Metadata{
+				Prompt:            "a red barn in a snowy field at dawn",
+				Name:              "barn",
+				ExpectedAlignment: expected,
+			},
+		}
+		div, err := gc.Div()
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := html.Parse("<body></body>")
+		doc.ByTag("body")[0].AppendChild(div)
+		proc, err := core.NewPageProcessor(device.Laptop, model, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return doc, proc
+	}
+
+	// A weak model cannot meet a strong attestation.
+	doc, proc := makeDoc(imagegen.SD21, 0.85)
+	_, rep, err := proc.Process(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VerifyFailures != 1 {
+		t.Errorf("weak model passed a 0.85 attestation")
+	}
+	if v, _ := doc.ByTag("img")[0].AttrValue("data-sww-verify"); v != "failed" {
+		t.Error("failed verification not marked in the DOM")
+	}
+
+	// A strong model meets a modest attestation.
+	doc2, proc2 := makeDoc(imagegen.SD3Medium, 0.5)
+	_, rep2, err := proc2.Process(doc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.VerifyFailures != 0 {
+		t.Errorf("strong model failed a 0.5 attestation")
+	}
+}
+
+// TestModelNegotiation checks the §7 model-negotiation settings: the
+// client adopts the server's advertised models when it has them.
+func TestModelNegotiation(t *testing.T) {
+	srv, err := core.NewServer(imagegen.SD3Medium, textgen.DeepSeek8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.AddPage(workload.NewsArticle())
+	cEnd, sEnd := net.Pipe()
+	srv.StartConn(sEnd)
+
+	// The client starts with different models...
+	proc, err := core.NewPageProcessor(device.Laptop, imagegen.SD35Medium, textgen.Llama32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := core.NewClient(cEnd, device.Laptop, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// ...and adopts the server's after the SETTINGS exchange.
+	img, txt := client.Models()
+	if img != imagegen.SD3Medium {
+		t.Errorf("image model = %q, want adopted %q", img, imagegen.SD3Medium)
+	}
+	if txt != textgen.DeepSeek8 {
+		t.Errorf("text model = %q, want adopted %q", txt, textgen.DeepSeek8)
+	}
+	// And the page still renders.
+	res, err := client.Fetch(workload.ArticlePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != core.ModeGenerative {
+		t.Errorf("mode = %q", res.Mode)
+	}
+}
+
+// TestModelNegotiationUnknownHint: a hint for a model the client does
+// not have must leave the client's own pipeline untouched.
+func TestModelNegotiationUnknownHint(t *testing.T) {
+	h := http2.HandlerFunc(func(w *http2.ResponseWriter, r *http2.Request) {
+		w.WriteHeaders(200)
+	})
+	h2srv := &http2.Server{Handler: h, Config: http2.Config{
+		GenAbility:   http2.GenFull,
+		ImageModelID: 0xdeadbeef, // not in any registry
+	}}
+	cEnd, sEnd := net.Pipe()
+	h2srv.StartConn(sEnd)
+	proc, err := core.NewPageProcessor(device.Laptop, imagegen.SD35Medium, textgen.Llama32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := core.NewClient(cEnd, device.Laptop, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	img, txt := client.Models()
+	if img != imagegen.SD35Medium || txt != textgen.Llama32 {
+		t.Errorf("models = %q/%q, should be unchanged", img, txt)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+// Video streaming negotiation model, paper §3.2.
+//
+// SWW lets a video server learn, through SETTINGS_GEN_ABILITY bits,
+// that the client can boost frame rate or upscale resolution locally,
+// and send a reduced stream: "moving from 60fps to 30fps will half
+// the data, and from 4K to high definition can save 2.3× data,
+// turning 7GB/hour into 3GB/hour". The evaluation of real video
+// generation is future work in the paper; this model quantifies the
+// negotiated savings so the E13 bench can report them.
+
+import (
+	"sww/internal/http2"
+)
+
+// A VideoProfile describes a stream the server would send to a
+// client without any generation ability.
+type VideoProfile struct {
+	Name string
+	// FPS is the delivered frame rate.
+	FPS int
+	// GBPerHour is the stream's data rate.
+	GBPerHour float64
+}
+
+// Standard profiles from the paper's §3.2 numbers (Netflix data
+// rates: 4K ≈ 7 GB/h, HD ≈ 3 GB/h).
+var (
+	Video4K60 = VideoProfile{Name: "4k60", FPS: 60, GBPerHour: 7.0 * 2} // 60fps doubles the 30fps rate
+	Video4K30 = VideoProfile{Name: "4k30", FPS: 30, GBPerHour: 7.0}
+	VideoHD30 = VideoProfile{Name: "hd30", FPS: 30, GBPerHour: 3.0}
+)
+
+// ResolutionSavings is the §3.2 4K→HD factor.
+const ResolutionSavings = 7.0 / 3.0 // ≈2.3×
+
+// NegotiateVideo returns the stream the server sends a client with
+// the given negotiated ability, starting from the requested profile.
+// Frame-rate boosting halves the delivered rate; resolution upscaling
+// applies the 2.3× 4K→HD reduction.
+func NegotiateVideo(requested VideoProfile, ability http2.GenAbility) VideoProfile {
+	out := requested
+	if ability.Supports(http2.GenBasic|http2.GenVideoFrameRate) && out.FPS >= 60 {
+		out.FPS /= 2
+		out.GBPerHour /= 2
+		out.Name += "+fps-boost"
+	}
+	if ability.Supports(http2.GenBasic|http2.GenVideoResolution) && out.GBPerHour > VideoHD30.GBPerHour {
+		out.GBPerHour /= ResolutionSavings
+		out.Name += "+res-upscale"
+	}
+	return out
+}
+
+// VideoSavingsFactor returns delivered-data reduction for a
+// negotiated ability against the requested profile.
+func VideoSavingsFactor(requested VideoProfile, ability http2.GenAbility) float64 {
+	neg := NegotiateVideo(requested, ability)
+	if neg.GBPerHour == 0 {
+		return 1
+	}
+	return requested.GBPerHour / neg.GBPerHour
+}

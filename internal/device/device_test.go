@@ -1,0 +1,120 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEnergyWh(t *testing.T) {
+	// 10 W for one hour is 10 Wh.
+	if got := EnergyWh(10, time.Hour); math.Abs(got-10) > 1e-9 {
+		t.Errorf("10W×1h = %v", got)
+	}
+	// Table 2 laptop row: 310 s of image generation ≈ 0.90 Wh.
+	if got := Laptop.ImageGenEnergyWh(310 * time.Second); math.Abs(got-0.90) > 0.01 {
+		t.Errorf("laptop large image = %.3f Wh, want ≈0.90", got)
+	}
+	// Table 2 workstation row: 6.2 s ≈ 0.21–0.22 Wh.
+	if got := Workstation.ImageGenEnergyWh(6200 * time.Millisecond); got < 0.20 || got > 0.23 {
+		t.Errorf("workstation large image = %.3f Wh, want ≈0.21", got)
+	}
+	// Table 2 text rows: laptop 32 s ≈ 0.01 Wh, workstation 13 s ≈ 0.51 Wh.
+	if got := Laptop.TextGenEnergyWh(32 * time.Second); math.Abs(got-0.01) > 0.002 {
+		t.Errorf("laptop text = %.4f Wh, want ≈0.01", got)
+	}
+	if got := Workstation.TextGenEnergyWh(13 * time.Second); math.Abs(got-0.51) > 0.01 {
+		t.Errorf("workstation text = %.3f Wh, want ≈0.51", got)
+	}
+}
+
+func TestTransmitTime(t *testing.T) {
+	// §6.4: "sending a large image on a typical 100 Mbps link would
+	// take about ten milliseconds".
+	got := Laptop.TransmitTime(131072)
+	if got < 9*time.Millisecond || got > 12*time.Millisecond {
+		t.Errorf("large image on 100 Mbps = %v, want ≈10.5ms", got)
+	}
+	if (Profile{}).TransmitTime(1000) != 0 {
+		t.Error("zero-bandwidth profile should return 0")
+	}
+}
+
+func TestTransmitEnergy(t *testing.T) {
+	// §6.4: "a large image would cost roughly 0.005 Wh to transmit,
+	// 2.5% of current workstation generation".
+	img := TransmitEnergyWh(131072)
+	if math.Abs(img-0.005) > 0.0005 {
+		t.Errorf("large image transmit = %.5f Wh, want ≈0.005", img)
+	}
+	gen := Workstation.ImageGenEnergyWh(6200 * time.Millisecond)
+	ratio := img / gen
+	if ratio < 0.02 || ratio > 0.03 {
+		t.Errorf("transmit/generate ratio = %.4f, want ≈0.025", ratio)
+	}
+	// Linearity.
+	if TransmitEnergyWh(2_000_000) != 2*TransmitEnergyWh(1_000_000) {
+		t.Error("transmit energy not linear")
+	}
+}
+
+func TestEmbodiedCarbon(t *testing.T) {
+	// 1 TB of SSD embodies 6-7 kg CO2e.
+	got := EmbodiedCarbonKg(1e12, 1)
+	if got < 6 || got > 7 {
+		t.Errorf("1 TB = %.2f kg, want 6-7", got)
+	}
+	// Replication multiplies.
+	if EmbodiedCarbonKg(1e12, 3) != 3*got {
+		t.Error("replication not linear")
+	}
+	if EmbodiedCarbonKg(1e12, 0) != got {
+		t.Error("copies<1 should clamp to 1")
+	}
+	// §6.4: exabyte-scale storage with modest compression saves
+	// millions of kg CO2e. 1 EB at 10× compression saves 0.9 EB.
+	saved := EmbodiedCarbonKg(1e18, 1) - EmbodiedCarbonKg(1e17, 1)
+	if saved < 1e6 {
+		t.Errorf("exabyte savings = %.0f kg, want millions", saved)
+	}
+}
+
+func TestProjectTraffic(t *testing.T) {
+	// §7: "Web browsing from mobile devices alone amounts for 2-3
+	// Exabytes/month ... Reducing this number by approximately two
+	// orders of magnitude ... will lower this number to tens of
+	// Petabytes/month."
+	got := ProjectTrafficPB(100)
+	if got < 10 || got > 99 {
+		t.Errorf("traffic at 100x = %.1f PB/month, want tens of PB", got)
+	}
+	if ProjectTrafficPB(1) != MobileWebEBPerMonth*1000 {
+		t.Error("identity compression should return baseline")
+	}
+	if ProjectTrafficPB(0) != ProjectTrafficPB(1) {
+		t.Error("non-positive factor should clamp to 1")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 3 {
+		t.Fatalf("%d profiles", len(ps))
+	}
+	seen := map[Class]bool{}
+	for _, p := range ps {
+		if p.Name == "" || p.ImageGenPowerW <= 0 {
+			t.Errorf("profile %+v incomplete", p)
+		}
+		seen[p.Class] = true
+	}
+	if !seen[ClassLaptop] || !seen[ClassWorkstation] || !seen[ClassMobile] {
+		t.Error("missing device class")
+	}
+	if ClassLaptop.String() != "laptop" || Class(99).String() == "" {
+		t.Error("Class.String broken")
+	}
+	if !Laptop.AttentionSplitting || Workstation.AttentionSplitting {
+		t.Error("attention splitting flags wrong (§6.1)")
+	}
+}

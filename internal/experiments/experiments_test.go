@@ -1,0 +1,483 @@
+package experiments
+
+// These tests pin every experiment to the paper's published values:
+// the *shape* (who wins, by roughly what factor, where crossovers
+// fall) must hold, per the reproduction contract in DESIGN.md.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sww/internal/cdn"
+	"sww/internal/core"
+	"sww/internal/http2"
+)
+
+func TestTable1Reproduction(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byModel := map[string]Table1Row{}
+	for _, r := range rows {
+		byModel[r.Model] = r
+		if math.Abs(r.CLIP-r.PaperCLIP) > 0.02 {
+			t.Errorf("%s CLIP %.3f vs paper %.2f", r.Model, r.CLIP, r.PaperCLIP)
+		}
+		if math.Abs(r.ELO-r.PaperELO) > 60 {
+			t.Errorf("%s ELO %.0f vs paper %.0f", r.Model, r.ELO, r.PaperELO)
+		}
+	}
+	// Ordering claims: "DALLE 3, SD 3 and SD 3.5 have relatively
+	// similar scores, with SD 2.1 performing significantly worse."
+	sd21 := byModel["sd2.1-base"]
+	for _, m := range []string{"sd3-medium", "sd3.5-medium", "dalle-3"} {
+		if byModel[m].ELO-sd21.ELO < 150 {
+			t.Errorf("%s should beat sd2.1 by a wide ELO margin", m)
+		}
+	}
+	// "Generation time also sets apart SD 3 from SD 3.5, as it is 35%
+	// faster on a laptop and 13% faster on the workstation."
+	sd3, sd35 := byModel["sd3-medium"], byModel["sd3.5-medium"]
+	lapAdv := 1 - sd3.LaptopStep.Seconds()/sd35.LaptopStep.Seconds()
+	if math.Abs(lapAdv-0.35) > 0.02 {
+		t.Errorf("sd3 laptop advantage = %.0f%%, want 35%%", 100*lapAdv)
+	}
+	// DALLE-3 has no on-device time.
+	if byModel["dalle-3"].LaptopStep != 0 {
+		t.Error("dalle-3 should not have a laptop step time")
+	}
+}
+
+func TestStepSweepShape(t *testing.T) {
+	rows, err := StepSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CLIP roughly flat: max-min below 0.03.
+	minC, maxC := rows[0].CLIP, rows[0].CLIP
+	for _, r := range rows {
+		minC = math.Min(minC, r.CLIP)
+		maxC = math.Max(maxC, r.CLIP)
+	}
+	if maxC-minC > 0.03 {
+		t.Errorf("CLIP varies %.3f-%.3f across steps, want ~flat", minC, maxC)
+	}
+	// Time linear: time/steps constant within 1%.
+	ref := rows[0].GenTime.Seconds() / float64(rows[0].Steps)
+	for _, r := range rows {
+		got := r.GenTime.Seconds() / float64(r.Steps)
+		if math.Abs(got-ref) > ref*0.01 {
+			t.Errorf("time/step at %d steps = %.3f, want %.3f (linear)", r.Steps, got, ref)
+		}
+	}
+}
+
+func TestSizeSweepShape(t *testing.T) {
+	rows, err := SizeSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at = func(dim int) SizeSweepRow {
+		for _, r := range rows {
+			if r.Dim == dim {
+				return r
+			}
+		}
+		t.Fatalf("no row for %d", dim)
+		return SizeSweepRow{}
+	}
+	// Paper anchors.
+	checks := []struct {
+		dim   int
+		lapS  float64
+		wkstS float64
+	}{{256, 7, 1.0}, {512, 19, 1.7}, {1024, 310, 6.2}}
+	for _, c := range checks {
+		r := at(c.dim)
+		if math.Abs(r.Laptop.Seconds()-c.lapS) > c.lapS*0.02 {
+			t.Errorf("laptop %d² = %.1fs, want %.1fs", c.dim, r.Laptop.Seconds(), c.lapS)
+		}
+		if math.Abs(r.Workstation.Seconds()-c.wkstS) > c.wkstS*0.02 {
+			t.Errorf("workstation %d² = %.2fs, want %.2fs", c.dim, r.Workstation.Seconds(), c.wkstS)
+		}
+	}
+	// The laptop crossover: below 512² the laptop/workstation ratio is
+	// ~10×; at 1024² it blows past 45× (attention splitting).
+	small := at(256).Laptop.Seconds() / at(256).Workstation.Seconds()
+	big := at(1024).Laptop.Seconds() / at(1024).Workstation.Seconds()
+	if big < 4*small {
+		t.Errorf("laptop wall missing: ratio %.1fx at 256² vs %.1fx at 1024²", small, big)
+	}
+}
+
+func TestText2TextReproduction(t *testing.T) {
+	rows, err := Text2Text()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SBERT < 0.80 || r.SBERT > 0.95 {
+			t.Errorf("%s SBERT = %.3f outside the paper band", r.Model, r.SBERT)
+		}
+		if math.Abs(r.OvershootMean) > 0.06 {
+			t.Errorf("%s overshoot mean = %.1f%%", r.Model, 100*r.OvershootMean)
+		}
+		if r.SpeedupWorkstation < 2.0 || r.SpeedupWorkstation > 3.1 {
+			t.Errorf("%s workstation benefit = %.2fx, want ≈2.5x", r.Model, r.SpeedupWorkstation)
+		}
+		// Times inside (a widened version of) the paper's ranges.
+		for w, tt := range r.Times {
+			if s := tt.Workstation.Seconds(); s < 5.5 || s > 18 {
+				t.Errorf("%s %dw workstation = %.1fs outside 6.98-14.33±", r.Model, w, s)
+			}
+			if s := tt.Laptop.Seconds(); s < 13 || s > 45 {
+				t.Errorf("%s %dw laptop = %.1fs outside 16.06-34.04±", r.Model, w, s)
+			}
+		}
+	}
+	// "50 words text takes longer than 100 and 150 words text for
+	// three of the models."
+	overthinkers := 0
+	for _, r := range rows {
+		if r.Times[50].Workstation > r.Times[100].Workstation &&
+			r.Times[50].Workstation > r.Times[150].Workstation {
+			overthinkers++
+		}
+	}
+	if overthinkers < 3 {
+		t.Errorf("%d models overthink short outputs, want ≥3", overthinkers)
+	}
+}
+
+func TestTable2Reproduction(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := []struct {
+		ratio, lapS, lapWh, wkstS, wkstWh float64
+	}{
+		{19.14, 7, 0.02, 1.0, 0.04},
+		{76.56, 19, 0.05, 1.7, 0.06},
+		{306.24, 310, 0.90, 6.2, 0.21},
+		{1.93, 32, 0.01, 13.0, 0.51},
+	}
+	for i, p := range paper {
+		r := rows[i]
+		if math.Abs(r.Ratio-p.ratio) > 0.01 {
+			t.Errorf("%s ratio %.2f vs %.2f", r.Label, r.Ratio, p.ratio)
+		}
+		if rel(r.LaptopGen.Seconds(), p.lapS) > 0.20 {
+			t.Errorf("%s laptop %.1fs vs %.1fs", r.Label, r.LaptopGen.Seconds(), p.lapS)
+		}
+		if rel(r.WorkstationGen.Seconds(), p.wkstS) > 0.20 {
+			t.Errorf("%s workstation %.1fs vs %.1fs", r.Label, r.WorkstationGen.Seconds(), p.wkstS)
+		}
+		// Energy within ±0.02 Wh or 25% (the paper's own rounding is
+		// coarse at these magnitudes).
+		if math.Abs(r.LaptopEnergyWh-p.lapWh) > math.Max(0.02, 0.25*p.lapWh) {
+			t.Errorf("%s laptop %.3fWh vs %.2f", r.Label, r.LaptopEnergyWh, p.lapWh)
+		}
+		if math.Abs(r.WorkstationWhGen-p.wkstWh) > math.Max(0.02, 0.25*p.wkstWh) {
+			t.Errorf("%s workstation %.3fWh vs %.2f", r.Label, r.WorkstationWhGen, p.wkstWh)
+		}
+	}
+}
+
+func rel(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	return math.Abs(got-want) / want
+}
+
+func TestFig2Reproduction(t *testing.T) {
+	r, err := Fig2Wikimedia()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Images != 49 {
+		t.Errorf("images = %d", r.Images)
+	}
+	if r.OriginalBytes != 1_400_000 {
+		t.Errorf("original = %d", r.OriginalBytes)
+	}
+	if r.CompressionFactor < 130 || r.CompressionFactor > 180 {
+		t.Errorf("compression = %.1fx, want ≈157x", r.CompressionFactor)
+	}
+	if r.WorstCaseFactor < 60 || r.WorstCaseFactor > 72 {
+		t.Errorf("worst case = %.1fx, want ≈68x", r.WorstCaseFactor)
+	}
+	if rel(r.LaptopGen.Seconds(), 310) > 0.10 {
+		t.Errorf("laptop = %.0fs, want ≈310s", r.LaptopGen.Seconds())
+	}
+	if rel(r.LaptopPerImage.Seconds(), 6.32) > 0.10 {
+		t.Errorf("per image = %.2fs, want ≈6.32s", r.LaptopPerImage.Seconds())
+	}
+	if rel(r.ServerGen.Seconds(), 49) > 0.30 {
+		t.Errorf("server = %.0fs, want ≈49s", r.ServerGen.Seconds())
+	}
+	if r.WireFactor < 20 {
+		t.Errorf("wire factor = %.1fx", r.WireFactor)
+	}
+	if math.Abs(r.MeanCLIP-0.27) > 0.02 {
+		t.Errorf("page CLIP = %.3f, want ≈0.27 (SD3)", r.MeanCLIP)
+	}
+}
+
+func TestArticleReproduction(t *testing.T) {
+	r, err := TextArticle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Compression-3.08) > 0.1 {
+		t.Errorf("compression = %.2fx, want ≈3.1x", r.Compression)
+	}
+	// Paper: 41.9 s on the laptop, "more than ten seconds" on the
+	// workstation.
+	if r.LaptopGen.Seconds() < 20 || r.LaptopGen.Seconds() > 55 {
+		t.Errorf("laptop = %.1fs, want ≈41.9s", r.LaptopGen.Seconds())
+	}
+	if r.WorkstationGen.Seconds() <= 10 {
+		t.Errorf("workstation = %.1fs, want >10s", r.WorkstationGen.Seconds())
+	}
+	if r.SBERT < 0.5 {
+		t.Errorf("SBERT = %.3f", r.SBERT)
+	}
+}
+
+func TestCapabilityMatrixReproduction(t *testing.T) {
+	rows, err := CapabilityMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Errorf("%s: fetch failed", r.Scenario)
+		}
+		wantMode := core.ModeTraditional
+		if r.Scenario == "both-support" {
+			wantMode = core.ModeGenerative
+			if r.Negotiated != http2.GenFull {
+				t.Errorf("both-support negotiated %v", r.Negotiated)
+			}
+		} else if r.Negotiated != http2.GenNone {
+			t.Errorf("%s negotiated %v, want none", r.Scenario, r.Negotiated)
+		}
+		if r.ServedMode != wantMode {
+			t.Errorf("%s served %q, want %q", r.Scenario, r.ServedMode, wantMode)
+		}
+	}
+}
+
+func TestEnergyComparisonReproduction(t *testing.T) {
+	c, err := CompareEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "about ten milliseconds".
+	if c.TransmitTime.Seconds() < 0.009 || c.TransmitTime.Seconds() > 0.012 {
+		t.Errorf("transmit = %v", c.TransmitTime)
+	}
+	// "620× longer" — our 6.2 s against 10.5 ms gives ≈591×.
+	if c.SlowdownFactor < 500 || c.SlowdownFactor > 700 {
+		t.Errorf("slowdown = %.0fx, want ≈620x", c.SlowdownFactor)
+	}
+	// "roughly 0.005Wh ... 2.5% of current workstation generation".
+	if math.Abs(c.TransmitWh-0.005) > 0.0005 {
+		t.Errorf("transmit = %.4f Wh", c.TransmitWh)
+	}
+	if c.TransmitShare < 0.018 || c.TransmitShare > 0.030 {
+		t.Errorf("share = %.1f%%, want ≈2.5%%", 100*c.TransmitShare)
+	}
+}
+
+func TestCarbonReproduction(t *testing.T) {
+	c := CarbonSavings(147)
+	if c.SavedKg < 1e6 {
+		t.Errorf("saved = %.0f kg, paper promises millions", c.SavedKg)
+	}
+	if c.PromptExabyteKg >= c.MediaExabyteKg/100 {
+		t.Error("prompt storage carbon should be ≈2 orders lower")
+	}
+}
+
+func TestTrafficReproduction(t *testing.T) {
+	// "Reducing this number by approximately two orders of magnitude
+	// ... will lower this number to tens of Petabytes/month."
+	r := ProjectTraffic(147)
+	if r.ProjectedPBPerMonth < 10 || r.ProjectedPBPerMonth > 99 {
+		t.Errorf("projected = %.1f PB/month, want tens", r.ProjectedPBPerMonth)
+	}
+}
+
+func TestCDNSweepReproduction(t *testing.T) {
+	rows, err := CDNSweep(1000, 10000, 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[cdn.Mode]CDNRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+	trad := byMode[cdn.ModeTraditional]
+	edge := byMode[cdn.ModeEdgeGenerate]
+	client := byMode[cdn.ModeClientGenerate]
+	// Storage benefit retained.
+	if edge.CacheBytes >= trad.CacheBytes/50 {
+		t.Errorf("edge cache %d vs traditional %d", edge.CacheBytes, trad.CacheBytes)
+	}
+	// Transmission benefit lost at the edge, kept at the client.
+	if edge.BytesToUsers < trad.BytesToUsers {
+		t.Error("edge generation should not reduce user-facing traffic")
+	}
+	if client.BytesToUsers >= trad.BytesToUsers/50 {
+		t.Errorf("client generation traffic %d vs %d", client.BytesToUsers, trad.BytesToUsers)
+	}
+	// Energy trade-off.
+	if edge.EdgeGenEnergyWh <= 0 || trad.EdgeGenEnergyWh != 0 {
+		t.Error("edge energy accounting wrong")
+	}
+}
+
+func TestVideoSweepReproduction(t *testing.T) {
+	rows := VideoSweep()
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Savings != 1 {
+		t.Error("no ability should not save")
+	}
+	if math.Abs(rows[1].Savings-2.0) > 0.01 {
+		t.Errorf("fps boost = %.2fx, want 2x", rows[1].Savings)
+	}
+	if math.Abs(rows[2].Savings-7.0/3.0) > 0.01 {
+		t.Errorf("res upscale = %.2fx, want 2.33x", rows[2].Savings)
+	}
+	if rows[3].Savings < rows[1].Savings || rows[3].Savings < rows[2].Savings {
+		t.Error("combined ability should save the most")
+	}
+}
+
+func TestNegotiationAblation(t *testing.T) {
+	a := NegotiationAblation(50)
+	if a.SettingsTotalBytes >= a.HeaderTotalBytes {
+		t.Errorf("SETTINGS %dB should beat headers %dB", a.SettingsTotalBytes, a.HeaderTotalBytes)
+	}
+	one := NegotiationAblation(1)
+	if one.SettingsTotalBytes > one.HeaderTotalBytes {
+		t.Error("SETTINGS should win even for single-request connections")
+	}
+}
+
+func TestPreloadAblation(t *testing.T) {
+	p, err := PreloadAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ReloadLoadTime <= p.PreloadLoadTime {
+		t.Error("reloading must cost more than preloading")
+	}
+	// 49 reloads of an 8s model vs one: ~49×.
+	ratio := float64(p.ReloadLoadTime) / float64(p.PreloadLoadTime)
+	if ratio < 20 {
+		t.Errorf("reload/preload = %.0fx, want ≈#items", ratio)
+	}
+}
+
+func TestStorageComparison(t *testing.T) {
+	s, err := StorageComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ratio < 10 {
+		t.Errorf("storage ratio = %.1fx", s.Ratio)
+	}
+}
+
+func TestH3CapabilityMatrixParity(t *testing.T) {
+	rows, err := H3CapabilityMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Errorf("%s: request failed over HTTP/3", r.Scenario)
+		}
+		want := http2.GenNone
+		if r.Scenario == "both-support" {
+			want = http2.GenFull
+		}
+		if r.Negotiated != want {
+			t.Errorf("%s negotiated %v, want %v", r.Scenario, r.Negotiated, want)
+		}
+	}
+}
+
+func TestUpscaleExperiment(t *testing.T) {
+	r, err := UpscaleExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WireSavings < 5 {
+		t.Errorf("wire savings = %.1fx, want substantial", r.WireSavings)
+	}
+	// §2.2: upscaling is "usually faster than content generation".
+	if r.SpeedFactor < 10 {
+		t.Errorf("generation only %.1fx slower than upscaling", r.SpeedFactor)
+	}
+	// Sub-second per photo on the laptop.
+	perPhoto := r.UpscaleTime / time.Duration(r.Photos)
+	if perPhoto >= time.Second {
+		t.Errorf("upscale per photo = %v, want sub-second", perPhoto)
+	}
+}
+
+func TestPersonalizationExperiment(t *testing.T) {
+	r, err := PersonalizationExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Drift < 0.1 {
+		t.Errorf("echo-chamber drift = %.3f, too small to demonstrate §2.3", r.Drift)
+	}
+	// Prompt adherence must survive personalization (within jitter).
+	if r.PersonalizedCLIP < r.NeutralCLIP-0.1 {
+		t.Errorf("personalization destroyed adherence: %.3f -> %.3f",
+			r.NeutralCLIP, r.PersonalizedCLIP)
+	}
+}
+
+func TestStreamingExperiment(t *testing.T) {
+	rows, err := StreamingExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]*StreamingRow{}
+	for i := range rows {
+		r := &rows[i]
+		byKey[r.Device+"/"+r.Ability.String()] = r
+	}
+	lapNone := byKey["macbook-pro-m1/none"]
+	lapBoost := byKey["macbook-pro-m1/basic+video-fps"]
+	mobile := byKey["npu-phone/basic+video-fps"]
+	if lapNone == nil || lapBoost == nil || mobile == nil {
+		t.Fatalf("missing rows: %v", byKey)
+	}
+	// §3.2: halving the frame rate halves the data.
+	if rel(lapBoost.Report.SavingsFactor, 2) > 0.02 {
+		t.Errorf("fps-boost savings = %.2fx", lapBoost.Report.SavingsFactor)
+	}
+	// The laptop keeps up; the phone does not (§7 gap).
+	if lapBoost.Report.Rebuffers != 0 || lapBoost.Report.RealTimeFactor <= 1 {
+		t.Errorf("laptop should sustain playback: %+v", lapBoost.Report)
+	}
+	if mobile.Report.RealTimeFactor >= 1 || mobile.Report.Rebuffers == 0 {
+		t.Errorf("mobile should fail to keep up: rt=%.2f", mobile.Report.RealTimeFactor)
+	}
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"sww/internal/cdn"
+	"sww/internal/core"
+	"sww/internal/device"
+	"sww/internal/genai"
+	"sww/internal/genai/imagegen"
+	"sww/internal/genai/textgen"
+	"sww/internal/http2"
+	"sww/internal/workload"
+)
+
+// CapabilityRow is one cell of the §6.2 functionality matrix.
+type CapabilityRow struct {
+	Scenario   string
+	Server     http2.GenAbility
+	Client     http2.GenAbility
+	Negotiated http2.GenAbility
+	ServedMode string
+	OK         bool
+}
+
+// CapabilityMatrix reproduces §6.2's basic functionality testing:
+// "scenarios where both client and server support generated content,
+// only one side supports generated content, and no side supports it.
+// Except for the first scenario, in all other cases the communication
+// defaulted to standard HTTP/2."
+func CapabilityMatrix() ([]CapabilityRow, error) {
+	cases := []struct {
+		name           string
+		server, client http2.GenAbility
+	}{
+		{"both-support", http2.GenFull, http2.GenFull},
+		{"server-only", http2.GenFull, http2.GenNone},
+		{"client-only", http2.GenNone, http2.GenFull},
+		{"neither", http2.GenNone, http2.GenNone},
+	}
+	var rows []CapabilityRow
+	for _, c := range cases {
+		srv, err := core.NewServer(imagegen.SD3Medium, textgen.DeepSeek8)
+		if err != nil {
+			return nil, err
+		}
+		srv.SetConfig(http2.Config{GenAbility: c.server})
+		srv.AddPage(workload.NewsArticle())
+
+		cEnd, sEnd := net.Pipe()
+		srv.StartConn(sEnd)
+		var proc *core.PageProcessor
+		if c.client != http2.GenNone {
+			proc, err = core.NewPageProcessor(device.Laptop, imagegen.SD3Medium, textgen.DeepSeek8)
+			if err != nil {
+				return nil, err
+			}
+		}
+		client, err := core.NewClient(cEnd, device.Laptop, proc)
+		if err != nil {
+			return nil, err
+		}
+		res, err := client.Fetch(workload.ArticlePath)
+		row := CapabilityRow{
+			Scenario:   c.name,
+			Server:     c.server,
+			Client:     c.client,
+			Negotiated: client.Negotiated(),
+			OK:         err == nil,
+		}
+		if res != nil {
+			row.ServedMode = res.Mode
+		}
+		client.Close()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CDNRow is one mode of the §2.2 CDN sweep.
+type CDNRow struct {
+	Mode cdn.Mode
+
+	CacheBytes      int64
+	HitRate         float64
+	BytesToUsers    int64
+	BytesFromOrigin int64
+	EdgeGenEnergyWh float64
+	EmbodiedKg      float64
+}
+
+// CDNSweep runs the same heavy-tailed request stream against an edge
+// node in each of the three modes: traditional media caching, prompt
+// caching with edge generation, and prompt caching with client
+// generation.
+func CDNSweep(objects, requests int, capacity int64) ([]CDNRow, error) {
+	objs := make([]cdn.Object, objects)
+	rng := rand.New(rand.NewSource(5))
+	for i := range objs {
+		media := 15_000 + rng.Intn(110_000)
+		objs[i] = cdn.Object{
+			Key:         fmt.Sprintf("obj-%d", i),
+			MediaBytes:  media,
+			PromptBytes: 160 + rng.Intn(268),
+			GenTime:     time.Duration(800+rng.Intn(900)) * time.Millisecond,
+		}
+	}
+	zipf := rand.NewZipf(rand.New(rand.NewSource(6)), 1.2, 1, uint64(objects-1))
+	sequence := make([]int, requests)
+	for i := range sequence {
+		sequence[i] = int(zipf.Uint64())
+	}
+
+	var rows []CDNRow
+	for _, mode := range []cdn.Mode{cdn.ModeTraditional, cdn.ModeEdgeGenerate, cdn.ModeClientGenerate} {
+		node := cdn.NewEdgeNode(mode, capacity)
+		for _, idx := range sequence {
+			node.Request(objs[idx])
+		}
+		rows = append(rows, CDNRow{
+			Mode:            mode,
+			CacheBytes:      node.Used(),
+			HitRate:         node.HitRate(),
+			BytesToUsers:    node.Stats.BytesToUser,
+			BytesFromOrigin: node.Stats.BytesFromOrigin,
+			EdgeGenEnergyWh: node.Stats.EdgeGenEnergyWh,
+			EmbodiedKg:      node.EmbodiedCarbonKg(),
+		})
+	}
+	return rows, nil
+}
+
+// VideoRow is one §3.2 video negotiation outcome.
+type VideoRow struct {
+	Requested core.VideoProfile
+	Ability   http2.GenAbility
+	Delivered core.VideoProfile
+	Savings   float64
+}
+
+// VideoSweep quantifies §3.2's negotiated streaming savings.
+func VideoSweep() []VideoRow {
+	abilities := []http2.GenAbility{
+		http2.GenNone,
+		http2.GenBasic | http2.GenVideoFrameRate,
+		http2.GenBasic | http2.GenVideoResolution,
+		http2.GenBasic | http2.GenVideoFrameRate | http2.GenVideoResolution,
+	}
+	var rows []VideoRow
+	for _, a := range abilities {
+		rows = append(rows, VideoRow{
+			Requested: core.Video4K60,
+			Ability:   a,
+			Delivered: core.NegotiateVideo(core.Video4K60, a),
+			Savings:   core.VideoSavingsFactor(core.Video4K60, a),
+		})
+	}
+	return rows
+}
+
+// AblationNegotiation compares the paper's SETTINGS-based capability
+// advertisement against the per-request header alternative it
+// implicitly rejects: SETTINGS costs 6 bytes once per connection,
+// a header costs its field on every request.
+type AblationNegotiation struct {
+	SettingsBytesPerConn  int
+	HeaderBytesPerRequest int
+	RequestsPerConn       int
+	SettingsTotalBytes    int
+	HeaderTotalBytes      int
+}
+
+// NegotiationAblation computes the comparison for a typical
+// connection carrying n requests.
+func NegotiationAblation(requestsPerConn int) *AblationNegotiation {
+	const settingEntry = 6 // 16-bit id + 32-bit value
+	// "x-sww-gen-ability: 7" as an HPACK literal with incremental
+	// indexing: ~22 bytes the first time, 1 byte indexed afterwards —
+	// but both endpoints must still parse it per request, and
+	// intermediaries see it per request. Use the first-time cost for
+	// the header's connection setup plus 1 byte indexed per request.
+	const headerFirst = 22
+	const headerIndexed = 1
+	a := &AblationNegotiation{
+		SettingsBytesPerConn:  settingEntry,
+		HeaderBytesPerRequest: headerIndexed,
+		RequestsPerConn:       requestsPerConn,
+		SettingsTotalBytes:    settingEntry,
+	}
+	a.HeaderTotalBytes = headerFirst + (requestsPerConn-1)*headerIndexed
+	return a
+}
+
+// AblationPreload quantifies §4.1's pipeline-preloading choice on the
+// Figure 2 page: total simulated load time with and without
+// preloading.
+type AblationPreload struct {
+	Items             int
+	PreloadLoadTime   time.Duration
+	ReloadLoadTime    time.Duration
+	GenerationTime    time.Duration
+	ReloadOverheadPct float64
+}
+
+// PreloadAblation runs the Wikimedia page through a preloading and a
+// reloading pipeline.
+func PreloadAblation() (*AblationPreload, error) {
+	res := &AblationPreload{Items: workload.WikimediaImageCount}
+	for _, preload := range []bool{true, false} {
+		page := workload.WikimediaLandscape()
+		pl, err := genai.NewPipeline(device.ClassLaptop, imagegen.SD3Medium, textgen.DeepSeek8)
+		if err != nil {
+			return nil, err
+		}
+		pl.Preload = preload
+		proc := &core.PageProcessor{Pipeline: pl, Device: device.Laptop}
+		_, report, err := proc.Process(page.Doc)
+		if err != nil {
+			return nil, err
+		}
+		if preload {
+			res.PreloadLoadTime = report.SimLoadTime
+			res.GenerationTime = report.SimGenTime
+		} else {
+			res.ReloadLoadTime = report.SimLoadTime
+		}
+	}
+	res.ReloadOverheadPct = 100 * float64(res.ReloadLoadTime-res.PreloadLoadTime) /
+		float64(res.GenerationTime+res.PreloadLoadTime)
+	return res, nil
+}
+
+// StorageResult is the §2.1/§2.2 server-storage comparison.
+type StorageResult struct {
+	SWWBytes         int64
+	TraditionalBytes int64
+	Ratio            float64
+}
+
+// StorageComparison measures the full corpus's server footprint in
+// both forms.
+func StorageComparison() (*StorageResult, error) {
+	srv, err := core.NewServer("", "")
+	if err != nil {
+		return nil, err
+	}
+	srv.AddPage(workload.WikimediaLandscape())
+	srv.AddPage(workload.NewsArticle())
+	srv.AddPage(workload.TravelBlog())
+	sww, trad := srv.StorageBytes()
+	return &StorageResult{
+		SWWBytes:         sww,
+		TraditionalBytes: trad,
+		Ratio:            float64(trad) / float64(sww),
+	}, nil
+}

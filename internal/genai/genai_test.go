@@ -1,0 +1,190 @@
+package genai_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sww/internal/device"
+	"sww/internal/genai"
+	"sww/internal/genai/imagegen"
+	"sww/internal/genai/textgen"
+)
+
+func TestRegistryLookup(t *testing.T) {
+	if len(genai.ImageModelNames()) < 4 {
+		t.Fatalf("image models: %v", genai.ImageModelNames())
+	}
+	if len(genai.TextModelNames()) < 4 {
+		t.Fatalf("text models: %v", genai.TextModelNames())
+	}
+	m, err := genai.ImageModelByName(imagegen.SD3Medium)
+	if err != nil || m.Name() != imagegen.SD3Medium {
+		t.Fatalf("lookup: %v", err)
+	}
+	if _, err := genai.ImageModelByName("nonexistent"); err == nil {
+		t.Error("unknown image model should fail")
+	}
+	if _, err := genai.TextModelByName("nonexistent"); err == nil {
+		t.Error("unknown text model should fail")
+	}
+	// Names are sorted.
+	names := genai.ImageModelNames()
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Error("names not sorted")
+		}
+	}
+}
+
+func TestPipelinePreloadAccounting(t *testing.T) {
+	p, err := genai.NewPipeline(device.ClassLaptop, imagegen.SD3Medium, textgen.DeepSeek8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := genai.ImageRequest{Prompt: "a harbor at dawn", Seed: 1}
+	for i := 0; i < 3; i++ {
+		if _, err := p.GenerateImage(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	im, _ := genai.ImageModelByName(imagegen.SD3Medium)
+	if got, want := p.SimLoadTime(), im.LoadTime(device.ClassLaptop); got != want {
+		t.Errorf("preloaded pipeline load time = %v, want one load (%v)", got, want)
+	}
+	// Text load adds once more.
+	if _, err := p.ExpandText(genai.TextRequest{Bullets: []string{"x"}, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := genai.TextModelByName(textgen.DeepSeek8)
+	want := im.LoadTime(device.ClassLaptop) + tm.LoadTime(device.ClassLaptop)
+	if got := p.SimLoadTime(); got != want {
+		t.Errorf("load time = %v, want %v", got, want)
+	}
+}
+
+// TestPipelineReloadAblation quantifies §4.1's design choice: without
+// preloading, every invocation pays the model load cost.
+func TestPipelineReloadAblation(t *testing.T) {
+	p, err := genai.NewPipeline(device.ClassLaptop, imagegen.SD3Medium, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Preload = false
+	const n = 5
+	for i := 0; i < n; i++ {
+		if _, err := p.GenerateImage(genai.ImageRequest{Prompt: "x", Seed: int64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	im, _ := genai.ImageModelByName(imagegen.SD3Medium)
+	if got, want := p.SimLoadTime(), time.Duration(n)*im.LoadTime(device.ClassLaptop); got != want {
+		t.Errorf("non-preloading load time = %v, want %v", got, want)
+	}
+}
+
+func TestPipelineServerOnlyRestriction(t *testing.T) {
+	if _, err := genai.NewPipeline(device.ClassLaptop, imagegen.DALLE3, ""); err == nil {
+		t.Error("dalle-3 pipeline on a laptop should fail")
+	}
+	if _, err := genai.NewPipeline(device.ClassWorkstation, imagegen.DALLE3, ""); err != nil {
+		t.Errorf("dalle-3 pipeline on the provider side failed: %v", err)
+	}
+}
+
+func TestPipelineMissingModality(t *testing.T) {
+	p, err := genai.NewPipeline(device.ClassLaptop, "", textgen.Llama32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.GenerateImage(genai.ImageRequest{Prompt: "x"}); err == nil {
+		t.Error("image generation without an image model should fail")
+	}
+	if _, err := p.ExpandText(genai.TextRequest{Bullets: []string{"b"}}); err != nil {
+		t.Errorf("text expansion failed: %v", err)
+	}
+}
+
+func TestPipelineUnknownModel(t *testing.T) {
+	if _, err := genai.NewPipeline(device.ClassLaptop, "sd9000", ""); err == nil {
+		t.Error("unknown model should fail pipeline construction")
+	}
+}
+
+func TestPipelineForcesClass(t *testing.T) {
+	p, err := genai.NewPipeline(device.ClassWorkstation, imagegen.SD3Medium, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Request claims laptop; the pipeline must override with its own
+	// class so timing is consistent with where it runs.
+	res, err := p.GenerateImage(genai.ImageRequest{Prompt: "x", Class: device.ClassLaptop, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workstation SD3 at 224²/15 steps = 0.75s, laptop would be 5.7s.
+	if res.SimTime > 2*time.Second {
+		t.Errorf("sim time %v looks like laptop timing; class override broken", res.SimTime)
+	}
+}
+
+func TestPipelineConcurrentUse(t *testing.T) {
+	p, err := genai.NewPipeline(device.ClassWorkstation, imagegen.SD3Medium, textgen.DeepSeek8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := p.GenerateImage(genai.ImageRequest{
+				Prompt: fmt.Sprintf("concurrent image %d", i), Seed: int64(i + 1)}); err != nil {
+				errs <- err
+			}
+		}(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := p.ExpandText(genai.TextRequest{
+				Bullets: []string{"concurrent", "expansion"}, Seed: int64(i + 1)}); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Load accounting must have charged exactly one load per modality.
+	im, _ := genai.ImageModelByName(imagegen.SD3Medium)
+	tm, _ := genai.TextModelByName(textgen.DeepSeek8)
+	want := im.LoadTime(device.ClassWorkstation) + tm.LoadTime(device.ClassWorkstation)
+	if got := p.SimLoadTime(); got != want {
+		t.Errorf("concurrent load accounting = %v, want %v", got, want)
+	}
+}
+
+func TestModelIDs(t *testing.T) {
+	id := genai.ModelID(imagegen.SD3Medium)
+	if id == 0 {
+		t.Fatal("model id must be nonzero")
+	}
+	if genai.ModelID(imagegen.SD3Medium) != id {
+		t.Error("ModelID not deterministic")
+	}
+	m, ok := genai.ImageModelByID(id)
+	if !ok || m.Name() != imagegen.SD3Medium {
+		t.Errorf("ImageModelByID(%d) = %v, %v", id, m, ok)
+	}
+	if _, ok := genai.ImageModelByID(0xdeadbeef); ok {
+		t.Error("unknown id should not resolve")
+	}
+	tm, ok := genai.TextModelByID(genai.ModelID(textgen.DeepSeek8))
+	if !ok || tm.Name() != textgen.DeepSeek8 {
+		t.Error("text model id lookup failed")
+	}
+}

@@ -1,0 +1,227 @@
+// Package imagegen implements the text-to-image models of the SWW
+// prototype as calibrated procedural generators.
+//
+// A generated image is a tinted multi-octave value-noise texture
+// whose 8×8 grid-cell luminance means encode a feature vector v. The
+// vector is a controlled mixture of the prompt's text embedding and
+// seeded noise: the mixing angle is the model's *fidelity*, the
+// calibration knob that maps directly onto the CLIP score the paper
+// measures (see internal/metrics). Higher-quality models plant the
+// prompt features more faithfully, exactly as higher-quality
+// diffusion models adhere to prompts more closely.
+package imagegen
+
+import (
+	"hash/fnv"
+	"image"
+	"math"
+	"math/rand"
+
+	"sww/internal/metrics"
+)
+
+const (
+	grid = 8 // feature grid, must match metrics.EmbedDim = grid²
+
+	baseLuma = 130 // mid-gray the features modulate around
+	featAmp  = 72  // luminance amplitude of planted features
+	texAmp   = 22  // amplitude of the in-cell texture
+)
+
+// synthesize renders a w×h image that encodes a feature vector with
+// the given target prompt alignment. It returns the image and the
+// alignment actually planted.
+func synthesize(prompt string, w, h int, seed int64, targetAlign float64) (*image.RGBA, float64) {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Build the planted vector in the zero-mean subspace that
+	// metrics.EmbedImage measures.
+	e := metrics.EmbedText(prompt)
+	ec := centered(e)
+	ecNorm := norm(ec)
+	var v []float64
+	planted := 0.0
+	if ecNorm < 1e-9 || targetAlign <= 0 {
+		// Unconditioned image (the paper's random baseline).
+		v = randomUnitZeroMean(rng, nil)
+	} else {
+		scale(ec, 1/ecNorm)
+		// Measured cosine is against the *uncentered* text embedding,
+		// so compensate for the centering loss.
+		a := targetAlign / ecNorm
+		if a > 0.995 {
+			a = 0.995
+		}
+		g := randomUnitZeroMean(rng, ec)
+		v = make([]float64, len(ec))
+		s := math.Sqrt(1 - a*a)
+		for i := range v {
+			v[i] = a*ec[i] + s*g[i]
+		}
+		planted = a * ecNorm
+	}
+
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	tex := cellZeroMeanNoise(rng.Int63(), w, h)
+	cr, cg, cb := tintOffsets(prompt)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			cell := (y*grid/h)*grid + x*grid/w
+			l := baseLuma + featAmp*v[cell] + tex[y*w+x]
+			i := img.PixOffset(x, y)
+			img.Pix[i+0] = clampByte(l + cr)
+			img.Pix[i+1] = clampByte(l + cg)
+			img.Pix[i+2] = clampByte(l + cb)
+			img.Pix[i+3] = 255
+		}
+	}
+	return img, planted
+}
+
+// cellZeroMeanNoise renders multi-octave value noise and removes each
+// feature cell's mean so texture cannot disturb the planted features.
+func cellZeroMeanNoise(seed int64, w, h int) []float64 {
+	out := make([]float64, w*h)
+	for oct, conf := range []struct {
+		freq float64
+		amp  float64
+	}{{6, 0.55}, {13, 0.3}, {29, 0.15}} {
+		lattice := newLattice(seed + int64(oct)*7919)
+		for y := 0; y < h; y++ {
+			fy := float64(y) / float64(h) * conf.freq
+			for x := 0; x < w; x++ {
+				fx := float64(x) / float64(w) * conf.freq
+				out[y*w+x] += conf.amp * texAmp * lattice.at(fx, fy)
+			}
+		}
+	}
+	// Remove per-cell means.
+	sums := make([]float64, grid*grid)
+	counts := make([]int, grid*grid)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			cell := (y*grid/h)*grid + x*grid/w
+			sums[cell] += out[y*w+x]
+			counts[cell]++
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			cell := (y*grid/h)*grid + x*grid/w
+			out[y*w+x] -= sums[cell] / float64(counts[cell])
+		}
+	}
+	return out
+}
+
+// lattice is seeded 2-D value noise with bilinear interpolation.
+type lattice struct{ seed int64 }
+
+func newLattice(seed int64) lattice { return lattice{seed} }
+
+func (l lattice) value(ix, iy int) float64 {
+	h := fnv.New64a()
+	var b [24]byte
+	putInt64(b[0:], l.seed)
+	putInt64(b[8:], int64(ix))
+	putInt64(b[16:], int64(iy))
+	h.Write(b[:])
+	return float64(h.Sum64()%2048)/1023.5 - 1 // [-1, 1]
+}
+
+func (l lattice) at(x, y float64) float64 {
+	ix, iy := int(math.Floor(x)), int(math.Floor(y))
+	fx, fy := x-float64(ix), y-float64(iy)
+	fx, fy = fade(fx), fade(fy)
+	v00 := l.value(ix, iy)
+	v10 := l.value(ix+1, iy)
+	v01 := l.value(ix, iy+1)
+	v11 := l.value(ix+1, iy+1)
+	return lerp(lerp(v00, v10, fx), lerp(v01, v11, fx), fy)
+}
+
+func fade(t float64) float64       { return t * t * (3 - 2*t) }
+func lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+func putInt64(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// tintOffsets derives a luminance-neutral chroma shift from the
+// prompt so different prompts render in different palettes. The
+// Rec.601 combination of the offsets is ~0, so planted features
+// survive the tint exactly.
+func tintOffsets(prompt string) (cr, cg, cb float64) {
+	h := fnv.New32a()
+	h.Write([]byte(prompt))
+	theta := float64(h.Sum32()%360) / 360 * 2 * math.Pi
+	cr = math.Round(38 * math.Cos(theta))
+	cb = math.Round(38 * math.Cos(theta+2.094))
+	cg = math.Round(-(0.299*cr + 0.114*cb) / 0.587)
+	return cr, cg, cb
+}
+
+func clampByte(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+func centered(v []float64) []float64 {
+	out := append([]float64(nil), v...)
+	var mean float64
+	for _, x := range out {
+		mean += x
+	}
+	mean /= float64(len(out))
+	for i := range out {
+		out[i] -= mean
+	}
+	return out
+}
+
+func norm(v []float64) float64 {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	return math.Sqrt(n)
+}
+
+func scale(v []float64, k float64) {
+	for i := range v {
+		v[i] *= k
+	}
+}
+
+// randomUnitZeroMean draws a unit vector in the zero-mean subspace,
+// orthogonal to excl when excl is non-nil (and unit, zero-mean).
+func randomUnitZeroMean(rng *rand.Rand, excl []float64) []float64 {
+	v := make([]float64, metrics.EmbedDim)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	v = centered(v)
+	if excl != nil {
+		var dot float64
+		for i := range v {
+			dot += v[i] * excl[i]
+		}
+		for i := range v {
+			v[i] -= dot * excl[i]
+		}
+	}
+	n := norm(v)
+	if n == 0 {
+		v[0], v[1] = 0.7071, -0.7071
+		return v
+	}
+	scale(v, 1/n)
+	return v
+}

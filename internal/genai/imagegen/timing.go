@@ -1,0 +1,86 @@
+package imagegen
+
+import (
+	"math"
+	"sort"
+
+	"sww/internal/device"
+)
+
+// Size scaling of generation time.
+//
+// The paper reports only point measurements (Table 2's 256², 512²,
+// 1024² rows), so instead of forcing a single power law we anchor the
+// calibration at the measured points and interpolate log-log between
+// them. The anchors are step-time *multipliers* relative to the
+// 224×224 reference of Table 1, derived from Table 2's SD 3 Medium
+// rows (total time ÷ (15 steps × Table 1 step time)):
+//
+//	laptop:      256²→1.23  512²→3.33  1024²→54.4   (attention
+//	             splitting makes 1024² blow up to 310 s, §6.3.1)
+//	workstation: 256²→1.33  512²→2.27  1024²→8.27
+//
+// On the workstation "generation time is increased ... relative to
+// the number of pixels"; on the laptop "it grows significantly beyond
+// that for images of 1024×1024" — both shapes are captured by the
+// anchor curves.
+type sizeAnchor struct {
+	pixels float64
+	mult   float64
+}
+
+var sizeAnchors = map[device.Class][]sizeAnchor{
+	device.ClassLaptop: {
+		{224 * 224, 1.0},
+		{256 * 256, 7.0 / (15 * 0.38)},
+		{512 * 512, 19.0 / (15 * 0.38)},
+		{1024 * 1024, 310.0 / (15 * 0.38)},
+	},
+	device.ClassWorkstation: {
+		{224 * 224, 1.0},
+		{256 * 256, 1.0 / (15 * 0.05)},
+		{512 * 512, 1.7 / (15 * 0.05)},
+		{1024 * 1024, 6.2 / (15 * 0.05)},
+	},
+	// Mobile is extrapolated (not measured in the paper): laptop-like
+	// shape with a harsher memory wall.
+	device.ClassMobile: {
+		{224 * 224, 1.0},
+		{256 * 256, 1.3},
+		{512 * 512, 4.5},
+		{1024 * 1024, 120},
+	},
+}
+
+// sizeFactor interpolates the step-time multiplier for a pixel count
+// on a device class. Outside the anchored range the boundary segment
+// slope extrapolates.
+func sizeFactor(class device.Class, pixels int) float64 {
+	anchors, ok := sizeAnchors[class]
+	if !ok || pixels <= 0 {
+		return 1
+	}
+	p := float64(pixels)
+	i := sort.Search(len(anchors), func(i int) bool { return anchors[i].pixels >= p })
+	switch {
+	case i == 0:
+		if anchors[0].pixels == p {
+			return anchors[0].mult
+		}
+		return logLog(anchors[0], anchors[1], p)
+	case i == len(anchors):
+		return logLog(anchors[len(anchors)-2], anchors[len(anchors)-1], p)
+	default:
+		if anchors[i].pixels == p {
+			return anchors[i].mult
+		}
+		return logLog(anchors[i-1], anchors[i], p)
+	}
+}
+
+// logLog interpolates (and extrapolates) on the line through a and b
+// in log-log space.
+func logLog(a, b sizeAnchor, p float64) float64 {
+	slope := math.Log(b.mult/a.mult) / math.Log(b.pixels/a.pixels)
+	return a.mult * math.Pow(p/a.pixels, slope)
+}

@@ -1,0 +1,262 @@
+package textgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"sww/internal/device"
+	"sww/internal/genai"
+	"sww/internal/metrics"
+)
+
+var evalBullets = []string{
+	"hiking route through the alpine meadows",
+	"trail starts at the lake parking area",
+	"steep climb with panoramic summit views",
+	"bring water and sun protection",
+	"best season june through september",
+}
+
+func evalRef() string { return strings.Join(evalBullets, ". ") }
+
+// TestSBERTCalibration checks §6.3.2: "All the models achieve SBERT
+// mean scores ranging from 0.82 to 0.91", with the per-model targets
+// DeepSeek R1 8B highest and 1.5B lowest.
+func TestSBERTCalibration(t *testing.T) {
+	for _, m := range Models() {
+		var sum float64
+		const n = 12
+		for i := 0; i < n; i++ {
+			res, err := m.Expand(genai.TextRequest{
+				Bullets: evalBullets, TargetWords: 250,
+				Class: device.ClassWorkstation, Seed: int64(i + 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += metrics.SBERTScore(evalRef(), res.Text)
+		}
+		mean := sum / n
+		if math.Abs(mean-m.SBERTTarget()) > 0.03 {
+			t.Errorf("%s mean SBERT = %.3f, want %.2f±0.03", m.Name(), mean, m.SBERTTarget())
+		}
+		if mean < 0.79 || mean > 0.94 {
+			t.Errorf("%s = %.3f outside the paper's 0.82-0.91 band", m.Name(), mean)
+		}
+	}
+}
+
+func TestSBERTOrdering(t *testing.T) {
+	score := func(m *expanderModel) float64 {
+		var sum float64
+		for i := 0; i < 12; i++ {
+			res, _ := m.Expand(genai.TextRequest{
+				Bullets: evalBullets, TargetWords: 200,
+				Class: device.ClassWorkstation, Seed: int64(i + 100)})
+			sum += metrics.SBERTScore(evalRef(), res.Text)
+		}
+		return sum / 12
+	}
+	if !(score(ds8) > score(llama32) && score(llama32) > score(ds15)) {
+		t.Error("§6.3.2 quality ordering violated (8B > llama > 1.5B)")
+	}
+}
+
+// TestOvershootDistribution checks §6.3.2: "The overshoot in length
+// reaches 20%, and while the mean of some models is close to 1.3%,
+// the 25th and 75th percentile are in most cases over 10%."
+func TestOvershootDistribution(t *testing.T) {
+	for _, m := range Models() {
+		var deltas []float64
+		for i := 0; i < 200; i++ {
+			res, err := m.Expand(genai.TextRequest{
+				Bullets: evalBullets, TargetWords: 100,
+				Class: device.ClassWorkstation, Seed: int64(i + 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			deltas = append(deltas, metrics.Overshoot(res.Words, 100))
+		}
+		mean := metrics.Mean(deltas)
+		if math.Abs(mean) > 0.05 {
+			t.Errorf("%s mean overshoot = %.3f, want near 0.013", m.Name(), mean)
+		}
+		for _, d := range deltas {
+			if d > 0.21 || d < -0.21 {
+				t.Errorf("%s overshoot %.3f beyond the 20%% clamp", m.Name(), d)
+			}
+		}
+	}
+	// The wide models must have quartiles beyond ±10%.
+	var deltas []float64
+	for i := 0; i < 200; i++ {
+		res, _ := llama32.Expand(genai.TextRequest{
+			Bullets: evalBullets, TargetWords: 100,
+			Class: device.ClassWorkstation, Seed: int64(i + 1)})
+		deltas = append(deltas, metrics.Overshoot(res.Words, 100))
+	}
+	p25, p75 := metrics.Percentile(deltas, 25), metrics.Percentile(deltas, 75)
+	if p25 > -0.05 || p75 < 0.05 {
+		t.Errorf("llama3.2 quartiles [%.3f, %.3f] too narrow", p25, p75)
+	}
+	// The 8B model is tighter than the 1.5B model.
+	spread := func(m *expanderModel) float64 {
+		var ds []float64
+		for i := 0; i < 200; i++ {
+			res, _ := m.Expand(genai.TextRequest{
+				Bullets: evalBullets, TargetWords: 100,
+				Class: device.ClassWorkstation, Seed: int64(i + 1)})
+			ds = append(ds, metrics.Overshoot(res.Words, 100))
+		}
+		return metrics.Percentile(ds, 75) - metrics.Percentile(ds, 25)
+	}
+	if spread(ds8) >= spread(ds15) {
+		t.Error("8B should have smaller length deviation than 1.5B (§6.3.2)")
+	}
+}
+
+// TestGenTimeRanges checks §6.3.2: "Generation time ranges from 6.98s
+// to 14.33s on the workstation, and from 16.06s to 34.04s on the
+// laptop", and Table 2's 13.0s/32s for the 250-word block on
+// DeepSeek R1 8B. The model carries ±5% decode jitter.
+func TestGenTimeRanges(t *testing.T) {
+	for _, c := range []struct {
+		model *expanderModel
+		class device.Class
+		want  float64
+	}{
+		{ds8, device.ClassWorkstation, 13.0},
+		{ds8, device.ClassLaptop, 32.0},
+		{llama32, device.ClassWorkstation, 6.98},
+		{ds14, device.ClassLaptop, 34.04},
+	} {
+		got, err := c.model.GenTime(c.class, 250)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Seconds()-c.want) > c.want*0.15 {
+			t.Errorf("%s on %v = %.2fs, want %.2f±15%%", c.model.Name(), c.class, got.Seconds(), c.want)
+		}
+	}
+}
+
+// TestWorkstationBenefit checks §6.3.2: "The performance benefit of
+// running on a workstation is only 2.5×."
+func TestWorkstationBenefit(t *testing.T) {
+	var ratios []float64
+	for _, m := range Models() {
+		lt, _ := m.GenTime(device.ClassLaptop, 150)
+		wt, _ := m.GenTime(device.ClassWorkstation, 150)
+		ratios = append(ratios, lt.Seconds()/wt.Seconds())
+	}
+	mean := metrics.Mean(ratios)
+	if mean < 2.0 || mean > 3.0 {
+		t.Errorf("mean workstation benefit = %.2fx, want ≈2.5x", mean)
+	}
+}
+
+// TestNonMonotonicLength checks §6.3.2: "50 words text takes longer
+// than 100 and 150 words text for three of the models" (the
+// reasoning models overthink short outputs).
+func TestNonMonotonicLength(t *testing.T) {
+	overthinkers := 0
+	for _, m := range Models() {
+		t50, _ := m.GenTime(device.ClassWorkstation, 50)
+		t100, _ := m.GenTime(device.ClassWorkstation, 100)
+		t150, _ := m.GenTime(device.ClassWorkstation, 150)
+		if t50 > t100 && t50 > t150 {
+			overthinkers++
+		}
+	}
+	if overthinkers < 3 {
+		t.Errorf("%d models overthink 50-word outputs, want ≥3", overthinkers)
+	}
+}
+
+// TestWeakLengthDependence checks that quadrupling the requested
+// length far less than quadruples the time.
+func TestWeakLengthDependence(t *testing.T) {
+	t100, _ := ds8.GenTime(device.ClassWorkstation, 100)
+	t400, _ := ds8.GenTime(device.ClassWorkstation, 400)
+	if ratio := t400.Seconds() / t100.Seconds(); ratio > 1.5 {
+		t.Errorf("400/100 word time ratio = %.2f, dependence too strong", ratio)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	req := genai.TextRequest{Bullets: evalBullets, TargetWords: 120, Seed: 9, Class: device.ClassLaptop}
+	a, err := ds8.Expand(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ds8.Expand(req)
+	if a.Text != b.Text {
+		t.Error("same seed produced different text")
+	}
+	req.Seed = 10
+	c, _ := ds8.Expand(req)
+	if a.Text == c.Text {
+		t.Error("different seeds produced identical text")
+	}
+}
+
+func TestWordCountReported(t *testing.T) {
+	res, err := ds8.Expand(genai.TextRequest{
+		Bullets: evalBullets, TargetWords: 150, Seed: 3, Class: device.ClassWorkstation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.WordCount(res.Text); got != res.Words {
+		t.Errorf("reported %d words, actual %d", res.Words, got)
+	}
+	if math.Abs(float64(res.Words-150)) > 150*(maxOvershoot+0.01) {
+		t.Errorf("words = %d, outside clamp around 150", res.Words)
+	}
+}
+
+func TestEmptyBullets(t *testing.T) {
+	res, err := ds8.Expand(genai.TextRequest{TargetWords: 50, Seed: 1, Class: device.ClassLaptop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Words == 0 {
+		t.Error("no text generated for empty bullets")
+	}
+}
+
+func TestDefaultTargetWords(t *testing.T) {
+	res, err := ds8.Expand(genai.TextRequest{Bullets: evalBullets, Seed: 2, Class: device.ClassLaptop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Words < 75 || res.Words > 125 {
+		t.Errorf("default target produced %d words, want ≈100", res.Words)
+	}
+}
+
+func TestUnknownClassFails(t *testing.T) {
+	if _, err := ds8.GenTime(device.Class(99), 100); err == nil {
+		t.Error("unknown device class should fail")
+	}
+}
+
+func TestLoadTimes(t *testing.T) {
+	if ds8.LoadTime(device.ClassLaptop) <= ds15.LoadTime(device.ClassLaptop) {
+		t.Error("bigger model should load slower")
+	}
+	if ds8.LoadTime(device.ClassLaptop) < time.Second {
+		t.Error("model load should cost seconds")
+	}
+}
+
+func BenchmarkExpand250(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds8.Expand(genai.TextRequest{
+			Bullets: evalBullets, TargetWords: 250,
+			Class: device.ClassWorkstation, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

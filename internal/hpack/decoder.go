@@ -1,0 +1,165 @@
+package hpack
+
+// A Decoder parses header block fragments into header fields.
+// It is not safe for concurrent use.
+type Decoder struct {
+	table dynamicTable
+
+	// maxAllowed is the ceiling for dynamic table size updates: the
+	// value this endpoint advertised in SETTINGS_HEADER_TABLE_SIZE.
+	maxAllowed uint32
+
+	// maxString bounds individual decoded string literals.
+	maxString int
+}
+
+// NewDecoder returns a decoder whose dynamic table is capped at
+// DefaultTableSize and whose string literals are capped at maxString
+// bytes (0 means a permissive 1 MiB default).
+func NewDecoder(maxString int) *Decoder {
+	if maxString <= 0 {
+		maxString = 1 << 20
+	}
+	d := &Decoder{maxString: maxString}
+	d.table.maxSize = DefaultTableSize
+	d.maxAllowed = DefaultTableSize
+	return d
+}
+
+// SetMaxDynamicTableSize raises or lowers the ceiling the peer's
+// table-size updates may use. Call when this endpoint changes its
+// SETTINGS_HEADER_TABLE_SIZE.
+func (d *Decoder) SetMaxDynamicTableSize(n uint32) {
+	d.maxAllowed = n
+	if d.table.maxSize > n {
+		d.table.setMaxSize(n)
+	}
+}
+
+// Decode parses a complete header block and returns the header list.
+// Dynamic table size updates are honored only at the start of the
+// block, per RFC 7541 §4.2.
+func (d *Decoder) Decode(block []byte) ([]HeaderField, error) {
+	var fields []HeaderField
+	sawField := false
+	for len(block) > 0 {
+		b := block[0]
+		switch {
+		case b&0x80 != 0: // indexed field, §6.1
+			idx, rest, err := readInteger(block, 7)
+			if err != nil {
+				return nil, err
+			}
+			f, err := tableEntry(&d.table, idx)
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, f)
+			block = rest
+			sawField = true
+
+		case b&0xc0 == 0x40: // literal with incremental indexing, §6.2.1
+			f, rest, err := d.readLiteral(block, 6)
+			if err != nil {
+				return nil, err
+			}
+			d.table.add(f)
+			fields = append(fields, f)
+			block = rest
+			sawField = true
+
+		case b&0xe0 == 0x20: // dynamic table size update, §6.3
+			if sawField {
+				return nil, ErrTableSizeUpdate
+			}
+			size, rest, err := readInteger(block, 5)
+			if err != nil {
+				return nil, err
+			}
+			if size > uint64(d.maxAllowed) {
+				return nil, ErrTableSizeUpdate
+			}
+			d.table.setMaxSize(uint32(size))
+			block = rest
+
+		case b&0xf0 == 0x10: // never indexed, §6.2.3
+			f, rest, err := d.readLiteral(block, 4)
+			if err != nil {
+				return nil, err
+			}
+			f.Sensitive = true
+			fields = append(fields, f)
+			block = rest
+			sawField = true
+
+		default: // literal without indexing, §6.2.2 (pattern 0000)
+			f, rest, err := d.readLiteral(block, 4)
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, f)
+			block = rest
+			sawField = true
+		}
+	}
+	return fields, nil
+}
+
+func (d *Decoder) readLiteral(block []byte, prefix uint8) (HeaderField, []byte, error) {
+	nameIdx, rest, err := readInteger(block, prefix)
+	if err != nil {
+		return HeaderField{}, nil, err
+	}
+	var f HeaderField
+	if nameIdx != 0 {
+		ref, err := tableEntry(&d.table, nameIdx)
+		if err != nil {
+			return HeaderField{}, nil, err
+		}
+		f.Name = ref.Name
+	} else {
+		f.Name, rest, err = d.readString(rest)
+		if err != nil {
+			return HeaderField{}, nil, err
+		}
+	}
+	f.Value, rest, err = d.readString(rest)
+	if err != nil {
+		return HeaderField{}, nil, err
+	}
+	return f, rest, nil
+}
+
+func (d *Decoder) readString(buf []byte) (string, []byte, error) {
+	if len(buf) == 0 {
+		return "", nil, ErrTruncated
+	}
+	huffman := buf[0]&0x80 != 0
+	n, rest, err := readInteger(buf, 7)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(d.maxString) {
+		return "", nil, ErrStringTooLong
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, ErrTruncated
+	}
+	raw := rest[:n]
+	rest = rest[n:]
+	if !huffman {
+		return string(raw), rest, nil
+	}
+	decoded, err := DecodeHuffman(make([]byte, 0, len(raw)*2), raw)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(decoded) > d.maxString {
+		return "", nil, ErrStringTooLong
+	}
+	return string(decoded), rest, nil
+}
+
+// DynamicTableSize returns the current size in bytes of the decoder's
+// dynamic table, for diagnostics.
+func (d *Decoder) DynamicTableSize() uint32 { return d.table.size }

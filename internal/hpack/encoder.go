@@ -1,0 +1,143 @@
+package hpack
+
+// An Encoder serializes header fields into header block fragments.
+// It is not safe for concurrent use; HTTP/2 serializes header block
+// emission per connection, which matches this constraint.
+type Encoder struct {
+	table dynamicTable
+
+	// pendingMax holds table-size updates that must be emitted at the
+	// start of the next header block (RFC 7541 §4.2).
+	pendingMax  []uint32
+	minPending  uint32
+	havePending bool
+}
+
+// NewEncoder returns an encoder with the default 4096-byte dynamic
+// table.
+func NewEncoder() *Encoder {
+	e := &Encoder{}
+	e.table.maxSize = DefaultTableSize
+	return e
+}
+
+// SetMaxDynamicTableSize changes the encoder's dynamic table capacity.
+// The change is advertised with a dynamic table size update at the
+// start of the next header block. Callers must not raise the size
+// beyond what the peer's SETTINGS_HEADER_TABLE_SIZE permits.
+func (e *Encoder) SetMaxDynamicTableSize(n uint32) {
+	if !e.havePending || n < e.minPending {
+		e.minPending = n
+		e.havePending = true
+	}
+	e.pendingMax = append(e.pendingMax, n)
+	e.table.setMaxSize(n)
+}
+
+// AppendField appends the encoding of f to dst and returns the
+// extended slice. Sensitive fields are encoded never-indexed; other
+// fields use incremental indexing when they are small enough to be
+// worth caching.
+func (e *Encoder) AppendField(dst []byte, f HeaderField) []byte {
+	dst = e.flushTableUpdates(dst)
+
+	if f.Sensitive {
+		idx, _ := e.nameIndex(f.Name)
+		return appendLiteral(dst, 0x10, 4, idx, f, false)
+	} else if idx, exact := e.bestIndex(f); exact {
+		// Indexed header field, §6.1.
+		return appendInteger(dst, 0x80, 7, idx)
+	} else if e.shouldIndex(f) {
+		// Literal with incremental indexing, §6.2.1.
+		e.table.add(f)
+		return appendLiteral(dst, 0x40, 6, idx, f, true)
+	} else {
+		// Literal without indexing, §6.2.2.
+		return appendLiteral(dst, 0x00, 4, idx, f, true)
+	}
+}
+
+// AppendFields encodes a full header list.
+func (e *Encoder) AppendFields(dst []byte, fields []HeaderField) []byte {
+	for _, f := range fields {
+		dst = e.AppendField(dst, f)
+	}
+	return dst
+}
+
+func (e *Encoder) flushTableUpdates(dst []byte) []byte {
+	if !e.havePending {
+		return dst
+	}
+	// Emit the smallest intermediate size first if the table shrank
+	// below its final value at any point (§4.2).
+	final := e.pendingMax[len(e.pendingMax)-1]
+	if e.minPending < final {
+		dst = appendInteger(dst, 0x20, 5, uint64(e.minPending))
+	}
+	dst = appendInteger(dst, 0x20, 5, uint64(final))
+	e.pendingMax = e.pendingMax[:0]
+	e.havePending = false
+	return dst
+}
+
+// shouldIndex reports whether f is worth adding to the dynamic table.
+// Very large values (for example full page payload digests) would
+// evict everything useful.
+func (e *Encoder) shouldIndex(f HeaderField) bool {
+	return f.Size() <= e.table.maxSize/2 || f.Size() <= 256
+}
+
+// bestIndex returns the best available table index for f. exact
+// reports a full name+value match; otherwise idx (possibly 0) is a
+// name-only match.
+func (e *Encoder) bestIndex(f HeaderField) (idx uint64, exact bool) {
+	probe := HeaderField{Name: f.Name, Value: f.Value}
+	if i, ok := staticPairIndex[probe]; ok {
+		return i, true
+	}
+	if i, nameOnly, ok := e.table.lookup(f); ok && !nameOnly {
+		return i, true
+	}
+	idx, _ = e.nameIndex(f.Name)
+	return idx, false
+}
+
+func (e *Encoder) nameIndex(name string) (uint64, bool) {
+	if i, ok := staticNameIndex[name]; ok {
+		return i, true
+	}
+	if i, nameOnly, ok := e.table.lookup(HeaderField{Name: name}); ok && nameOnly {
+		return i, true
+	}
+	return 0, false
+}
+
+// appendLiteral encodes a literal header field with the given type
+// pattern and prefix. If nameIdx is zero the name is emitted as a
+// string literal. huffman selects Huffman coding for strings when it
+// is smaller than the raw form.
+func appendLiteral(dst []byte, pattern byte, prefix uint8, nameIdx uint64, f HeaderField, huffman bool) []byte {
+	dst = appendInteger(dst, pattern, prefix, nameIdx)
+	if nameIdx == 0 {
+		dst = appendString(dst, f.Name, huffman)
+	}
+	return appendString(dst, f.Value, huffman)
+}
+
+// appendString encodes a string literal (§5.2), choosing Huffman
+// coding when allowed and strictly smaller.
+func appendString(dst []byte, s string, allowHuffman bool) []byte {
+	if allowHuffman {
+		if hl := HuffmanEncodedLen(s); hl < len(s) {
+			dst = appendInteger(dst, 0x80, 7, uint64(hl))
+			return AppendHuffman(dst, s)
+		}
+	}
+	dst = appendInteger(dst, 0x00, 7, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// DynamicTableSize returns the current size in bytes of the encoder's
+// dynamic table, for diagnostics.
+func (e *Encoder) DynamicTableSize() uint32 { return e.table.size }

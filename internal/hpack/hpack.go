@@ -1,0 +1,78 @@
+// Package hpack implements HPACK header compression as specified by
+// RFC 7541, for use by the HTTP/2 stack in internal/http2.
+//
+// The package provides an Encoder that serializes header lists into
+// header block fragments and a Decoder that parses header block
+// fragments back into header fields, both maintaining the dynamic
+// table state required by the RFC.
+package hpack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// A HeaderField is a name/value pair carried in a header block.
+// Sensitive fields are encoded as never-indexed literals so that
+// intermediaries do not add them to their dynamic tables.
+type HeaderField struct {
+	Name, Value string
+
+	// Sensitive marks the field as never-indexed (RFC 7541 §6.2.3).
+	Sensitive bool
+}
+
+// Size returns the size of the entry as defined by RFC 7541 §4.1:
+// the sum of the octet lengths of name and value plus 32.
+func (f HeaderField) Size() uint32 {
+	return uint32(len(f.Name)+len(f.Value)) + entryOverhead
+}
+
+// IsPseudo reports whether the field is an HTTP/2 pseudo-header
+// (a name beginning with ':').
+func (f HeaderField) IsPseudo() bool {
+	return len(f.Name) > 0 && f.Name[0] == ':'
+}
+
+func (f HeaderField) String() string {
+	suffix := ""
+	if f.Sensitive {
+		suffix = " (sensitive)"
+	}
+	return fmt.Sprintf("%s: %s%s", f.Name, f.Value, suffix)
+}
+
+// entryOverhead is the per-entry accounting overhead of RFC 7541 §4.1.
+const entryOverhead = 32
+
+// DefaultTableSize is the initial dynamic table size mandated by
+// SETTINGS_HEADER_TABLE_SIZE's default (RFC 9113 §6.5.2).
+const DefaultTableSize = 4096
+
+// Decoding errors.
+var (
+	// ErrInvalidIndex indicates a header field index outside the
+	// combined static+dynamic table address space.
+	ErrInvalidIndex = errors.New("hpack: invalid header field index")
+
+	// ErrIntegerOverflow indicates a prefixed integer that exceeds the
+	// implementation limit.
+	ErrIntegerOverflow = errors.New("hpack: integer overflow")
+
+	// ErrTruncated indicates a header block that ends mid-field.
+	ErrTruncated = errors.New("hpack: truncated header block")
+
+	// ErrInvalidHuffman indicates a malformed Huffman-coded string,
+	// including padding longer than 7 bits or padding not matching the
+	// EOS prefix (RFC 7541 §5.2).
+	ErrInvalidHuffman = errors.New("hpack: invalid huffman-coded data")
+
+	// ErrTableSizeUpdate indicates a dynamic table size update that is
+	// larger than the limit set by the decoder's owner, or one that
+	// appears after the first header field of a block.
+	ErrTableSizeUpdate = errors.New("hpack: invalid dynamic table size update")
+
+	// ErrStringTooLong indicates a string literal longer than the
+	// decoder's configured limit.
+	ErrStringTooLong = errors.New("hpack: string literal exceeds limit")
+)

@@ -1,0 +1,187 @@
+package hpack
+
+// Huffman coding for string literals, RFC 7541 §5.2 and Appendix B.
+//
+// The code table is canonical: within each code length, codes are
+// assigned to symbols in ascending symbol order, and each length's
+// first code continues where the previous length left off. Appendix B
+// is exactly this canonical code, so the table here is generated from
+// the per-symbol code lengths alone; the init-time
+// completeness check and the RFC Appendix C vectors in hpack_test.go
+// verify the construction.
+
+// huffLengths holds the RFC 7541 Appendix B code length for each of
+// the 256 octet symbols. The EOS symbol (256) has length 30 and is
+// handled separately: it is never encoded, and its prefix is the only
+// legal padding.
+var huffLengths = [256]uint8{
+	/* 0x00 */ 13, 23, 28, 28, 28, 28, 28, 28, 28, 24, 30, 28, 28, 30, 28, 28,
+	/* 0x10 */ 28, 28, 28, 28, 28, 28, 30, 28, 28, 28, 28, 28, 28, 28, 28, 28,
+	/* 0x20 */ 6, 10, 10, 12, 13, 6, 8, 11, 10, 10, 8, 11, 8, 6, 6, 6,
+	/* 0x30 */ 5, 5, 5, 6, 6, 6, 6, 6, 6, 6, 7, 8, 15, 6, 12, 10,
+	/* 0x40 */ 13, 6, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7,
+	/* 0x50 */ 7, 7, 7, 7, 7, 7, 7, 7, 8, 7, 8, 13, 19, 13, 14, 6,
+	/* 0x60 */ 15, 5, 6, 5, 6, 5, 6, 6, 6, 5, 7, 7, 6, 6, 6, 5,
+	/* 0x70 */ 6, 7, 6, 5, 5, 6, 7, 7, 7, 7, 7, 15, 11, 14, 13, 28,
+	/* 0x80 */ 20, 22, 20, 20, 22, 22, 22, 23, 22, 23, 23, 23, 23, 23, 24, 23,
+	/* 0x90 */ 24, 24, 22, 23, 24, 23, 23, 23, 23, 21, 22, 23, 22, 23, 23, 24,
+	/* 0xa0 */ 22, 21, 20, 22, 22, 23, 23, 21, 23, 22, 22, 24, 21, 22, 23, 23,
+	/* 0xb0 */ 21, 21, 22, 21, 23, 22, 23, 23, 20, 22, 22, 22, 23, 22, 22, 23,
+	/* 0xc0 */ 26, 26, 20, 19, 22, 23, 22, 25, 26, 26, 26, 27, 27, 26, 24, 25,
+	/* 0xd0 */ 19, 21, 26, 27, 27, 26, 27, 24, 21, 21, 26, 26, 28, 27, 27, 27,
+	/* 0xe0 */ 20, 24, 20, 21, 22, 21, 21, 23, 22, 22, 25, 25, 24, 24, 26, 23,
+	/* 0xf0 */ 26, 27, 26, 26, 27, 27, 27, 27, 27, 28, 27, 27, 27, 27, 27, 26,
+}
+
+const (
+	eosLength = 30
+	eosCode   = 0x3fffffff
+)
+
+// huffCodes holds the canonical code for each symbol, right-aligned in
+// the low huffLengths[i] bits. Built by init.
+var huffCodes [256]uint32
+
+// huffDecodeTree is the root of the decoding tree. Built by init.
+var huffDecodeTree *huffNode
+
+type huffNode struct {
+	children [2]*huffNode
+	sym      uint16 // valid if leaf
+	leaf     bool
+}
+
+func init() {
+	// Canonical code assignment: walk lengths in increasing order and,
+	// within a length, symbols in increasing order.
+	code := uint32(0)
+	prevLen := uint8(0)
+	for _, l := range lengthsSorted() {
+		code <<= (l.length - prevLen)
+		prevLen = l.length
+		huffCodes[l.sym] = code
+		code++
+	}
+	// After all 256 symbols the remaining leaf at length 30 must be the
+	// EOS code; the init-time check guards against table typos.
+	code <<= (eosLength - prevLen)
+	if code != eosCode {
+		panic("hpack: huffman length table is not canonical")
+	}
+
+	huffDecodeTree = &huffNode{}
+	for sym := 0; sym < 256; sym++ {
+		insertCode(huffDecodeTree, huffCodes[sym], huffLengths[sym], uint16(sym))
+	}
+	insertCode(huffDecodeTree, eosCode, eosLength, 256)
+}
+
+type symLen struct {
+	sym    uint16
+	length uint8
+}
+
+func lengthsSorted() []symLen {
+	out := make([]symLen, 0, 256)
+	for l := uint8(5); l <= 28; l++ {
+		for sym := 0; sym < 256; sym++ {
+			if huffLengths[sym] == l {
+				out = append(out, symLen{uint16(sym), l})
+			}
+		}
+	}
+	// The three length-30 symbols (0x0a, 0x0d, 0x16) come last.
+	for sym := 0; sym < 256; sym++ {
+		if huffLengths[sym] == eosLength {
+			out = append(out, symLen{uint16(sym), eosLength})
+		}
+	}
+	return out
+}
+
+func insertCode(root *huffNode, code uint32, length uint8, sym uint16) {
+	n := root
+	for i := int(length) - 1; i >= 0; i-- {
+		bit := (code >> uint(i)) & 1
+		if n.leaf {
+			panic("hpack: huffman code is not prefix-free")
+		}
+		if n.children[bit] == nil {
+			n.children[bit] = &huffNode{}
+		}
+		n = n.children[bit]
+	}
+	if n.leaf || n.children[0] != nil || n.children[1] != nil {
+		panic("hpack: huffman code collision")
+	}
+	n.leaf = true
+	n.sym = sym
+}
+
+// HuffmanEncodedLen returns the number of octets the Huffman encoding
+// of s occupies, including padding.
+func HuffmanEncodedLen(s string) int {
+	bits := 0
+	for i := 0; i < len(s); i++ {
+		bits += int(huffLengths[s[i]])
+	}
+	return (bits + 7) / 8
+}
+
+// AppendHuffman appends the Huffman encoding of s to dst, padding the
+// final octet with the EOS prefix (all ones) per RFC 7541 §5.2.
+func AppendHuffman(dst []byte, s string) []byte {
+	var acc uint64 // bit accumulator, high bits filled first
+	var nbits uint
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		acc = acc<<huffLengths[c] | uint64(huffCodes[c])
+		nbits += uint(huffLengths[c])
+		for nbits >= 8 {
+			nbits -= 8
+			dst = append(dst, byte(acc>>nbits))
+		}
+	}
+	if nbits > 0 {
+		// Pad with the most significant bits of EOS (all ones).
+		acc = acc<<(8-nbits) | (1<<(8-nbits) - 1)
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}
+
+// DecodeHuffman decodes a Huffman-coded string literal. It rejects
+// padding longer than 7 bits, padding that does not match the EOS
+// prefix, and any appearance of the EOS symbol itself.
+func DecodeHuffman(dst, src []byte) ([]byte, error) {
+	n := huffDecodeTree
+	depth := 0 // bits consumed since the last emitted symbol
+	allOnes := true
+	for _, b := range src {
+		for bit := 7; bit >= 0; bit-- {
+			v := (b >> uint(bit)) & 1
+			if v == 0 {
+				allOnes = false
+			}
+			n = n.children[v]
+			if n == nil {
+				return nil, ErrInvalidHuffman
+			}
+			depth++
+			if n.leaf {
+				if n.sym == 256 {
+					// EOS must never appear in the body (§5.2).
+					return nil, ErrInvalidHuffman
+				}
+				dst = append(dst, byte(n.sym))
+				n = huffDecodeTree
+				depth = 0
+				allOnes = true
+			}
+		}
+	}
+	if depth > 7 || !allOnes {
+		return nil, ErrInvalidHuffman
+	}
+	return dst, nil
+}

@@ -1,0 +1,62 @@
+package hpack
+
+// Prefixed integer representation, RFC 7541 §5.1.
+//
+// An integer is encoded into the low n bits of the first octet; values
+// that do not fit continue in subsequent octets, 7 bits at a time,
+// least significant group first, with the high bit acting as a
+// continuation flag.
+
+// maxInteger bounds decoded integers. Anything above this is treated
+// as an attack or corruption; real header metadata never approaches it.
+const maxInteger = 1 << 32
+
+// appendInteger appends the prefixed-integer encoding of v to dst.
+// prefix must be in [1,8]. high carries the upper (8-prefix) bits of
+// the first octet (the pattern bits of the field type).
+func appendInteger(dst []byte, high byte, prefix uint8, v uint64) []byte {
+	mask := uint64(1)<<prefix - 1
+	if v < mask {
+		return append(dst, high|byte(v))
+	}
+	dst = append(dst, high|byte(mask))
+	v -= mask
+	for v >= 0x80 {
+		dst = append(dst, byte(v&0x7f)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// readInteger decodes a prefixed integer from buf. prefix must be in
+// [1,8]. It returns the value and the remainder of buf.
+func readInteger(buf []byte, prefix uint8) (v uint64, rest []byte, err error) {
+	if len(buf) == 0 {
+		return 0, nil, ErrTruncated
+	}
+	mask := uint64(1)<<prefix - 1
+	v = uint64(buf[0]) & mask
+	buf = buf[1:]
+	if v < mask {
+		return v, buf, nil
+	}
+	var shift uint
+	for {
+		if len(buf) == 0 {
+			return 0, nil, ErrTruncated
+		}
+		b := buf[0]
+		buf = buf[1:]
+		v += uint64(b&0x7f) << shift
+		if v > maxInteger {
+			return 0, nil, ErrIntegerOverflow
+		}
+		if b&0x80 == 0 {
+			return v, buf, nil
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, nil, ErrIntegerOverflow
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package hpack
+
+// Static and dynamic indexing tables, RFC 7541 §2.3.
+
+// staticTable is the fixed 61-entry table of RFC 7541 Appendix A.
+// Index 1 addresses the first entry.
+var staticTable = [...]HeaderField{
+	{Name: ":authority"},
+	{Name: ":method", Value: "GET"},
+	{Name: ":method", Value: "POST"},
+	{Name: ":path", Value: "/"},
+	{Name: ":path", Value: "/index.html"},
+	{Name: ":scheme", Value: "http"},
+	{Name: ":scheme", Value: "https"},
+	{Name: ":status", Value: "200"},
+	{Name: ":status", Value: "204"},
+	{Name: ":status", Value: "206"},
+	{Name: ":status", Value: "304"},
+	{Name: ":status", Value: "400"},
+	{Name: ":status", Value: "404"},
+	{Name: ":status", Value: "500"},
+	{Name: "accept-charset"},
+	{Name: "accept-encoding", Value: "gzip, deflate"},
+	{Name: "accept-language"},
+	{Name: "accept-ranges"},
+	{Name: "accept"},
+	{Name: "access-control-allow-origin"},
+	{Name: "age"},
+	{Name: "allow"},
+	{Name: "authorization"},
+	{Name: "cache-control"},
+	{Name: "content-disposition"},
+	{Name: "content-encoding"},
+	{Name: "content-language"},
+	{Name: "content-length"},
+	{Name: "content-location"},
+	{Name: "content-range"},
+	{Name: "content-type"},
+	{Name: "cookie"},
+	{Name: "date"},
+	{Name: "etag"},
+	{Name: "expect"},
+	{Name: "expires"},
+	{Name: "from"},
+	{Name: "host"},
+	{Name: "if-match"},
+	{Name: "if-modified-since"},
+	{Name: "if-none-match"},
+	{Name: "if-range"},
+	{Name: "if-unmodified-since"},
+	{Name: "last-modified"},
+	{Name: "link"},
+	{Name: "location"},
+	{Name: "max-forwards"},
+	{Name: "proxy-authenticate"},
+	{Name: "proxy-authorization"},
+	{Name: "range"},
+	{Name: "referer"},
+	{Name: "refresh"},
+	{Name: "retry-after"},
+	{Name: "server"},
+	{Name: "set-cookie"},
+	{Name: "strict-transport-security"},
+	{Name: "transfer-encoding"},
+	{Name: "user-agent"},
+	{Name: "vary"},
+	{Name: "via"},
+	{Name: "www-authenticate"},
+}
+
+// staticTableLen is the number of entries in the static table.
+const staticTableLen = len(staticTable)
+
+// staticLookup maps exact name/value pairs and bare names to static
+// table indices for encoder use. Built by init.
+var (
+	staticPairIndex = map[HeaderField]uint64{}
+	staticNameIndex = map[string]uint64{}
+)
+
+func init() {
+	for i := len(staticTable) - 1; i >= 0; i-- {
+		f := staticTable[i]
+		idx := uint64(i + 1)
+		staticPairIndex[HeaderField{Name: f.Name, Value: f.Value}] = idx
+		staticNameIndex[f.Name] = idx // earliest index wins (loop is reversed)
+	}
+}
+
+// dynamicTable is the FIFO of recently indexed fields (RFC 7541 §2.3.2).
+// New entries are inserted at index staticTableLen+1 and evicted from
+// the other end when size exceeds maxSize.
+type dynamicTable struct {
+	entries []HeaderField // entries[0] is the newest
+	size    uint32
+	maxSize uint32
+}
+
+func (t *dynamicTable) setMaxSize(n uint32) {
+	t.maxSize = n
+	t.evict()
+}
+
+// add inserts f, evicting as needed. An entry larger than the table
+// clears the table entirely (RFC 7541 §4.4).
+func (t *dynamicTable) add(f HeaderField) {
+	sz := f.Size()
+	if sz > t.maxSize {
+		t.entries = nil
+		t.size = 0
+		return
+	}
+	t.entries = append(t.entries, HeaderField{})
+	copy(t.entries[1:], t.entries)
+	t.entries[0] = f
+	t.size += sz
+	t.evict()
+}
+
+func (t *dynamicTable) evict() {
+	for t.size > t.maxSize && len(t.entries) > 0 {
+		last := t.entries[len(t.entries)-1]
+		t.size -= last.Size()
+		t.entries = t.entries[:len(t.entries)-1]
+	}
+	if len(t.entries) == 0 {
+		t.entries = nil
+	}
+}
+
+// at returns the dynamic entry with 1-based dynamic index i
+// (1 is the newest entry).
+func (t *dynamicTable) at(i uint64) (HeaderField, bool) {
+	if i == 0 || i > uint64(len(t.entries)) {
+		return HeaderField{}, false
+	}
+	return t.entries[i-1], true
+}
+
+// lookup returns the combined-address-space index of the best match
+// for f: exact match if possible, otherwise a name-only match.
+// nameOnly reports that only the name matched.
+func (t *dynamicTable) lookup(f HeaderField) (idx uint64, nameOnly bool, ok bool) {
+	var nameIdx uint64
+	for i, e := range t.entries {
+		if e.Name != f.Name {
+			continue
+		}
+		if e.Value == f.Value {
+			return uint64(staticTableLen) + uint64(i) + 1, false, true
+		}
+		if nameIdx == 0 {
+			nameIdx = uint64(staticTableLen) + uint64(i) + 1
+		}
+	}
+	if nameIdx != 0 {
+		return nameIdx, true, true
+	}
+	return 0, false, false
+}
+
+// tableEntry resolves a combined-address-space index against the
+// static table followed by dyn.
+func tableEntry(dyn *dynamicTable, idx uint64) (HeaderField, error) {
+	if idx == 0 {
+		return HeaderField{}, ErrInvalidIndex
+	}
+	if idx <= uint64(staticTableLen) {
+		return staticTable[idx-1], nil
+	}
+	f, ok := dyn.at(idx - uint64(staticTableLen))
+	if !ok {
+		return HeaderField{}, ErrInvalidIndex
+	}
+	return f, nil
+}

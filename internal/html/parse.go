@@ -1,0 +1,66 @@
+package html
+
+// Parse builds a node tree from src. It never fails: malformed markup
+// degrades to the browser-like recoveries implemented here (unclosed
+// elements close with their ancestors; stray end tags are dropped).
+func Parse(src string) *Node {
+	doc := &Node{Type: DocumentNode}
+	z := NewTokenizer(src)
+	stack := []*Node{doc}
+	top := func() *Node { return stack[len(stack)-1] }
+
+	for {
+		tok := z.Next()
+		switch tok.Type {
+		case ErrorToken:
+			return doc
+
+		case TextToken:
+			top().AppendChild(NewText(tok.Data))
+
+		case CommentToken:
+			top().AppendChild(&Node{Type: CommentNode, Data: tok.Data})
+
+		case DoctypeToken:
+			top().AppendChild(&Node{Type: DoctypeNode, Data: tok.Data})
+
+		case SelfClosingTagToken:
+			top().AppendChild(NewElement(tok.Data, tok.Attr...))
+
+		case StartTagToken:
+			// <p> and <li> auto-close a preceding sibling of the same
+			// kind, the most common implicit-close cases in real pages.
+			if tok.Data == "p" || tok.Data == "li" {
+				if top().Type == ElementNode && top().Data == tok.Data {
+					stack = stack[:len(stack)-1]
+				}
+			}
+			el := NewElement(tok.Data, tok.Attr...)
+			top().AppendChild(el)
+			if !voidElements[tok.Data] {
+				stack = append(stack, el)
+			}
+
+		case EndTagToken:
+			// Close the nearest matching open element; ignore stray
+			// end tags that match nothing.
+			for i := len(stack) - 1; i > 0; i-- {
+				if stack[i].Type == ElementNode && stack[i].Data == tok.Data {
+					stack = stack[:i]
+					break
+				}
+			}
+		}
+	}
+}
+
+// ParseFragment parses src and returns the top-level nodes, without
+// the synthetic document wrapper.
+func ParseFragment(src string) []*Node {
+	doc := Parse(src)
+	kids := doc.Children()
+	for _, k := range kids {
+		doc.RemoveChild(k)
+	}
+	return kids
+}

@@ -1,0 +1,70 @@
+package html
+
+import (
+	"io"
+	"strings"
+)
+
+// Render serializes the tree rooted at n to w.
+func Render(w io.Writer, n *Node) error {
+	var b strings.Builder
+	render(&b, n)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderString serializes the tree rooted at n.
+func RenderString(n *Node) string {
+	var b strings.Builder
+	render(&b, n)
+	return b.String()
+}
+
+func render(b *strings.Builder, n *Node) {
+	switch n.Type {
+	case DocumentNode:
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			render(b, c)
+		}
+
+	case DoctypeNode:
+		b.WriteString("<!DOCTYPE ")
+		b.WriteString(n.Data)
+		b.WriteString(">")
+
+	case CommentNode:
+		b.WriteString("<!--")
+		b.WriteString(n.Data)
+		b.WriteString("-->")
+
+	case TextNode:
+		if n.Parent != nil && n.Parent.Type == ElementNode && rawTextElements[n.Parent.Data] {
+			b.WriteString(n.Data) // raw text is emitted verbatim
+			return
+		}
+		b.WriteString(EscapeString(n.Data))
+
+	case ElementNode:
+		b.WriteByte('<')
+		b.WriteString(n.Data)
+		for _, a := range n.Attr {
+			b.WriteByte(' ')
+			b.WriteString(a.Name)
+			if a.Value != "" || strings.ContainsAny(a.Name, "=") {
+				b.WriteString(`="`)
+				b.WriteString(EscapeString(a.Value))
+				b.WriteByte('"')
+			}
+		}
+		b.WriteByte('>')
+		if voidElements[n.Data] {
+			return
+		}
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			render(b, c)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Data)
+		b.WriteByte('>')
+	}
+}

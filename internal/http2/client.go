@@ -1,0 +1,201 @@
+package http2
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"time"
+
+	"sww/internal/hpack"
+)
+
+// A Response is a decoded HTTP/2 response.
+type Response struct {
+	Status int
+	Header []hpack.HeaderField
+
+	// Body streams the response payload. It must be drained or closed
+	// to release stream resources.
+	Body io.ReadCloser
+
+	stream *Stream
+}
+
+// HeaderValue returns the first value of the named header, or "".
+func (r *Response) HeaderValue(name string) string {
+	for _, f := range r.Header {
+		if f.Name == name {
+			return f.Value
+		}
+	}
+	return ""
+}
+
+// Stream exposes the underlying stream.
+func (r *Response) Stream() *Stream { return r.stream }
+
+// A ClientConn is the client end of an HTTP/2 connection.
+type ClientConn struct {
+	c *conn
+}
+
+// NewClientConn performs the client side of connection setup over nc:
+// preface, SETTINGS exchange (including SETTINGS_GEN_ABILITY when
+// cfg.GenAbility is nonzero), and waits for the server's SETTINGS so
+// that Negotiated is immediately meaningful, matching the paper's
+// client flow ("exchanging settings, advertising its generation
+// ability and logging the server's ability", §5.2).
+func NewClientConn(nc net.Conn, cfg Config) (*ClientConn, error) {
+	c := newConn(nc, cfg, false)
+	if _, err := io.WriteString(nc, ClientPreface); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("http2: writing preface: %w", err)
+	}
+	// Start reading before sending SETTINGS: on unbuffered transports
+	// (net.Pipe) both endpoints write their initial SETTINGS frames
+	// concurrently, so someone must already be consuming.
+	go c.readLoop()
+	if err := c.sendInitial(); err != nil {
+		c.shutdown()
+		return nil, err
+	}
+	if err := c.waitPeerSettings(); err != nil {
+		c.shutdown()
+		return nil, err
+	}
+	return &ClientConn{c: c}, nil
+}
+
+// Negotiated returns the generative ability common to both endpoints.
+func (cc *ClientConn) Negotiated() GenAbility { return cc.c.negotiated() }
+
+// ServerGenAbility returns the raw ability the server advertised and
+// whether it advertised SETTINGS_GEN_ABILITY at all.
+func (cc *ClientConn) ServerGenAbility() (GenAbility, bool) { return cc.c.peerGenAbility() }
+
+// ServerModelIDs returns the model identifiers the server advertised
+// via SETTINGS_GEN_IMAGE_MODEL / SETTINGS_GEN_TEXT_MODEL (zero when
+// not advertised).
+func (cc *ClientConn) ServerModelIDs() (image, text uint32) { return cc.c.peerModelIDs() }
+
+// Ping round-trips a PING frame.
+func (cc *ClientConn) Ping(timeout time.Duration) error { return cc.c.ping(timeout) }
+
+// Close shuts the connection down with GOAWAY(NO_ERROR).
+func (cc *ClientConn) Close() error { return cc.c.shutdown() }
+
+// Get issues a simple GET request.
+func (cc *ClientConn) Get(path string, extra ...hpack.HeaderField) (*Response, error) {
+	return cc.Do(&Request{Method: "GET", Scheme: "https", Path: path, Authority: "sww.local", Header: extra})
+}
+
+// Do sends req and waits for the response headers. The response body
+// streams afterwards.
+func (cc *ClientConn) Do(req *Request) (*Response, error) {
+	st, err := cc.c.openStream()
+	if err != nil {
+		return nil, err
+	}
+	fields := make([]hpack.HeaderField, 0, len(req.Header)+4)
+	method := req.Method
+	if method == "" {
+		method = "GET"
+	}
+	scheme := req.Scheme
+	if scheme == "" {
+		scheme = "https"
+	}
+	path := req.Path
+	if path == "" {
+		path = "/"
+	}
+	fields = append(fields,
+		hpack.HeaderField{Name: ":method", Value: method},
+		hpack.HeaderField{Name: ":scheme", Value: scheme},
+		hpack.HeaderField{Name: ":path", Value: path},
+	)
+	if req.Authority != "" {
+		fields = append(fields, hpack.HeaderField{Name: ":authority", Value: req.Authority})
+	}
+	fields = append(fields, req.Header...)
+
+	endStream := req.Body == nil
+	if err := cc.c.writeHeaderBlock(st.id, fields, endStream); err != nil {
+		st.Close()
+		return nil, err
+	}
+	if endStream {
+		st.mu.Lock()
+		st.sendEnded = true
+		st.mu.Unlock()
+	} else {
+		if _, err := io.Copy(st, req.Body); err != nil {
+			st.Close()
+			return nil, err
+		}
+		if err := st.CloseSend(); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+
+	hdrs := <-st.hdrCh
+	if hdrs == nil {
+		err := cc.c.closeError()
+		st.mu.Lock()
+		if st.err != nil {
+			err = st.err
+		}
+		st.mu.Unlock()
+		st.Close()
+		return nil, err
+	}
+	resp := &Response{stream: st, Body: &responseBody{st: st}}
+	for _, f := range hdrs {
+		if f.Name == ":status" {
+			code, err := strconv.Atoi(f.Value)
+			if err != nil {
+				st.Close()
+				return nil, streamError(st.id, ErrCodeProtocol, "bad :status %q", f.Value)
+			}
+			resp.Status = code
+			continue
+		}
+		resp.Header = append(resp.Header, f)
+	}
+	if resp.Status == 0 {
+		st.Close()
+		return nil, streamError(st.id, ErrCodeProtocol, "response missing :status")
+	}
+	return resp, nil
+}
+
+// responseBody adapts a stream to io.ReadCloser with cleanup on EOF.
+type responseBody struct {
+	st   *Stream
+	done bool
+}
+
+func (b *responseBody) Read(p []byte) (int, error) {
+	n, err := b.st.Read(p)
+	if err == io.EOF && !b.done {
+		b.done = true
+		b.st.c.removeStream(b.st.id)
+	}
+	return n, err
+}
+
+func (b *responseBody) Close() error {
+	if b.done {
+		return nil
+	}
+	b.done = true
+	return b.st.Close()
+}
+
+// ReadAllBody drains and closes a response body.
+func ReadAllBody(resp *Response) ([]byte, error) {
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}

@@ -1,0 +1,911 @@
+package http2
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"sww/internal/hpack"
+)
+
+// ClientPreface is the fixed sequence every client connection begins
+// with (RFC 9113 §3.4).
+const ClientPreface = "PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n"
+
+const (
+	defaultWindowSize      = 65535
+	defaultMaxStreams      = 100
+	defaultHandshakePeriod = 10 * time.Second
+
+	// maxHeaderBlockBytes caps an assembled header block across
+	// HEADERS + CONTINUATION frames.
+	maxHeaderBlockBytes = 1 << 20
+)
+
+// Config carries the local endpoint's preferences for a connection.
+// The zero value is usable.
+type Config struct {
+	// GenAbility is the capability advertised in SETTINGS_GEN_ABILITY.
+	// GenNone suppresses the setting entirely, modelling a legacy
+	// endpoint that does not know the extension.
+	GenAbility GenAbility
+
+	// ImageModelID and TextModelID, when nonzero, are advertised in
+	// SETTINGS_GEN_IMAGE_MODEL / SETTINGS_GEN_TEXT_MODEL (§7 model
+	// negotiation). Use genai.ModelID to derive them from registry
+	// names.
+	ImageModelID uint32
+	TextModelID  uint32
+
+	// MaxFrameSize is the advertised SETTINGS_MAX_FRAME_SIZE.
+	// Values below 16384 mean the default.
+	MaxFrameSize uint32
+
+	// InitialWindowSize is the advertised per-stream receive window.
+	// Zero means the protocol default of 65535.
+	InitialWindowSize uint32
+
+	// MaxConcurrentStreams caps peer-initiated concurrent streams.
+	// Zero means defaultMaxStreams.
+	MaxConcurrentStreams uint32
+
+	// HandshakeTimeout bounds the wait for the peer's first SETTINGS
+	// frame. Zero means 10s.
+	HandshakeTimeout time.Duration
+
+	// ExtraSettings are appended verbatim to the initial SETTINGS
+	// frame (for tests and future extensions).
+	ExtraSettings []Setting
+
+	// Logf, when set, receives debug lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) maxFrameSize() uint32 {
+	if c.MaxFrameSize < minMaxFrameSize {
+		return minMaxFrameSize
+	}
+	if c.MaxFrameSize > maxMaxFrameSize {
+		return maxMaxFrameSize
+	}
+	return c.MaxFrameSize
+}
+
+func (c Config) initialWindow() int32 {
+	if c.InitialWindowSize == 0 || c.InitialWindowSize > 1<<31-1 {
+		return defaultWindowSize
+	}
+	return int32(c.InitialWindowSize)
+}
+
+func (c Config) maxStreams() uint32 {
+	if c.MaxConcurrentStreams == 0 {
+		return defaultMaxStreams
+	}
+	return c.MaxConcurrentStreams
+}
+
+func (c Config) handshakeTimeout() time.Duration {
+	if c.HandshakeTimeout <= 0 {
+		return defaultHandshakePeriod
+	}
+	return c.HandshakeTimeout
+}
+
+// peerState holds the peer's most recent SETTINGS values.
+type peerState struct {
+	maxFrameSize  uint32
+	initialWindow int32
+	maxStreams    uint32
+	genAbility    GenAbility
+	genAdvertised bool
+	imageModelID  uint32
+	textModelID   uint32
+}
+
+// conn is the shared connection machinery beneath both the server and
+// client endpoints.
+type conn struct {
+	netConn net.Conn
+	aw      *asyncWriter
+	fr      *Framer
+	cfg     Config
+	server  bool
+
+	// wmu serializes all frame writes and guards henc, whose dynamic
+	// table must evolve in frame emission order.
+	wmu  sync.Mutex
+	henc *hpack.Encoder
+
+	// hdec is used only by the read loop.
+	hdec *hpack.Decoder
+
+	connSend *sendFlow // connection-level send window
+
+	recvMu   sync.Mutex
+	connRecv recvFlow // connection-level receive accounting
+
+	mu          sync.Mutex
+	streams     map[uint32]*Stream
+	nextID      uint32 // next locally initiated stream id
+	lastPeerID  uint32 // highest peer-initiated stream id seen
+	peer        peerState
+	peerSeen    bool
+	goAway      *GoAwayError
+	closeErr    error
+	sentGoAway  bool
+	peerSeenCh  chan struct{}
+	doneCh      chan struct{}
+	pings       map[[8]byte]chan struct{}
+	peerStreams uint32 // live peer-initiated streams (server side)
+
+	// handler receives peer-initiated streams (server role).
+	handler Handler
+}
+
+func newConn(nc net.Conn, cfg Config, server bool) *conn {
+	aw := newAsyncWriter(nc)
+	c := &conn{
+		netConn:    nc,
+		aw:         aw,
+		fr:         NewFramer(aw, nc),
+		cfg:        cfg,
+		server:     server,
+		henc:       hpack.NewEncoder(),
+		hdec:       hpack.NewDecoder(0),
+		connSend:   newSendFlow(defaultWindowSize),
+		streams:    make(map[uint32]*Stream),
+		peerSeenCh: make(chan struct{}),
+		doneCh:     make(chan struct{}),
+		pings:      make(map[[8]byte]chan struct{}),
+	}
+	c.connRecv = newRecvFlow(defaultWindowSize)
+	c.peer = peerState{
+		maxFrameSize:  minMaxFrameSize,
+		initialWindow: defaultWindowSize,
+		maxStreams:    1<<32 - 1,
+	}
+	c.fr.SetMaxReadFrameSize(cfg.maxFrameSize())
+	if server {
+		c.nextID = 2
+	} else {
+		c.nextID = 1
+	}
+	return c
+}
+
+func (c *conn) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// initialSettings builds this endpoint's first SETTINGS frame.
+func (c *conn) initialSettings() []Setting {
+	s := []Setting{
+		{SettingMaxFrameSize, c.cfg.maxFrameSize()},
+		{SettingInitialWindowSize, uint32(c.cfg.initialWindow())},
+		{SettingMaxConcurrentStreams, c.cfg.maxStreams()},
+		{SettingEnablePush, 0},
+	}
+	if c.cfg.GenAbility != GenNone {
+		s = append(s, Setting{SettingGenAbility, uint32(c.cfg.GenAbility)})
+	}
+	if c.cfg.ImageModelID != 0 {
+		s = append(s, Setting{SettingGenImageModel, c.cfg.ImageModelID})
+	}
+	if c.cfg.TextModelID != 0 {
+		s = append(s, Setting{SettingGenTextModel, c.cfg.TextModelID})
+	}
+	return append(s, c.cfg.ExtraSettings...)
+}
+
+// sendInitial writes the initial SETTINGS frame and, if the
+// configured receive window exceeds the default, grows the connection
+// window with an immediate WINDOW_UPDATE.
+func (c *conn) sendInitial() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.fr.WriteSettings(c.initialSettings()...); err != nil {
+		return err
+	}
+	if iw := c.cfg.initialWindow(); iw > defaultWindowSize {
+		incr := uint32(iw - defaultWindowSize)
+		c.recvMu.Lock()
+		c.connRecv.granted += int32(incr)
+		c.connRecv.target = iw
+		c.recvMu.Unlock()
+		return c.fr.WriteWindowUpdate(0, incr)
+	}
+	return nil
+}
+
+// waitPeerSettings blocks until the peer's first SETTINGS frame has
+// been processed, the connection dies, or the handshake times out.
+func (c *conn) waitPeerSettings() error {
+	select {
+	case <-c.peerSeenCh:
+		return nil
+	case <-c.doneCh:
+		return c.closeError()
+	case <-time.After(c.cfg.handshakeTimeout()):
+		return connError(ErrCodeSettingsTimeout, "no SETTINGS from peer")
+	}
+}
+
+// Negotiated returns the generative ability shared by both endpoints
+// (paper §3: both sides must advertise support, otherwise GenNone).
+func (c *conn) negotiated() GenAbility {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.GenAbility.Intersect(c.peer.genAbility)
+}
+
+// peerGenAbility returns what the peer advertised, and whether it
+// advertised the setting at all.
+func (c *conn) peerGenAbility() (GenAbility, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peer.genAbility, c.peer.genAdvertised
+}
+
+// peerModelIDs returns the peer's advertised model identifiers (§7
+// model negotiation); zero means not advertised.
+func (c *conn) peerModelIDs() (image, text uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peer.imageModelID, c.peer.textModelID
+}
+
+func (c *conn) closeError() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closeErr != nil {
+		return c.closeErr
+	}
+	return errors.New("http2: connection closed")
+}
+
+// readLoop consumes frames until the connection dies. It owns hdec
+// and all read-path state transitions.
+func (c *conn) readLoop() {
+	err := c.readFrames()
+	c.teardown(err)
+}
+
+func (c *conn) readFrames() error {
+	sawSettings := false
+	for {
+		fr, err := c.fr.ReadFrame()
+		if err != nil {
+			if ce, ok := err.(ConnectionError); ok {
+				c.abort(ce)
+			}
+			return err
+		}
+		c.logf("%s read %v", c.role(), fr.FrameHeader)
+		if !sawSettings {
+			if fr.Type != FrameSettings || fr.Has(FlagAck) {
+				err := connError(ErrCodeProtocol, "first frame %v, want SETTINGS", fr.Type)
+				c.abort(err)
+				return err
+			}
+			sawSettings = true
+		}
+		if err := c.dispatch(fr); err != nil {
+			switch e := err.(type) {
+			case StreamError:
+				c.resetStream(e.StreamID, e.Code)
+				if st := c.lookupStream(e.StreamID); st != nil {
+					st.closeWithError(e)
+					c.removeStream(e.StreamID)
+				}
+			case ConnectionError:
+				c.abort(e)
+				return e
+			default:
+				return err
+			}
+		}
+	}
+}
+
+func (c *conn) role() string {
+	if c.server {
+		return "server"
+	}
+	return "client"
+}
+
+func (c *conn) dispatch(fr Frame) error {
+	switch fr.Type {
+	case FrameSettings:
+		return c.onSettings(fr)
+	case FrameHeaders:
+		return c.onHeaders(fr)
+	case FrameData:
+		return c.onData(fr)
+	case FrameWindowUpdate:
+		return c.onWindowUpdate(fr)
+	case FrameRSTStream:
+		return c.onRSTStream(fr)
+	case FramePing:
+		return c.onPing(fr)
+	case FrameGoAway:
+		return c.onGoAway(fr)
+	case FramePriority:
+		if fr.StreamID == 0 {
+			return connError(ErrCodeProtocol, "PRIORITY on stream 0")
+		}
+		if len(fr.Payload) != 5 {
+			return streamError(fr.StreamID, ErrCodeFrameSize, "PRIORITY length %d", len(fr.Payload))
+		}
+		return nil // deprecated scheme: parseable, ignored
+	case FramePushPromise:
+		// We always advertise ENABLE_PUSH = 0.
+		return connError(ErrCodeProtocol, "PUSH_PROMISE despite ENABLE_PUSH=0")
+	case FrameContinuation:
+		return connError(ErrCodeProtocol, "CONTINUATION without preceding HEADERS")
+	default:
+		return nil // unknown frame types are ignored (§4.1)
+	}
+}
+
+func (c *conn) onSettings(fr Frame) error {
+	if fr.StreamID != 0 {
+		return connError(ErrCodeProtocol, "SETTINGS on stream %d", fr.StreamID)
+	}
+	if fr.Has(FlagAck) {
+		if len(fr.Payload) != 0 {
+			return connError(ErrCodeFrameSize, "SETTINGS ACK with payload")
+		}
+		return nil
+	}
+	settings, err := parseSettings(fr.Payload)
+	if err != nil {
+		return err
+	}
+	for _, s := range settings {
+		if err := s.valid(); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	for _, s := range settings {
+		switch s.ID {
+		case SettingHeaderTableSize:
+			c.wmu.Lock()
+			c.henc.SetMaxDynamicTableSize(s.Val)
+			c.wmu.Unlock()
+		case SettingMaxFrameSize:
+			c.peer.maxFrameSize = s.Val
+		case SettingMaxConcurrentStreams:
+			c.peer.maxStreams = s.Val
+		case SettingInitialWindowSize:
+			delta := int32(s.Val) - c.peer.initialWindow
+			c.peer.initialWindow = int32(s.Val)
+			for _, st := range c.streams {
+				if !st.send.add(delta) {
+					c.mu.Unlock()
+					return connError(ErrCodeFlowControl, "INITIAL_WINDOW_SIZE overflow")
+				}
+			}
+		case SettingGenAbility:
+			c.peer.genAbility = GenAbility(s.Val)
+			c.peer.genAdvertised = true
+		case SettingGenImageModel:
+			c.peer.imageModelID = s.Val
+		case SettingGenTextModel:
+			c.peer.textModelID = s.Val
+		}
+	}
+	first := !c.peerSeen
+	c.peerSeen = true
+	c.mu.Unlock()
+	if first {
+		close(c.peerSeenCh)
+	}
+
+	c.wmu.Lock()
+	err = c.fr.WriteSettingsAck()
+	c.wmu.Unlock()
+	return err
+}
+
+func (c *conn) onPing(fr Frame) error {
+	if fr.StreamID != 0 {
+		return connError(ErrCodeProtocol, "PING on stream %d", fr.StreamID)
+	}
+	if len(fr.Payload) != 8 {
+		return connError(ErrCodeFrameSize, "PING length %d", len(fr.Payload))
+	}
+	var data [8]byte
+	copy(data[:], fr.Payload)
+	if fr.Has(FlagAck) {
+		c.mu.Lock()
+		ch := c.pings[data]
+		delete(c.pings, data)
+		c.mu.Unlock()
+		if ch != nil {
+			close(ch)
+		}
+		return nil
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.fr.WritePing(true, data)
+}
+
+func (c *conn) onGoAway(fr Frame) error {
+	if len(fr.Payload) < 8 {
+		return connError(ErrCodeFrameSize, "GOAWAY length %d", len(fr.Payload))
+	}
+	ga := &GoAwayError{
+		LastStreamID: uint32(fr.Payload[0]&0x7f)<<24 | uint32(fr.Payload[1])<<16 |
+			uint32(fr.Payload[2])<<8 | uint32(fr.Payload[3]),
+		Code:      ErrCode(uint32(fr.Payload[4])<<24 | uint32(fr.Payload[5])<<16 | uint32(fr.Payload[6])<<8 | uint32(fr.Payload[7])),
+		DebugData: string(fr.Payload[8:]),
+	}
+	c.mu.Lock()
+	c.goAway = ga
+	var above []*Stream
+	for id, st := range c.streams {
+		if c.initiatedLocally(id) && id > ga.LastStreamID {
+			above = append(above, st)
+		}
+	}
+	c.mu.Unlock()
+	for _, st := range above {
+		st.closeWithError(*ga)
+	}
+	return nil
+}
+
+func (c *conn) initiatedLocally(id uint32) bool {
+	if c.server {
+		return id%2 == 0
+	}
+	return id%2 == 1
+}
+
+func (c *conn) onWindowUpdate(fr Frame) error {
+	if len(fr.Payload) != 4 {
+		return connError(ErrCodeFrameSize, "WINDOW_UPDATE length %d", len(fr.Payload))
+	}
+	incr := uint32(fr.Payload[0]&0x7f)<<24 | uint32(fr.Payload[1])<<16 |
+		uint32(fr.Payload[2])<<8 | uint32(fr.Payload[3])
+	if incr == 0 {
+		if fr.StreamID == 0 {
+			return connError(ErrCodeProtocol, "WINDOW_UPDATE of 0")
+		}
+		return streamError(fr.StreamID, ErrCodeProtocol, "WINDOW_UPDATE of 0")
+	}
+	if fr.StreamID == 0 {
+		if !c.connSend.add(int32(incr)) {
+			return connError(ErrCodeFlowControl, "connection window overflow")
+		}
+		return nil
+	}
+	st := c.lookupStream(fr.StreamID)
+	if st == nil {
+		return nil // likely a recently closed stream; ignore
+	}
+	if !st.send.add(int32(incr)) {
+		return streamError(fr.StreamID, ErrCodeFlowControl, "stream window overflow")
+	}
+	return nil
+}
+
+func (c *conn) onRSTStream(fr Frame) error {
+	if fr.StreamID == 0 {
+		return connError(ErrCodeProtocol, "RST_STREAM on stream 0")
+	}
+	if len(fr.Payload) != 4 {
+		return connError(ErrCodeFrameSize, "RST_STREAM length %d", len(fr.Payload))
+	}
+	code := ErrCode(uint32(fr.Payload[0])<<24 | uint32(fr.Payload[1])<<16 |
+		uint32(fr.Payload[2])<<8 | uint32(fr.Payload[3]))
+	if st := c.lookupStream(fr.StreamID); st != nil {
+		st.closeWithError(StreamError{StreamID: fr.StreamID, Code: code, Reason: "reset by peer"})
+		c.removeStream(fr.StreamID)
+	}
+	return nil
+}
+
+func (c *conn) onData(fr Frame) error {
+	if fr.StreamID == 0 {
+		return connError(ErrCodeProtocol, "DATA on stream 0")
+	}
+	// The whole payload, padding included, consumes flow-control
+	// window (§6.9.1).
+	flowLen := int32(fr.Length)
+	c.recvMu.Lock()
+	ok := c.connRecv.onData(flowLen)
+	c.recvMu.Unlock()
+	if !ok {
+		return connError(ErrCodeFlowControl, "connection flow window exceeded")
+	}
+	data, err := stripPadding(fr.FrameHeader, fr.Payload)
+	if err != nil {
+		return err
+	}
+	st := c.lookupStream(fr.StreamID)
+	if st == nil {
+		// Unknown stream: return the window, then report the error.
+		c.returnConnWindow(flowLen)
+		return streamError(fr.StreamID, ErrCodeStreamClosed, "DATA on unknown stream")
+	}
+	return st.onData(data, flowLen, fr.Has(FlagEndStream))
+}
+
+// returnConnWindow refunds window consumed by data that was never
+// delivered to a stream.
+func (c *conn) returnConnWindow(n int32) {
+	c.recvMu.Lock()
+	incr := c.connRecv.onConsume(n)
+	c.recvMu.Unlock()
+	if incr > 0 {
+		c.wmu.Lock()
+		c.fr.WriteWindowUpdate(0, uint32(incr))
+		c.wmu.Unlock()
+	}
+}
+
+// onHeaders assembles the full header block (HEADERS plus any
+// CONTINUATION frames) and routes it.
+func (c *conn) onHeaders(fr Frame) error {
+	if fr.StreamID == 0 {
+		return connError(ErrCodeProtocol, "HEADERS on stream 0")
+	}
+	payload, err := stripPadding(fr.FrameHeader, fr.Payload)
+	if err != nil {
+		return err
+	}
+	payload, err = stripPriority(fr.FrameHeader, payload)
+	if err != nil {
+		return err
+	}
+	block := append([]byte(nil), payload...)
+	endHeaders := fr.Has(FlagEndHeaders)
+	for !endHeaders {
+		cont, err := c.fr.ReadFrame()
+		if err != nil {
+			return err
+		}
+		if cont.Type != FrameContinuation || cont.StreamID != fr.StreamID {
+			return connError(ErrCodeProtocol, "expected CONTINUATION for stream %d, got %v", fr.StreamID, cont.FrameHeader)
+		}
+		block = append(block, cont.Payload...)
+		if len(block) > maxHeaderBlockBytes {
+			// Unbounded CONTINUATION streams are a memory-exhaustion
+			// vector; cap the assembled block.
+			return connError(ErrCodeEnhanceYourCalm, "header block exceeds %d bytes", maxHeaderBlockBytes)
+		}
+		endHeaders = cont.Has(FlagEndHeaders)
+	}
+	fields, err := c.hdec.Decode(block)
+	if err != nil {
+		return connError(ErrCodeCompression, "hpack: %v", err)
+	}
+	endStream := fr.Has(FlagEndStream)
+
+	if st := c.lookupStream(fr.StreamID); st != nil {
+		return st.onHeaders(fields, endStream)
+	}
+	if c.server {
+		if c.initiatedLocally(fr.StreamID) {
+			// A client must never address even stream ids (§5.1.1).
+			return connError(ErrCodeProtocol, "client used server-initiated stream id %d", fr.StreamID)
+		}
+		return c.acceptStream(fr.StreamID, fields, endStream)
+	}
+	return streamError(fr.StreamID, ErrCodeStreamClosed, "HEADERS on unknown stream")
+}
+
+// acceptStream admits a new peer-initiated stream on the server side.
+func (c *conn) acceptStream(id uint32, fields []hpack.HeaderField, endStream bool) error {
+	c.mu.Lock()
+	if id%2 == 0 {
+		c.mu.Unlock()
+		return connError(ErrCodeProtocol, "client used even stream id %d", id)
+	}
+	if id <= c.lastPeerID {
+		c.mu.Unlock()
+		return connError(ErrCodeProtocol, "stream id %d not increasing", id)
+	}
+	c.lastPeerID = id
+	if c.peerStreams >= c.cfg.maxStreams() {
+		c.mu.Unlock()
+		return streamError(id, ErrCodeRefusedStream, "concurrent stream limit")
+	}
+	if c.sentGoAway {
+		c.mu.Unlock()
+		return streamError(id, ErrCodeRefusedStream, "connection is shutting down")
+	}
+	st := newStream(c, id, c.peer.initialWindow)
+	c.streams[id] = st
+	c.peerStreams++
+	c.mu.Unlock()
+
+	if endStream {
+		st.markRecvClosed()
+	}
+	req, err := newRequest(st, fields)
+	if err != nil {
+		return err
+	}
+	go c.runHandler(st, req)
+	return nil
+}
+
+func (c *conn) runHandler(st *Stream, req *Request) {
+	w := &ResponseWriter{stream: st}
+	defer func() {
+		if r := recover(); r != nil {
+			c.logf("handler panic on stream %d: %v", st.id, r)
+			if !w.wroteHeaders {
+				w.WriteHeaders(500, hpack.HeaderField{Name: "content-type", Value: "text/plain"})
+			}
+			st.c.resetStream(st.id, ErrCodeInternal)
+			st.closeWithError(streamError(st.id, ErrCodeInternal, "handler panic"))
+		}
+		c.finishServerStream(st, w)
+	}()
+	c.handler.ServeSWW(w, req)
+}
+
+func (c *conn) finishServerStream(st *Stream, w *ResponseWriter) {
+	if !w.wroteHeaders {
+		w.WriteHeaders(200)
+	}
+	w.Finish()
+	c.mu.Lock()
+	if _, live := c.streams[st.id]; live {
+		delete(c.streams, st.id)
+		c.peerStreams--
+	}
+	c.mu.Unlock()
+}
+
+func (c *conn) lookupStream(id uint32) *Stream {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.streams[id]
+}
+
+func (c *conn) removeStream(id uint32) {
+	c.mu.Lock()
+	if _, ok := c.streams[id]; ok {
+		delete(c.streams, id)
+		if c.server && id%2 == 1 {
+			c.peerStreams--
+		}
+	}
+	c.mu.Unlock()
+}
+
+// resetStream emits RST_STREAM; errors writing it are surfaced via
+// the read loop's teardown instead.
+func (c *conn) resetStream(id uint32, code ErrCode) {
+	c.wmu.Lock()
+	c.fr.WriteRSTStream(id, code)
+	c.wmu.Unlock()
+}
+
+// abort sends GOAWAY for a connection-level error.
+func (c *conn) abort(ce ConnectionError) {
+	c.mu.Lock()
+	last := c.lastPeerID
+	already := c.sentGoAway
+	c.sentGoAway = true
+	c.mu.Unlock()
+	if already {
+		return
+	}
+	c.wmu.Lock()
+	c.fr.WriteGoAway(last, ce.Code, []byte(ce.Reason))
+	c.wmu.Unlock()
+}
+
+// teardown fails every stream and marks the connection dead.
+func (c *conn) teardown(err error) {
+	if err == nil || err == io.EOF {
+		err = errors.New("http2: connection closed by peer")
+	}
+	c.mu.Lock()
+	if c.closeErr == nil {
+		c.closeErr = err
+	}
+	streams := make([]*Stream, 0, len(c.streams))
+	for _, st := range c.streams {
+		streams = append(streams, st)
+	}
+	c.streams = map[uint32]*Stream{}
+	pings := c.pings
+	c.pings = map[[8]byte]chan struct{}{}
+	c.mu.Unlock()
+
+	c.connSend.fail(err)
+	for _, st := range streams {
+		st.closeWithError(err)
+	}
+	for _, ch := range pings {
+		close(ch)
+	}
+	select {
+	case <-c.doneCh:
+	default:
+		close(c.doneCh)
+	}
+	// Stop accepting new frames but give already-queued ones (the
+	// GOAWAY explaining this teardown, in particular) a moment to
+	// reach the peer before the transport dies.
+	c.aw.close()
+	c.aw.drain(200 * time.Millisecond)
+	c.netConn.Close()
+}
+
+// shutdown performs a graceful local close: GOAWAY(NO_ERROR) then
+// closing the transport.
+func (c *conn) shutdown() error {
+	c.mu.Lock()
+	last := c.lastPeerID
+	already := c.sentGoAway
+	c.sentGoAway = true
+	c.mu.Unlock()
+	if !already {
+		c.wmu.Lock()
+		c.fr.WriteGoAway(last, ErrCodeNo, nil)
+		c.wmu.Unlock()
+	}
+	// Give the writer a moment to flush the GOAWAY before tearing the
+	// transport down.
+	c.aw.close()
+	c.aw.drain(200 * time.Millisecond)
+	err := c.netConn.Close()
+	c.teardown(errors.New("http2: connection closed locally"))
+	return err
+}
+
+// ping sends PING and waits for the ACK.
+func (c *conn) ping(timeout time.Duration) error {
+	var data [8]byte
+	if _, err := rand.Read(data[:]); err != nil {
+		return err
+	}
+	ch := make(chan struct{})
+	c.mu.Lock()
+	if c.closeErr != nil {
+		err := c.closeErr
+		c.mu.Unlock()
+		return err
+	}
+	c.pings[data] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := c.fr.WritePing(false, data)
+	c.wmu.Unlock()
+	if err != nil {
+		return err
+	}
+	select {
+	case <-ch:
+		c.mu.Lock()
+		err := c.closeErr
+		c.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("http2: ping timeout after %v", timeout)
+	}
+}
+
+// writeHeaderBlock encodes fields and emits HEADERS (+CONTINUATION)
+// frames atomically with respect to other writers.
+func (c *conn) writeHeaderBlock(streamID uint32, fields []hpack.HeaderField, endStream bool) error {
+	c.mu.Lock()
+	maxFrame := int(c.peer.maxFrameSize)
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	block := c.henc.AppendFields(nil, fields)
+	first := true
+	for {
+		chunk := block
+		if len(chunk) > maxFrame {
+			chunk = chunk[:maxFrame]
+		}
+		block = block[len(chunk):]
+		endHeaders := len(block) == 0
+		var err error
+		if first {
+			err = c.fr.WriteHeaders(streamID, endStream, endHeaders, chunk)
+			first = false
+		} else {
+			err = c.fr.WriteContinuation(streamID, endHeaders, chunk)
+		}
+		if err != nil {
+			return err
+		}
+		if endHeaders {
+			return nil
+		}
+	}
+}
+
+// writeData sends data on the stream, honoring both flow-control
+// windows and the peer's maximum frame size.
+func (c *conn) writeData(st *Stream, data []byte, endStream bool) error {
+	if len(data) == 0 {
+		if !endStream {
+			return nil
+		}
+		c.wmu.Lock()
+		defer c.wmu.Unlock()
+		return c.fr.WriteData(st.id, true, nil)
+	}
+	for len(data) > 0 {
+		c.mu.Lock()
+		maxFrame := int(c.peer.maxFrameSize)
+		c.mu.Unlock()
+		want := len(data)
+		if want > maxFrame {
+			want = maxFrame
+		}
+		n, err := st.send.take(want)
+		if err != nil {
+			return err
+		}
+		m, err := c.connSend.take(n)
+		if err != nil {
+			return err
+		}
+		if m < n {
+			st.send.add(int32(n - m)) // refund the difference
+		}
+		chunk := data[:m]
+		data = data[m:]
+		end := endStream && len(data) == 0
+		c.wmu.Lock()
+		err = c.fr.WriteData(st.id, end, chunk)
+		c.wmu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openStream allocates a locally initiated stream (client role).
+func (c *conn) openStream() (*Stream, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closeErr != nil {
+		return nil, c.closeErr
+	}
+	if c.goAway != nil {
+		return nil, *c.goAway
+	}
+	local := uint32(0)
+	for id := range c.streams {
+		if c.initiatedLocally(id) {
+			local++
+		}
+	}
+	if local >= c.peer.maxStreams {
+		return nil, fmt.Errorf("http2: too many concurrent streams (%d)", local)
+	}
+	id := c.nextID
+	c.nextID += 2
+	st := newStream(c, id, c.peer.initialWindow)
+	c.streams[id] = st
+	return st, nil
+}

@@ -1,0 +1,107 @@
+// Package http2 implements the HTTP/2 framing protocol (RFC 9113)
+// with the SWW extension of "The Small World Web of AI": a new
+// SETTINGS parameter, SETTINGS_GEN_ABILITY (0x07), through which
+// client and server advertise on-device generative capability during
+// connection setup.
+//
+// The package provides a frame codec (Framer), header compression via
+// internal/hpack, connection and stream state machines with flow
+// control, and Server/ClientConn types. Endpoints that do not
+// recognize SETTINGS_GEN_ABILITY ignore it, so the extension is fully
+// backward compatible; both sides fall back to ordinary HTTP/2 unless
+// both advertise the ability (paper §3).
+package http2
+
+import "fmt"
+
+// An ErrCode is an HTTP/2 error code (RFC 9113 §7).
+type ErrCode uint32
+
+const (
+	ErrCodeNo                 ErrCode = 0x0
+	ErrCodeProtocol           ErrCode = 0x1
+	ErrCodeInternal           ErrCode = 0x2
+	ErrCodeFlowControl        ErrCode = 0x3
+	ErrCodeSettingsTimeout    ErrCode = 0x4
+	ErrCodeStreamClosed       ErrCode = 0x5
+	ErrCodeFrameSize          ErrCode = 0x6
+	ErrCodeRefusedStream      ErrCode = 0x7
+	ErrCodeCancel             ErrCode = 0x8
+	ErrCodeCompression        ErrCode = 0x9
+	ErrCodeConnect            ErrCode = 0xa
+	ErrCodeEnhanceYourCalm    ErrCode = 0xb
+	ErrCodeInadequateSecurity ErrCode = 0xc
+	ErrCodeHTTP11Required     ErrCode = 0xd
+)
+
+var errCodeNames = map[ErrCode]string{
+	ErrCodeNo:                 "NO_ERROR",
+	ErrCodeProtocol:           "PROTOCOL_ERROR",
+	ErrCodeInternal:           "INTERNAL_ERROR",
+	ErrCodeFlowControl:        "FLOW_CONTROL_ERROR",
+	ErrCodeSettingsTimeout:    "SETTINGS_TIMEOUT",
+	ErrCodeStreamClosed:       "STREAM_CLOSED",
+	ErrCodeFrameSize:          "FRAME_SIZE_ERROR",
+	ErrCodeRefusedStream:      "REFUSED_STREAM",
+	ErrCodeCancel:             "CANCEL",
+	ErrCodeCompression:        "COMPRESSION_ERROR",
+	ErrCodeConnect:            "CONNECT_ERROR",
+	ErrCodeEnhanceYourCalm:    "ENHANCE_YOUR_CALM",
+	ErrCodeInadequateSecurity: "INADEQUATE_SECURITY",
+	ErrCodeHTTP11Required:     "HTTP_1_1_REQUIRED",
+}
+
+func (e ErrCode) String() string {
+	if s, ok := errCodeNames[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("unknown error code %#x", uint32(e))
+}
+
+// A ConnectionError terminates the whole connection (RFC 9113 §5.4.1).
+type ConnectionError struct {
+	Code   ErrCode
+	Reason string
+}
+
+func (e ConnectionError) Error() string {
+	if e.Reason == "" {
+		return fmt.Sprintf("http2: connection error: %v", e.Code)
+	}
+	return fmt.Sprintf("http2: connection error: %v: %s", e.Code, e.Reason)
+}
+
+// A StreamError terminates a single stream (RFC 9113 §5.4.2).
+type StreamError struct {
+	StreamID uint32
+	Code     ErrCode
+	Reason   string
+}
+
+func (e StreamError) Error() string {
+	if e.Reason == "" {
+		return fmt.Sprintf("http2: stream %d error: %v", e.StreamID, e.Code)
+	}
+	return fmt.Sprintf("http2: stream %d error: %v: %s", e.StreamID, e.Code, e.Reason)
+}
+
+func connError(code ErrCode, format string, args ...any) ConnectionError {
+	return ConnectionError{Code: code, Reason: fmt.Sprintf(format, args...)}
+}
+
+func streamError(id uint32, code ErrCode, format string, args ...any) StreamError {
+	return StreamError{StreamID: id, Code: code, Reason: fmt.Sprintf(format, args...)}
+}
+
+// GoAwayError is returned to pending operations when the peer sends
+// GOAWAY.
+type GoAwayError struct {
+	LastStreamID uint32
+	Code         ErrCode
+	DebugData    string
+}
+
+func (e GoAwayError) Error() string {
+	return fmt.Sprintf("http2: peer sent GOAWAY (last stream %d, %v, %q)",
+		e.LastStreamID, e.Code, e.DebugData)
+}

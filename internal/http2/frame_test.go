@@ -1,0 +1,303 @@
+package http2
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// pipeFramer returns a framer writing into and reading from the same
+// buffer, for codec round trips.
+func pipeFramer() (*Framer, *bytes.Buffer) {
+	var buf bytes.Buffer
+	return NewFramer(&buf, &buf), &buf
+}
+
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	fr, _ := pipeFramer()
+	if err := fr.WriteData(7, true, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != FrameData || got.StreamID != 7 || !got.Has(FlagEndStream) {
+		t.Errorf("header = %v", got.FrameHeader)
+	}
+	if string(got.Payload) != "hello" {
+		t.Errorf("payload = %q", got.Payload)
+	}
+}
+
+func TestDataFrameProperty(t *testing.T) {
+	f := func(streamID uint32, end bool, data []byte) bool {
+		if len(data) > minMaxFrameSize {
+			data = data[:minMaxFrameSize]
+		}
+		fr, _ := pipeFramer()
+		if err := fr.WriteData(streamID&0x7fffffff, end, data); err != nil {
+			return false
+		}
+		got, err := fr.ReadFrame()
+		if err != nil {
+			return false
+		}
+		return got.Type == FrameData &&
+			got.StreamID == streamID&0x7fffffff &&
+			got.Has(FlagEndStream) == end &&
+			bytes.Equal(got.Payload, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSettingsFrameRoundTrip(t *testing.T) {
+	fr, _ := pipeFramer()
+	in := []Setting{
+		{SettingMaxFrameSize, 32768},
+		{SettingGenAbility, uint32(GenFull)},
+		{SettingID(0x99), 42}, // unknown id survives the wire
+	}
+	if err := fr.WriteSettings(in...); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != FrameSettings || got.StreamID != 0 {
+		t.Fatalf("header = %v", got.FrameHeader)
+	}
+	settings, err := parseSettings(got.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(settings) != len(in) {
+		t.Fatalf("got %d settings, want %d", len(settings), len(in))
+	}
+	for i := range in {
+		if settings[i] != in[i] {
+			t.Errorf("setting %d = %v, want %v", i, settings[i], in[i])
+		}
+	}
+}
+
+func TestSettingsPayloadNotMultipleOf6(t *testing.T) {
+	if _, err := parseSettings(make([]byte, 7)); err == nil {
+		t.Error("want error for 7-byte SETTINGS payload")
+	}
+}
+
+func TestPingGoAwayWindowUpdateRoundTrip(t *testing.T) {
+	fr, _ := pipeFramer()
+	data := [8]byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := fr.WritePing(true, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.WriteGoAway(9, ErrCodeEnhanceYourCalm, []byte("slow down")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.WriteWindowUpdate(3, 12345); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.WriteRSTStream(5, ErrCodeCancel); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.WritePriority(7, 5, true, 16); err != nil {
+		t.Fatal(err)
+	}
+
+	ping, _ := fr.ReadFrame()
+	if ping.Type != FramePing || !ping.Has(FlagAck) || !bytes.Equal(ping.Payload, data[:]) {
+		t.Errorf("ping = %v %x", ping.FrameHeader, ping.Payload)
+	}
+	ga, _ := fr.ReadFrame()
+	if ga.Type != FrameGoAway || len(ga.Payload) != 8+len("slow down") {
+		t.Errorf("goaway = %v", ga.FrameHeader)
+	}
+	wu, _ := fr.ReadFrame()
+	if wu.Type != FrameWindowUpdate || wu.StreamID != 3 {
+		t.Errorf("window update = %v", wu.FrameHeader)
+	}
+	rst, _ := fr.ReadFrame()
+	if rst.Type != FrameRSTStream || rst.StreamID != 5 {
+		t.Errorf("rst = %v", rst.FrameHeader)
+	}
+	pri, _ := fr.ReadFrame()
+	if pri.Type != FramePriority || pri.StreamID != 7 || len(pri.Payload) != 5 {
+		t.Errorf("priority = %v", pri.FrameHeader)
+	}
+	if pri.Payload[0]&0x80 == 0 {
+		t.Error("exclusive bit lost")
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	// Hand-craft a header declaring a 20000-byte payload.
+	buf.Write([]byte{0x00, 0x4e, 0x20, byte(FrameData), 0, 0, 0, 0, 1})
+	buf.Write(make([]byte, 20000))
+	fr := NewFramer(&buf, &buf)
+	_, err := fr.ReadFrame()
+	ce, ok := err.(ConnectionError)
+	if !ok || ce.Code != ErrCodeFrameSize {
+		t.Errorf("err = %v, want FRAME_SIZE connection error", err)
+	}
+}
+
+func TestStripPadding(t *testing.T) {
+	h := FrameHeader{Flags: FlagPadded}
+	payload := append([]byte{3}, []byte("datapad")...)
+	got, err := stripPadding(h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "data" {
+		t.Errorf("got %q, want %q", got, "data")
+	}
+	// Padding longer than the payload is a protocol error.
+	if _, err := stripPadding(h, []byte{9, 'x'}); err == nil {
+		t.Error("want error for excessive padding")
+	}
+	if _, err := stripPadding(h, nil); err == nil {
+		t.Error("want error for empty padded frame")
+	}
+	// Unpadded frames pass through.
+	got, err = stripPadding(FrameHeader{}, []byte("raw"))
+	if err != nil || string(got) != "raw" {
+		t.Errorf("unpadded = %q, %v", got, err)
+	}
+}
+
+func TestStripPriority(t *testing.T) {
+	h := FrameHeader{Flags: FlagPriority}
+	payload := append(make([]byte, 5), []byte("block")...)
+	got, err := stripPriority(h, payload)
+	if err != nil || string(got) != "block" {
+		t.Errorf("got %q, %v", got, err)
+	}
+	if _, err := stripPriority(h, make([]byte, 3)); err == nil {
+		t.Error("want error for short priority section")
+	}
+}
+
+func TestSettingValidation(t *testing.T) {
+	bad := []Setting{
+		{SettingEnablePush, 2},
+		{SettingInitialWindowSize, 1 << 31},
+		{SettingMaxFrameSize, 100},
+		{SettingMaxFrameSize, 1 << 24},
+	}
+	for _, s := range bad {
+		if err := s.valid(); err == nil {
+			t.Errorf("%v: want validation error", s)
+		}
+	}
+	good := []Setting{
+		{SettingEnablePush, 0},
+		{SettingInitialWindowSize, 1<<31 - 1},
+		{SettingMaxFrameSize, 16384},
+		{SettingGenAbility, uint32(GenFull)},
+	}
+	for _, s := range good {
+		if err := s.valid(); err != nil {
+			t.Errorf("%v: %v", s, err)
+		}
+	}
+}
+
+func TestGenAbility(t *testing.T) {
+	if got := GenFull.Intersect(GenFull); got != GenFull {
+		t.Errorf("full∩full = %v", got)
+	}
+	// The paper's binary prototype value.
+	if got := GenAbility(1).Intersect(GenAbility(1)); got != GenBasic {
+		t.Errorf("1∩1 = %v, want basic", got)
+	}
+	// Any side lacking the basic bit kills the negotiation even if
+	// other bits overlap.
+	if got := (GenImage | GenText).Intersect(GenFull); got != GenNone {
+		t.Errorf("no-basic ∩ full = %v, want none", got)
+	}
+	if got := GenNone.Intersect(GenFull); got != GenNone {
+		t.Errorf("none∩full = %v", got)
+	}
+	// Upscale-only negotiation (paper §3: "such as upscale-only").
+	upscaler := GenBasic | GenUpscaleOnly
+	if got := upscaler.Intersect(GenFull | GenUpscaleOnly); got != upscaler {
+		t.Errorf("upscale∩full+upscale = %v, want %v", got, upscaler)
+	}
+	if !GenFull.Supports(GenImage) {
+		t.Error("full should support image")
+	}
+	if GenBasic.Supports(GenImage) {
+		t.Error("basic alone should not support image")
+	}
+	for _, c := range []struct {
+		a    GenAbility
+		want string
+	}{
+		{GenNone, "none"},
+		{GenBasic, "basic"},
+		{GenFull, "basic+image+text"},
+		{GenBasic | GenVideoFrameRate, "basic+video-fps"},
+	} {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String(%#x) = %q, want %q", uint32(c.a), got, c.want)
+		}
+	}
+}
+
+func TestErrCodeStrings(t *testing.T) {
+	if ErrCodeProtocol.String() != "PROTOCOL_ERROR" {
+		t.Error("bad PROTOCOL_ERROR string")
+	}
+	if ErrCode(0xff).String() == "" {
+		t.Error("unknown code should still format")
+	}
+	ce := connError(ErrCodeProtocol, "bad %s", "thing")
+	if ce.Error() == "" || ce.Code != ErrCodeProtocol {
+		t.Error("connError broken")
+	}
+	se := streamError(3, ErrCodeCancel, "x")
+	if se.StreamID != 3 {
+		t.Error("streamError broken")
+	}
+}
+
+func BenchmarkFrameWriteData(b *testing.B) {
+	var sink bytes.Buffer
+	fr := NewFramer(&sink, &sink)
+	payload := make([]byte, 8192)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink.Reset()
+		if err := fr.WriteData(1, false, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameReadData(b *testing.B) {
+	var buf bytes.Buffer
+	fr := NewFramer(&buf, &buf)
+	payload := make([]byte, 8192)
+	raw := func() []byte {
+		buf.Reset()
+		fr.WriteData(1, false, payload)
+		return append([]byte(nil), buf.Bytes()...)
+	}()
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		buf.Write(raw)
+		if _, err := fr.ReadFrame(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,573 @@
+package http2
+
+// Protocol-hardening tests: a raw framer plays misbehaving peer
+// against a real server and checks the mandated error handling.
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"sww/internal/hpack"
+)
+
+// rawPeer is a hand-driven HTTP/2 client built directly on the frame
+// codec.
+type rawPeer struct {
+	t    *testing.T
+	nc   net.Conn
+	fr   *Framer
+	henc *hpack.Encoder
+}
+
+// dialRaw connects a raw peer to a served connection and completes
+// the preface + SETTINGS exchange.
+func dialRaw(t *testing.T, h Handler) *rawPeer {
+	t.Helper()
+	cEnd, sEnd := net.Pipe()
+	srv := &Server{Handler: h}
+	go srv.ServeConn(sEnd)
+	if _, err := io.WriteString(cEnd, ClientPreface); err != nil {
+		t.Fatal(err)
+	}
+	p := &rawPeer{t: t, nc: cEnd, fr: NewFramer(cEnd, cEnd), henc: hpack.NewEncoder()}
+	if err := p.fr.WriteSettings(); err != nil {
+		t.Fatal(err)
+	}
+	// Consume the server SETTINGS and ACK it.
+	fr := p.read()
+	if fr.Type != FrameSettings {
+		t.Fatalf("first server frame %v", fr.Type)
+	}
+	if err := p.fr.WriteSettingsAck(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cEnd.Close() })
+	return p
+}
+
+func (p *rawPeer) read() Frame {
+	p.t.Helper()
+	p.nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	fr, err := p.fr.ReadFrame()
+	if err != nil {
+		p.t.Fatalf("raw read: %v", err)
+	}
+	return fr
+}
+
+// readUntil skips frames until one of the wanted types arrives.
+func (p *rawPeer) readUntil(types ...FrameType) Frame {
+	p.t.Helper()
+	for i := 0; i < 20; i++ {
+		fr := p.read()
+		for _, want := range types {
+			if fr.Type == want {
+				return fr
+			}
+		}
+	}
+	p.t.Fatalf("no frame of types %v", types)
+	return Frame{}
+}
+
+// request sends a minimal GET on the stream.
+func (p *rawPeer) request(streamID uint32, path string) {
+	p.t.Helper()
+	block := p.henc.AppendFields(nil, []hpack.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":path", Value: path},
+	})
+	if err := p.fr.WriteHeaders(streamID, true, true, block); err != nil {
+		p.t.Fatal(err)
+	}
+}
+
+func okHandler(w *ResponseWriter, r *Request) {
+	w.WriteHeaders(200)
+	io.WriteString(w, "ok")
+}
+
+func TestRawHappyPath(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(okHandler))
+	p.request(1, "/")
+	hf := p.readUntil(FrameHeaders)
+	if hf.StreamID != 1 {
+		t.Fatalf("response on stream %d", hf.StreamID)
+	}
+	df := p.readUntil(FrameData)
+	if string(df.Payload) != "ok" {
+		t.Fatalf("data = %q", df.Payload)
+	}
+	// The server may carry END_STREAM on the data frame or on a
+	// trailing empty DATA frame; drain until it arrives.
+	for !df.Has(FlagEndStream) {
+		df = p.readUntil(FrameData)
+	}
+}
+
+// TestDataOnStreamZero: §6.1 — DATA on stream 0 is a connection
+// error.
+func TestDataOnStreamZero(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(okHandler))
+	p.fr.WriteData(0, false, []byte("bad"))
+	ga := p.readUntil(FrameGoAway)
+	if code := goAwayCode(ga); code != ErrCodeProtocol {
+		t.Errorf("GOAWAY code %v, want PROTOCOL_ERROR", code)
+	}
+}
+
+// TestWindowUpdateZeroOnConnection: a zero increment on stream 0 is a
+// connection error (§6.9).
+func TestWindowUpdateZeroOnConnection(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(okHandler))
+	p.fr.WriteWindowUpdate(0, 0)
+	ga := p.readUntil(FrameGoAway)
+	if code := goAwayCode(ga); code != ErrCodeProtocol {
+		t.Errorf("GOAWAY code %v", code)
+	}
+}
+
+// TestWindowUpdateZeroOnStream: a zero increment on a stream resets
+// just that stream.
+func TestWindowUpdateZeroOnStream(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	p := dialRaw(t, HandlerFunc(func(w *ResponseWriter, r *Request) {
+		<-block
+	}))
+	p.request(1, "/")
+	p.fr.WriteWindowUpdate(1, 0)
+	rst := p.readUntil(FrameRSTStream)
+	if rst.StreamID != 1 {
+		t.Errorf("RST on stream %d", rst.StreamID)
+	}
+}
+
+// TestEvenStreamIDRejected: clients must use odd stream ids (§5.1.1).
+func TestEvenStreamIDRejected(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(okHandler))
+	p.request(2, "/")
+	ga := p.readUntil(FrameGoAway)
+	if code := goAwayCode(ga); code != ErrCodeProtocol {
+		t.Errorf("GOAWAY code %v", code)
+	}
+}
+
+// TestDecreasingStreamIDRejected: stream ids must increase (§5.1.1).
+func TestDecreasingStreamIDRejected(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(okHandler))
+	p.request(5, "/")
+	p.readUntil(FrameData) // drain response
+	p.request(3, "/")
+	ga := p.readUntil(FrameGoAway)
+	if code := goAwayCode(ga); code != ErrCodeProtocol {
+		t.Errorf("GOAWAY code %v", code)
+	}
+}
+
+// TestBadHPACKIsCompressionError: an undecodable header block kills
+// the connection with COMPRESSION_ERROR (§4.3).
+func TestBadHPACKIsCompressionError(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(okHandler))
+	// An indexed field referencing a nonexistent table entry.
+	p.fr.WriteHeaders(1, true, true, []byte{0xff, 0xff, 0xff})
+	ga := p.readUntil(FrameGoAway)
+	if code := goAwayCode(ga); code != ErrCodeCompression {
+		t.Errorf("GOAWAY code %v, want COMPRESSION_ERROR", code)
+	}
+}
+
+// TestUppercaseHeaderRejected: field names must be lowercase (§8.2).
+func TestUppercaseHeaderRejected(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(okHandler))
+	block := p.henc.AppendFields(nil, []hpack.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":path", Value: "/"},
+		{Name: "X-Bad", Value: "v"},
+	})
+	p.fr.WriteHeaders(1, true, true, block)
+	rst := p.readUntil(FrameRSTStream)
+	if rst.StreamID != 1 {
+		t.Errorf("RST on stream %d", rst.StreamID)
+	}
+}
+
+// TestMissingPseudoHeadersRejected: requests need :method/:scheme/
+// :path (§8.3.1).
+func TestMissingPseudoHeadersRejected(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(okHandler))
+	block := p.henc.AppendFields(nil, []hpack.HeaderField{
+		{Name: ":method", Value: "GET"},
+	})
+	p.fr.WriteHeaders(1, true, true, block)
+	p.readUntil(FrameRSTStream)
+}
+
+// TestPseudoAfterRegularRejected: pseudo-headers must precede regular
+// fields (§8.3).
+func TestPseudoAfterRegularRejected(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(okHandler))
+	block := p.henc.AppendFields(nil, []hpack.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: "accept", Value: "*/*"},
+		{Name: ":path", Value: "/"},
+		{Name: ":scheme", Value: "https"},
+	})
+	p.fr.WriteHeaders(1, true, true, block)
+	p.readUntil(FrameRSTStream)
+}
+
+// TestUnknownFrameTypeIgnored: unknown types must be ignored (§4.1).
+func TestUnknownFrameTypeIgnored(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(okHandler))
+	p.fr.writeFrame(FrameType(0xbe), 0, 0, []byte{1, 2, 3})
+	p.request(1, "/after-unknown")
+	df := p.readUntil(FrameData)
+	if string(df.Payload) != "ok" {
+		t.Errorf("connection unusable after unknown frame: %q", df.Payload)
+	}
+}
+
+// TestPriorityIgnored: PRIORITY parses and is ignored (RFC 9113
+// deprecates the scheme).
+func TestPriorityIgnored(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(okHandler))
+	p.fr.WritePriority(1, 0, false, 200)
+	p.request(1, "/")
+	df := p.readUntil(FrameData)
+	if string(df.Payload) != "ok" {
+		t.Error("connection broken by PRIORITY frame")
+	}
+}
+
+// TestMalformedPriorityLength: PRIORITY with a wrong length is a
+// stream error (§6.3).
+func TestMalformedPriorityLength(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(okHandler))
+	p.fr.writeFrame(FramePriority, 0, 3, []byte{1, 2})
+	rst := p.readUntil(FrameRSTStream)
+	if rst.StreamID != 3 {
+		t.Errorf("RST on stream %d", rst.StreamID)
+	}
+}
+
+// TestPushPromiseRejected: we advertise ENABLE_PUSH = 0; any
+// PUSH_PROMISE is a connection error (§6.6).
+func TestPushPromiseRejected(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(okHandler))
+	p.fr.writeFrame(FramePushPromise, FlagEndHeaders, 1, make([]byte, 4))
+	p.readUntil(FrameGoAway)
+}
+
+// TestPaddedDataAccepted: padded DATA delivers only the data.
+func TestPaddedDataAccepted(t *testing.T) {
+	bodyCh := make(chan string, 1)
+	p := dialRaw(t, HandlerFunc(func(w *ResponseWriter, r *Request) {
+		b, _ := io.ReadAll(r.Body)
+		bodyCh <- string(b)
+		w.WriteHeaders(200)
+	}))
+	block := p.henc.AppendFields(nil, []hpack.HeaderField{
+		{Name: ":method", Value: "POST"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":path", Value: "/padded"},
+	})
+	p.fr.WriteHeaders(1, false, true, block)
+	// DATA with 4 bytes of padding: PadLength byte + payload + pad.
+	payload := append([]byte{4}, []byte("datacontent")...)
+	payload = append(payload, make([]byte, 4)...)
+	p.fr.writeFrame(FrameData, FlagEndStream|FlagPadded, 1, payload)
+	select {
+	case got := <-bodyCh:
+		if got != "datacontent" {
+			t.Errorf("body = %q", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler never saw the padded body")
+	}
+}
+
+// TestContinuationInterleavingRejected: frames from another stream
+// between HEADERS and CONTINUATION are a connection error (§6.10).
+func TestContinuationInterleavingRejected(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(okHandler))
+	block := p.henc.AppendFields(nil, []hpack.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":path", Value: "/"},
+	})
+	half := len(block) / 2
+	p.fr.WriteHeaders(1, true, false, block[:half]) // no END_HEADERS
+	p.fr.WritePing(false, [8]byte{})                // interleaved frame
+	ga := p.readUntil(FrameGoAway)
+	if code := goAwayCode(ga); code != ErrCodeProtocol {
+		t.Errorf("GOAWAY code %v", code)
+	}
+}
+
+// TestFlowControlViolation: sending more DATA than the granted window
+// is a flow-control error (§6.9.1).
+func TestFlowControlViolation(t *testing.T) {
+	stall := make(chan struct{})
+	defer close(stall)
+	p := dialRaw(t, HandlerFunc(func(w *ResponseWriter, r *Request) {
+		<-stall // never reads the body, so no window is returned
+	}))
+	block := p.henc.AppendFields(nil, []hpack.HeaderField{
+		{Name: ":method", Value: "POST"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":path", Value: "/flood"},
+	})
+	p.fr.WriteHeaders(1, false, true, block)
+	// Flood past the 64 KiB window without waiting for WINDOW_UPDATE.
+	chunk := make([]byte, 16384)
+	for i := 0; i < 6; i++ { // 96 KiB > 65535
+		if err := p.fr.WriteData(1, false, chunk); err != nil {
+			return // server already tore the connection down: also fine
+		}
+	}
+	fr := p.readUntil(FrameRSTStream, FrameGoAway)
+	switch fr.Type {
+	case FrameRSTStream:
+		if rstCode(fr) != ErrCodeFlowControl {
+			t.Errorf("RST code %v", rstCode(fr))
+		}
+	case FrameGoAway:
+		if goAwayCode(fr) != ErrCodeFlowControl {
+			t.Errorf("GOAWAY code %v", goAwayCode(fr))
+		}
+	}
+}
+
+// TestSettingsAckWithPayloadRejected (§6.5).
+func TestSettingsAckWithPayloadRejected(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(okHandler))
+	p.fr.writeFrame(FrameSettings, FlagAck, 0, []byte{0, 0, 0, 0, 0, 0})
+	ga := p.readUntil(FrameGoAway)
+	if code := goAwayCode(ga); code != ErrCodeFrameSize {
+		t.Errorf("GOAWAY code %v, want FRAME_SIZE_ERROR", code)
+	}
+}
+
+// TestInitialWindowShrinkMidStream: a peer lowering
+// INITIAL_WINDOW_SIZE mid-stream can drive a stream window negative;
+// the server must stop sending until updates arrive, not crash.
+func TestInitialWindowShrinkMidStream(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.WriteHeaders(200)
+		w.Write(make([]byte, 100_000)) // larger than one window
+	}))
+	p.request(1, "/big")
+	p.readUntil(FrameHeaders)
+	// Shrink the window to 1 byte mid-transfer.
+	p.fr.WriteSettings(Setting{SettingInitialWindowSize, 1})
+	received := 0
+	sawAck := false
+	for received < 100_000 {
+		fr := p.read()
+		switch fr.Type {
+		case FrameData:
+			received += int(fr.Length)
+			// Return window so the transfer can finish.
+			p.fr.WriteWindowUpdate(0, fr.Length)
+			p.fr.WriteWindowUpdate(1, fr.Length)
+		case FrameSettings:
+			sawAck = fr.Has(FlagAck)
+		}
+	}
+	if !sawAck {
+		t.Error("server never ACKed the SETTINGS change")
+	}
+}
+
+func goAwayCode(fr Frame) ErrCode {
+	return ErrCode(uint32(fr.Payload[4])<<24 | uint32(fr.Payload[5])<<16 |
+		uint32(fr.Payload[6])<<8 | uint32(fr.Payload[7]))
+}
+
+func rstCode(fr Frame) ErrCode {
+	return ErrCode(uint32(fr.Payload[0])<<24 | uint32(fr.Payload[1])<<16 |
+		uint32(fr.Payload[2])<<8 | uint32(fr.Payload[3]))
+}
+
+// rawServer plays a hand-driven server against a real ClientConn.
+type rawServer struct {
+	t    *testing.T
+	nc   net.Conn
+	fr   *Framer
+	henc *hpack.Encoder
+}
+
+// acceptRaw completes the handshake from the server side.
+func acceptRaw(t *testing.T) (*ClientConn, *rawServer) {
+	t.Helper()
+	cEnd, sEnd := net.Pipe()
+	s := &rawServer{t: t, nc: sEnd, fr: NewFramer(sEnd, sEnd), henc: hpack.NewEncoder()}
+	done := make(chan *ClientConn, 1)
+	go func() {
+		cc, err := NewClientConn(cEnd, Config{})
+		if err != nil {
+			t.Error(err)
+			done <- nil
+			return
+		}
+		done <- cc
+	}()
+	// Read preface, send SETTINGS, read client SETTINGS, ACK.
+	buf := make([]byte, len(ClientPreface))
+	if _, err := io.ReadFull(sEnd, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.fr.WriteSettings(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		fr, err := s.fr.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Type == FrameSettings && !fr.Has(FlagAck) {
+			s.fr.WriteSettingsAck()
+			break
+		}
+	}
+	cc := <-done
+	if cc == nil {
+		t.Fatal("client handshake failed")
+	}
+	t.Cleanup(func() {
+		cc.Close()
+		sEnd.Close()
+	})
+	return cc, s
+}
+
+// TestClientReceivesTrailers: a response with a trailing header block
+// surfaces via Stream.Trailers after EOF.
+func TestClientReceivesTrailers(t *testing.T) {
+	cc, s := acceptRaw(t)
+	respCh := make(chan *Response, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := cc.Get("/with-trailers")
+		if err != nil {
+			errCh <- err
+			return
+		}
+		respCh <- resp
+	}()
+	// Consume the request HEADERS (and its ACK traffic).
+	for {
+		fr, err := s.fr.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Type == FrameHeaders {
+			break
+		}
+	}
+	// Response: HEADERS, DATA, trailers HEADERS with END_STREAM.
+	hdr := s.henc.AppendFields(nil, []hpack.HeaderField{{Name: ":status", Value: "200"}})
+	s.fr.WriteHeaders(1, false, true, hdr)
+	s.fr.WriteData(1, false, []byte("payload"))
+	trailers := s.henc.AppendFields(nil, []hpack.HeaderField{
+		{Name: "x-checksum", Value: "abc123"},
+	})
+	s.fr.WriteHeaders(1, true, true, trailers)
+
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	case resp := <-respCh:
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(body) != "payload" {
+			t.Errorf("body = %q", body)
+		}
+		tr := resp.Stream().Trailers()
+		if len(tr) != 1 || tr[0].Name != "x-checksum" || tr[0].Value != "abc123" {
+			t.Errorf("trailers = %v", tr)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no response")
+	}
+}
+
+// TestClientRejectsMissingStatus: a response without :status is a
+// protocol violation surfaced to the caller.
+func TestClientRejectsMissingStatus(t *testing.T) {
+	cc, s := acceptRaw(t)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cc.Get("/no-status")
+		errCh <- err
+	}()
+	for {
+		fr, err := s.fr.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Type == FrameHeaders {
+			break
+		}
+	}
+	hdr := s.henc.AppendFields(nil, []hpack.HeaderField{{Name: "content-type", Value: "text/plain"}})
+	s.fr.WriteHeaders(1, true, true, hdr)
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Error("missing :status should fail")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no result")
+	}
+}
+
+// TestClientGoAwayFailsNewStreams: after GOAWAY, new requests fail
+// fast with the GoAwayError.
+func TestClientGoAwayFailsNewStreams(t *testing.T) {
+	cc, s := acceptRaw(t)
+	s.fr.WriteGoAway(0, ErrCodeNo, []byte("maintenance"))
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		_, err := cc.Get("/after-goaway")
+		if err == nil {
+			continue // GOAWAY may not have been processed yet
+		}
+		if _, ok := err.(GoAwayError); !ok {
+			t.Fatalf("err = %v (%T), want GoAwayError", err, err)
+		}
+		return
+	}
+	t.Fatal("requests kept succeeding after GOAWAY")
+}
+
+// TestEndlessContinuationRejected: a peer streaming CONTINUATION
+// frames forever must be cut off (memory-exhaustion defense).
+func TestEndlessContinuationRejected(t *testing.T) {
+	p := dialRaw(t, HandlerFunc(okHandler))
+	block := p.henc.AppendFields(nil, []hpack.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":path", Value: "/"},
+	})
+	if err := p.fr.WriteHeaders(1, true, false, block); err != nil {
+		t.Fatal(err)
+	}
+	filler := make([]byte, 16384)
+	for i := 0; i < 80; i++ { // 80 × 16 KiB > the 1 MiB cap
+		if err := p.fr.WriteContinuation(1, false, filler); err != nil {
+			return // connection already severed: acceptable
+		}
+	}
+	fr := p.readUntil(FrameGoAway)
+	if code := goAwayCode(fr); code != ErrCodeEnhanceYourCalm {
+		t.Errorf("GOAWAY code %v, want ENHANCE_YOUR_CALM", code)
+	}
+}

@@ -1,0 +1,254 @@
+package http2
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+
+	"sww/internal/hpack"
+)
+
+// A Handler serves SWW/HTTP2 requests. Each request runs in its own
+// goroutine.
+type Handler interface {
+	ServeSWW(w *ResponseWriter, r *Request)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(w *ResponseWriter, r *Request)
+
+// ServeSWW calls f(w, r).
+func (f HandlerFunc) ServeSWW(w *ResponseWriter, r *Request) { f(w, r) }
+
+// A Request is a decoded HTTP/2 request as seen by a server handler,
+// or the request a client is about to send.
+type Request struct {
+	Method    string
+	Scheme    string
+	Authority string
+	Path      string
+
+	// Header holds the regular (non-pseudo) header fields.
+	Header []hpack.HeaderField
+
+	// Body is the request body. On the server it reads the stream;
+	// on the client, a non-nil Body is transmitted after the headers.
+	Body io.Reader
+
+	// PeerGen is the generative ability negotiated on the connection
+	// that carried the request (server side). This is the paper's
+	// core signal: GenNone means serve traditional content.
+	PeerGen GenAbility
+
+	// PeerImageModelID and PeerTextModelID are the client's
+	// advertised models (§7 model negotiation), zero when absent.
+	PeerImageModelID uint32
+	PeerTextModelID  uint32
+
+	stream *Stream
+}
+
+// HeaderValue returns the first value of the named regular header, or
+// "" if absent.
+func (r *Request) HeaderValue(name string) string {
+	for _, f := range r.Header {
+		if f.Name == name {
+			return f.Value
+		}
+	}
+	return ""
+}
+
+// Stream exposes the underlying stream (for tests and advanced use).
+func (r *Request) Stream() *Stream { return r.stream }
+
+// newRequest validates the pseudo-header section (RFC 9113 §8.3) and
+// builds a Request.
+func newRequest(st *Stream, fields []hpack.HeaderField) (*Request, error) {
+	req := &Request{stream: st, Body: st, PeerGen: st.c.negotiated()}
+	req.PeerImageModelID, req.PeerTextModelID = st.c.peerModelIDs()
+	pseudoDone := false
+	for _, f := range fields {
+		if f.IsPseudo() {
+			if pseudoDone {
+				return nil, streamError(st.id, ErrCodeProtocol, "pseudo-header after regular header")
+			}
+			switch f.Name {
+			case ":method":
+				req.Method = f.Value
+			case ":scheme":
+				req.Scheme = f.Value
+			case ":path":
+				req.Path = f.Value
+			case ":authority":
+				req.Authority = f.Value
+			default:
+				return nil, streamError(st.id, ErrCodeProtocol, "unknown pseudo-header %q", f.Name)
+			}
+			continue
+		}
+		pseudoDone = true
+		if f.Name != strings.ToLower(f.Name) {
+			return nil, streamError(st.id, ErrCodeProtocol, "uppercase header name %q", f.Name)
+		}
+		req.Header = append(req.Header, f)
+	}
+	if req.Method == "" || req.Path == "" || req.Scheme == "" {
+		return nil, streamError(st.id, ErrCodeProtocol, "missing required pseudo-headers")
+	}
+	return req, nil
+}
+
+// A ResponseWriter lets a handler send a response on a stream.
+type ResponseWriter struct {
+	stream       *Stream
+	wroteHeaders bool
+	finished     bool
+}
+
+// WriteHeaders sends the response HEADERS frame with :status and the
+// supplied fields. It may be called once.
+func (w *ResponseWriter) WriteHeaders(status int, fields ...hpack.HeaderField) error {
+	if w.wroteHeaders {
+		return fmt.Errorf("http2: WriteHeaders called twice on stream %d", w.stream.id)
+	}
+	w.wroteHeaders = true
+	all := make([]hpack.HeaderField, 0, len(fields)+1)
+	all = append(all, hpack.HeaderField{Name: ":status", Value: strconv.Itoa(status)})
+	all = append(all, fields...)
+	return w.stream.c.writeHeaderBlock(w.stream.id, all, false)
+}
+
+// Write sends response body bytes, emitting default 200 headers first
+// if the handler has not sent any.
+func (w *ResponseWriter) Write(p []byte) (int, error) {
+	if !w.wroteHeaders {
+		if err := w.WriteHeaders(200); err != nil {
+			return 0, err
+		}
+	}
+	return w.stream.Write(p)
+}
+
+// Finish half-closes the response. The server calls it automatically
+// when the handler returns.
+func (w *ResponseWriter) Finish() error {
+	if w.finished {
+		return nil
+	}
+	w.finished = true
+	return w.stream.CloseSend()
+}
+
+// Stream exposes the underlying stream.
+func (w *ResponseWriter) Stream() *Stream { return w.stream }
+
+// A Server accepts HTTP/2 connections and dispatches requests to a
+// Handler.
+type Server struct {
+	Handler Handler
+	Config  Config
+}
+
+// Serve accepts connections from l until it is closed. Each
+// connection is served on its own goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.ServeConn(nc)
+	}
+}
+
+// ServeConn serves a single already-accepted connection, blocking
+// until the connection dies.
+func (s *Server) ServeConn(nc net.Conn) error {
+	sc, err := s.newServerConn(nc)
+	if err != nil {
+		nc.Close()
+		return err
+	}
+	sc.readLoop()
+	return sc.closeError()
+}
+
+// newServerConn performs the server side of connection setup: read
+// the client preface, then exchange SETTINGS.
+func (s *Server) newServerConn(nc net.Conn) (*conn, error) {
+	buf := make([]byte, len(ClientPreface))
+	if _, err := io.ReadFull(nc, buf); err != nil {
+		return nil, fmt.Errorf("http2: reading client preface: %w", err)
+	}
+	if string(buf) != ClientPreface {
+		return nil, fmt.Errorf("http2: bad client preface %q", buf)
+	}
+	c := newConn(nc, s.Config, true)
+	c.handler = s.Handler
+	if err := c.sendInitial(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ServerConn is a served connection handle, used when the caller
+// wants to inspect negotiation state while the connection runs.
+type ServerConn struct {
+	ready chan struct{} // closed once the handshake finished
+	c     *conn
+	err   error
+}
+
+// StartConn begins serving nc in a background goroutine and returns
+// immediately; the preface/SETTINGS handshake also happens in the
+// background (the client may not even have connected its end yet).
+// Use WaitClientSettings to observe handshake completion.
+func (s *Server) StartConn(nc net.Conn) *ServerConn {
+	sc := &ServerConn{ready: make(chan struct{})}
+	go func() {
+		c, err := s.newServerConn(nc)
+		if err != nil {
+			sc.err = err
+			nc.Close()
+			close(sc.ready)
+			return
+		}
+		sc.c = c
+		close(sc.ready)
+		c.readLoop()
+	}()
+	return sc
+}
+
+// Negotiated returns the generative ability shared with the client.
+// It blocks until the handshake finished and returns GenNone for
+// failed handshakes.
+func (sc *ServerConn) Negotiated() GenAbility {
+	<-sc.ready
+	if sc.err != nil {
+		return GenNone
+	}
+	return sc.c.negotiated()
+}
+
+// WaitClientSettings blocks until the client's SETTINGS arrived (or
+// the handshake failed).
+func (sc *ServerConn) WaitClientSettings() error {
+	<-sc.ready
+	if sc.err != nil {
+		return sc.err
+	}
+	return sc.c.waitPeerSettings()
+}
+
+// Close shuts the connection down gracefully.
+func (sc *ServerConn) Close() error {
+	<-sc.ready
+	if sc.err != nil {
+		return sc.err
+	}
+	return sc.c.shutdown()
+}

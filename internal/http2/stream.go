@@ -1,0 +1,215 @@
+package http2
+
+import (
+	"bytes"
+	"io"
+	"sync"
+
+	"sww/internal/hpack"
+)
+
+// A Stream is one bidirectional HTTP/2 stream. Its receive side is an
+// io.Reader over incoming DATA frames; its send side goes through the
+// owning connection's writeData.
+type Stream struct {
+	c  *conn
+	id uint32
+
+	send *sendFlow // peer-granted send window
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	buf       bytes.Buffer
+	recv      recvFlow
+	recvEnded bool // peer sent END_STREAM
+	sendEnded bool // we sent END_STREAM
+	err       error
+
+	// hdrCh delivers the peer's header block (response headers on the
+	// client; trailers are appended to trailers instead).
+	hdrCh    chan []hpack.HeaderField
+	gotFirst bool
+	trailers []hpack.HeaderField
+}
+
+// newStream is called with c.mu held; peerWindow is the peer's
+// current SETTINGS_INITIAL_WINDOW_SIZE.
+func newStream(c *conn, id uint32, peerWindow int32) *Stream {
+	st := &Stream{
+		c:     c,
+		id:    id,
+		send:  newSendFlow(peerWindow),
+		recv:  newRecvFlow(c.cfg.initialWindow()),
+		hdrCh: make(chan []hpack.HeaderField, 1),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+// ID returns the stream identifier.
+func (s *Stream) ID() uint32 { return s.id }
+
+// onData is called from the read loop with an unpadded payload.
+// flowLen is the full frame length for flow accounting.
+func (s *Stream) onData(data []byte, flowLen int32, endStream bool) error {
+	s.mu.Lock()
+	if s.recvEnded {
+		s.mu.Unlock()
+		return streamError(s.id, ErrCodeStreamClosed, "DATA after END_STREAM")
+	}
+	if !s.recv.onData(flowLen) {
+		s.mu.Unlock()
+		return streamError(s.id, ErrCodeFlowControl, "stream flow window exceeded")
+	}
+	s.buf.Write(data)
+	if endStream {
+		s.recvEnded = true
+	}
+	// Padding never reaches the application, so refund it directly.
+	if pad := flowLen - int32(len(data)); pad > 0 {
+		s.creditLocked(pad)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return nil
+}
+
+// onHeaders delivers a header block that arrived on an existing
+// stream: a response (first block) or trailers (subsequent block).
+func (s *Stream) onHeaders(fields []hpack.HeaderField, endStream bool) error {
+	s.mu.Lock()
+	first := !s.gotFirst
+	s.gotFirst = true
+	if !first {
+		s.trailers = append(s.trailers, fields...)
+	}
+	if endStream {
+		s.recvEnded = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	if first {
+		select {
+		case s.hdrCh <- fields:
+		default:
+		}
+	}
+	return nil
+}
+
+func (s *Stream) markRecvClosed() {
+	s.mu.Lock()
+	s.recvEnded = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Read implements io.Reader over the stream's DATA payload.
+func (s *Stream) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	for s.buf.Len() == 0 {
+		if s.err != nil {
+			err := s.err
+			s.mu.Unlock()
+			return 0, err
+		}
+		if s.recvEnded {
+			s.mu.Unlock()
+			return 0, io.EOF
+		}
+		s.cond.Wait()
+	}
+	n, _ := s.buf.Read(p)
+	s.creditLocked(int32(n))
+	s.mu.Unlock()
+	return n, nil
+}
+
+// creditLocked returns consumed bytes to the peer via WINDOW_UPDATE
+// when the batching threshold is reached. Called with s.mu held.
+func (s *Stream) creditLocked(n int32) {
+	incr := s.recv.onConsume(n)
+	ended := s.recvEnded
+	if incr > 0 && !ended {
+		s.c.wmu.Lock()
+		s.c.fr.WriteWindowUpdate(s.id, uint32(incr))
+		s.c.wmu.Unlock()
+	}
+	s.c.recvMu.Lock()
+	cincr := s.c.connRecv.onConsume(n)
+	s.c.recvMu.Unlock()
+	if cincr > 0 {
+		s.c.wmu.Lock()
+		s.c.fr.WriteWindowUpdate(0, uint32(cincr))
+		s.c.wmu.Unlock()
+	}
+}
+
+// Write sends data on the stream.
+func (s *Stream) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	if s.sendEnded {
+		s.mu.Unlock()
+		return 0, streamError(s.id, ErrCodeStreamClosed, "write after close")
+	}
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return 0, err
+	}
+	s.mu.Unlock()
+	if err := s.c.writeData(s, p, false); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// CloseSend half-closes the stream in the send direction by emitting
+// an empty DATA frame with END_STREAM.
+func (s *Stream) CloseSend() error {
+	s.mu.Lock()
+	if s.sendEnded {
+		s.mu.Unlock()
+		return nil
+	}
+	s.sendEnded = true
+	s.mu.Unlock()
+	return s.c.writeData(s, nil, true)
+}
+
+// Close cancels the stream with RST_STREAM(CANCEL) unless it already
+// finished cleanly in both directions.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	done := s.recvEnded && s.sendEnded && s.buf.Len() == 0
+	s.mu.Unlock()
+	if !done {
+		s.c.resetStream(s.id, ErrCodeCancel)
+		s.closeWithError(streamError(s.id, ErrCodeCancel, "closed locally"))
+	}
+	s.c.removeStream(s.id)
+	return nil
+}
+
+// Trailers returns any trailer fields received after the response
+// headers. Valid once Read has returned io.EOF.
+func (s *Stream) Trailers() []hpack.HeaderField {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]hpack.HeaderField(nil), s.trailers...)
+}
+
+// closeWithError fails pending readers and writers.
+func (s *Stream) closeWithError(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.send.fail(err)
+	select {
+	case s.hdrCh <- nil:
+	default:
+	}
+}

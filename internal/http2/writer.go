@@ -1,0 +1,131 @@
+package http2
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// asyncWriter decouples frame emission from the transport: writers
+// enqueue complete frames and a single background goroutine copies
+// them to the connection. This keeps the read loop responsive even
+// when the peer is slow to drain (and avoids deadlock on fully
+// synchronous transports such as net.Pipe, where a SETTINGS ACK write
+// from each side's read loop would otherwise block both).
+type asyncWriter struct {
+	nc io.Writer
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	queued int // bytes enqueued but not yet written
+	closed bool
+	err    error
+	flush  sync.WaitGroup
+}
+
+// maxQueuedBytes bounds writer memory. DATA is flow-controlled well
+// below this; only a pathological peer that stops reading entirely
+// can fill it, and then enqueuers block, which is the right
+// backpressure.
+const maxQueuedBytes = 4 << 20
+
+func newAsyncWriter(nc io.Writer) *asyncWriter {
+	w := &asyncWriter{nc: nc}
+	w.cond = sync.NewCond(&w.mu)
+	w.flush.Add(1)
+	go w.run()
+	return w
+}
+
+// Write enqueues one complete frame. It blocks only when the queue is
+// saturated. The slice is copied.
+func (w *asyncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	for w.queued >= maxQueuedBytes && w.err == nil && !w.closed {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return 0, err
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return 0, errors.New("http2: write on closed connection")
+	}
+	buf := append([]byte(nil), p...)
+	w.queue = append(w.queue, buf)
+	w.queued += len(buf)
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	return len(p), nil
+}
+
+func (w *asyncWriter) run() {
+	defer w.flush.Done()
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closed && w.err == nil {
+			w.cond.Wait()
+		}
+		if w.err != nil || (w.closed && len(w.queue) == 0) {
+			w.mu.Unlock()
+			return
+		}
+		batch := w.queue
+		w.queue = nil
+		w.mu.Unlock()
+
+		for _, b := range batch {
+			if _, err := w.nc.Write(b); err != nil {
+				w.mu.Lock()
+				w.err = err
+				w.queue = nil
+				w.queued = 0
+				w.cond.Broadcast()
+				w.mu.Unlock()
+				return
+			}
+			w.mu.Lock()
+			w.queued -= len(b)
+			w.cond.Broadcast()
+			w.mu.Unlock()
+		}
+	}
+}
+
+// close stops the writer after draining already-enqueued frames.
+func (w *asyncWriter) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// drain waits up to d for the writer goroutine to finish flushing.
+func (w *asyncWriter) drain(d time.Duration) {
+	done := make(chan struct{})
+	go func() {
+		w.flush.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+	}
+}
+
+// abort stops the writer immediately, discarding queued frames.
+func (w *asyncWriter) abort(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.closed = true
+	w.queue = nil
+	w.queued = 0
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}

@@ -1,0 +1,109 @@
+package http3
+
+import (
+	"fmt"
+	"io"
+
+	"sww/internal/quic"
+)
+
+// HTTP/3 frame types (RFC 9114 §7.2).
+const (
+	FrameData     = 0x0
+	FrameHeaders  = 0x1
+	FrameSettings = 0x4
+	FrameGoAway   = 0x7
+)
+
+// Unidirectional stream types (RFC 9114 §6.2).
+const (
+	StreamTypeControl = 0x00
+)
+
+// HTTP/3 SETTINGS identifiers. RFC 9204 already assigns 0x07
+// (QPACK_BLOCKED_STREAMS), so — unlike HTTP/2, where 0x07 was the
+// first unreserved value — the SWW parameters use identifiers from
+// the unassigned space. The semantics match their HTTP/2 twins.
+const (
+	SettingQPACKMaxTableCapacity = 0x01
+	SettingMaxFieldSectionSize   = 0x06
+	SettingQPACKBlockedStreams   = 0x07
+
+	// SettingGenAbility carries the same bitfield as HTTP/2's
+	// SETTINGS_GEN_ABILITY.
+	SettingGenAbility = 0x5757
+	// SettingGenImageModel / SettingGenTextModel mirror the §7 model
+	// negotiation parameters.
+	SettingGenImageModel = 0x5758
+	SettingGenTextModel  = 0x5759
+)
+
+// maxFramePayload bounds a single frame read.
+const maxFramePayload = 1 << 20
+
+// writeFrame emits one frame on st.
+func writeFrame(st *quic.Stream, ftype uint64, payload []byte) error {
+	buf := quic.AppendVarint(nil, ftype)
+	buf = quic.AppendVarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	_, err := st.Write(buf)
+	return err
+}
+
+// readFrame reads one frame from st.
+func readFrame(st io.Reader) (ftype uint64, payload []byte, err error) {
+	ftype, err = quic.ReadVarintFrom(st)
+	if err != nil {
+		return 0, nil, err
+	}
+	length, err := quic.ReadVarintFrom(st)
+	if err != nil {
+		return 0, nil, err
+	}
+	if length > maxFramePayload {
+		return 0, nil, fmt.Errorf("http3: %d byte frame exceeds limit", length)
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(st, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return ftype, payload, nil
+}
+
+// encodeSettings builds a SETTINGS payload: (id, value) varint pairs.
+func encodeSettings(settings map[uint64]uint64) []byte {
+	var buf []byte
+	// Deterministic order for testability: emit known ids first.
+	for _, id := range []uint64{
+		SettingQPACKMaxTableCapacity, SettingQPACKBlockedStreams,
+		SettingMaxFieldSectionSize,
+		SettingGenAbility, SettingGenImageModel, SettingGenTextModel,
+	} {
+		if v, ok := settings[id]; ok {
+			buf = quic.AppendVarint(buf, id)
+			buf = quic.AppendVarint(buf, v)
+		}
+	}
+	return buf
+}
+
+// decodeSettings parses a SETTINGS payload.
+func decodeSettings(payload []byte) (map[uint64]uint64, error) {
+	out := map[uint64]uint64{}
+	for len(payload) > 0 {
+		id, rest, err := quic.ReadVarint(payload)
+		if err != nil {
+			return nil, err
+		}
+		v, rest, err := quic.ReadVarint(rest)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = v
+		payload = rest
+	}
+	return out, nil
+}

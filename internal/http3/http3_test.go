@@ -1,0 +1,261 @@
+package http3
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"sww/internal/http2"
+)
+
+func TestQPACKRoundTrip(t *testing.T) {
+	fields := []Field{
+		{Name: ":method", Value: "GET"},
+		{Name: ":path", Value: "/wiki/landscape"},
+		{Name: "x-sww-mode", Value: "generative"},
+		{Name: "empty-value", Value: ""},
+		{Name: "long", Value: strings.Repeat("v", 500)},
+	}
+	enc := EncodeFieldSection(fields)
+	got, err := DecodeFieldSection(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(fields) {
+		t.Fatalf("%d fields, want %d", len(got), len(fields))
+	}
+	for i := range fields {
+		if got[i] != fields[i] {
+			t.Errorf("field %d = %+v, want %+v", i, got[i], fields[i])
+		}
+	}
+}
+
+func TestQPACKPrefix(t *testing.T) {
+	// The encoded section must start with the 0,0 prefix (no dynamic
+	// table).
+	enc := EncodeFieldSection([]Field{{Name: "a", Value: "b"}})
+	if enc[0] != 0 || enc[1] != 0 {
+		t.Errorf("prefix = %x", enc[:2])
+	}
+	// Sections demanding dynamic-table state are rejected.
+	if _, err := DecodeFieldSection([]byte{0x05, 0x00}); err == nil {
+		t.Error("nonzero required insert count should fail")
+	}
+	if _, err := DecodeFieldSection([]byte{0x00}); err == nil {
+		t.Error("truncated prefix should fail")
+	}
+}
+
+func TestQPACKProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	alpha := "abcdefghijklmnop-:/0123456789"
+	randStr := func(n int) string {
+		b := make([]byte, rng.Intn(n)+1)
+		for i := range b {
+			b[i] = alpha[rng.Intn(len(alpha))]
+		}
+		return string(b)
+	}
+	for iter := 0; iter < 200; iter++ {
+		var fields []Field
+		for i := 0; i < rng.Intn(8)+1; i++ {
+			fields = append(fields, Field{Name: randStr(20), Value: randStr(200)})
+		}
+		got, err := DecodeFieldSection(EncodeFieldSection(fields))
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		for i := range fields {
+			if got[i] != fields[i] {
+				t.Fatalf("iter %d: field %d mismatch", iter, i)
+			}
+		}
+	}
+}
+
+func TestSettingsCodec(t *testing.T) {
+	in := map[uint64]uint64{
+		SettingGenAbility:            uint64(http2.GenFull),
+		SettingGenImageModel:         12345,
+		SettingQPACKMaxTableCapacity: 0,
+	}
+	out, err := decodeSettings(encodeSettings(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range in {
+		if out[id] != v {
+			t.Errorf("setting %#x = %d, want %d", id, out[id], v)
+		}
+	}
+}
+
+func startH3Pair(t *testing.T, serverCfg, clientCfg Config, h Handler) (*ClientConn, *ServerConn) {
+	t.Helper()
+	cEnd, sEnd := net.Pipe()
+	srv := &Server{Handler: h, Config: serverCfg}
+	sc := srv.StartConn(sEnd)
+	cc, err := NewClientConn(cEnd, clientCfg)
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	if err := sc.WaitClientSettings(); err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	t.Cleanup(func() {
+		cc.Close()
+		sc.Close()
+	})
+	return cc, sc
+}
+
+func TestH3RequestResponse(t *testing.T) {
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.WriteHeaders(200,
+			Field{Name: "content-type", Value: "text/html"},
+			Field{Name: "x-echo-path", Value: r.Path})
+		fmt.Fprintf(w, "body-for:%s:%s", r.Method, r.Body)
+	})
+	cc, _ := startH3Pair(t, Config{}, Config{}, h)
+	resp, err := cc.Do("POST", "/submit", nil, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("status = %d", resp.Status)
+	}
+	if got := resp.HeaderValue("x-echo-path"); got != "/submit" {
+		t.Errorf("path = %q", got)
+	}
+	if string(resp.Body) != "body-for:POST:payload" {
+		t.Errorf("body = %q", resp.Body)
+	}
+}
+
+// TestH3CapabilityMatrix is the §3.1 version of the paper's §6.2
+// functionality matrix: the same negotiation over HTTP/3 SETTINGS.
+func TestH3CapabilityMatrix(t *testing.T) {
+	cases := []struct {
+		name           string
+		server, client http2.GenAbility
+		want           http2.GenAbility
+	}{
+		{"both-support", http2.GenFull, http2.GenFull, http2.GenFull},
+		{"server-only", http2.GenFull, http2.GenNone, http2.GenNone},
+		{"client-only", http2.GenNone, http2.GenFull, http2.GenNone},
+		{"neither", http2.GenNone, http2.GenNone, http2.GenNone},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var saw http2.GenAbility
+			var mu sync.Mutex
+			h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+				mu.Lock()
+				saw = r.PeerGen
+				mu.Unlock()
+				w.WriteHeaders(200)
+				w.Write([]byte("ok"))
+			})
+			cc, sc := startH3Pair(t, Config{GenAbility: c.server}, Config{GenAbility: c.client}, h)
+			if got := cc.Negotiated(); got != c.want {
+				t.Errorf("client negotiated %v, want %v", got, c.want)
+			}
+			if got := sc.Negotiated(); got != c.want {
+				t.Errorf("server negotiated %v, want %v", got, c.want)
+			}
+			resp, err := cc.Get("/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(resp.Body) != "ok" {
+				t.Errorf("body = %q", resp.Body)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if saw != c.want {
+				t.Errorf("request saw %v, want %v", saw, c.want)
+			}
+		})
+	}
+}
+
+func TestH3LargeBody(t *testing.T) {
+	payload := bytes.Repeat([]byte("sww3"), 128<<10/4) // 128 KiB
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.WriteHeaders(200)
+		w.Write(payload)
+	})
+	cc, _ := startH3Pair(t, Config{}, Config{}, h)
+	resp, err := cc.Get("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Body, payload) {
+		t.Fatalf("body corrupted: %d bytes", len(resp.Body))
+	}
+}
+
+func TestH3ConcurrentRequests(t *testing.T) {
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.WriteHeaders(200)
+		fmt.Fprintf(w, "echo:%s", r.Path)
+	})
+	cc, _ := startH3Pair(t, Config{}, Config{}, h)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/c/%d", i)
+			resp, err := cc.Get(path)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if string(resp.Body) != "echo:"+path {
+				t.Errorf("body = %q", resp.Body)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestH3ModelNegotiationSettings(t *testing.T) {
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) { w.WriteHeaders(200) })
+	cc, _ := startH3Pair(t,
+		Config{GenAbility: http2.GenFull, ImageModelID: 99, TextModelID: 77},
+		Config{GenAbility: http2.GenFull},
+		h)
+	if img := cc.c.peerSettings[SettingGenImageModel]; img != 99 {
+		t.Errorf("image model id = %d", img)
+	}
+	if txt := cc.c.peerSettings[SettingGenTextModel]; txt != 77 {
+		t.Errorf("text model id = %d", txt)
+	}
+}
+
+func BenchmarkH3RequestResponse(b *testing.B) {
+	cEnd, sEnd := net.Pipe()
+	srv := &Server{Handler: HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.WriteHeaders(200)
+		w.Write([]byte("ok"))
+	})}
+	srv.StartConn(sEnd)
+	cc, err := NewClientConn(cEnd, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cc.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cc.Get("/bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

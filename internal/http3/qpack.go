@@ -1,0 +1,152 @@
+// Package http3 implements the paper's §3.1 outlook: "as HTTP/3
+// adoption is increasing, future SWW will require HTTP/3 support. We
+// believe that similar use of SETTINGS under HTTP/3 can allow to
+// advertise client-server GenAI capabilities."
+//
+// The package maps SWW onto HTTP/3 semantics (RFC 9114) over the
+// QUIC-shaped transport of internal/quic: unidirectional control
+// streams carrying a SETTINGS frame with the GEN_ABILITY parameter,
+// QPACK-encoded header sections on bidirectional request streams, and
+// the same fallback behaviour (unknown settings are ignored).
+//
+// QPACK (RFC 9204) is implemented in its dynamic-table-free mode:
+// every field is a Literal Field Line with Literal Name and the
+// encoded section prefix pins Required Insert Count and Base to zero.
+// That is a fully compliant *encoder* choice; the decoder here
+// handles exactly the forms this encoder emits, which suffices for
+// SWW endpoints (both ends of the prototype speak it).
+package http3
+
+import (
+	"errors"
+	"fmt"
+)
+
+// A Field is one header field.
+type Field struct {
+	Name, Value string
+}
+
+// QPACK decoding errors.
+var (
+	errQPACKTruncated   = errors.New("http3: truncated field section")
+	errQPACKUnsupported = errors.New("http3: unsupported qpack instruction (dynamic table not implemented)")
+)
+
+// qpackAppendInt encodes an integer with an n-bit prefix (RFC 9204
+// reuses HPACK's §5.1 integers).
+func qpackAppendInt(dst []byte, high byte, prefix uint8, v uint64) []byte {
+	mask := uint64(1)<<prefix - 1
+	if v < mask {
+		return append(dst, high|byte(v))
+	}
+	dst = append(dst, high|byte(mask))
+	v -= mask
+	for v >= 0x80 {
+		dst = append(dst, byte(v&0x7f)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func qpackReadInt(buf []byte, prefix uint8) (uint64, []byte, error) {
+	if len(buf) == 0 {
+		return 0, nil, errQPACKTruncated
+	}
+	mask := uint64(1)<<prefix - 1
+	v := uint64(buf[0]) & mask
+	buf = buf[1:]
+	if v < mask {
+		return v, buf, nil
+	}
+	var shift uint
+	for {
+		if len(buf) == 0 {
+			return 0, nil, errQPACKTruncated
+		}
+		b := buf[0]
+		buf = buf[1:]
+		v += uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, buf, nil
+		}
+		shift += 7
+		if shift > 62 {
+			return 0, nil, fmt.Errorf("http3: qpack integer overflow")
+		}
+	}
+}
+
+// EncodeFieldSection encodes fields as an RFC 9204 encoded field
+// section with no dynamic-table references.
+func EncodeFieldSection(fields []Field) []byte {
+	// Encoded Field Section Prefix: Required Insert Count = 0
+	// (8-bit prefix), Sign = 0 and Delta Base = 0 (7-bit prefix).
+	out := []byte{0x00, 0x00}
+	for _, f := range fields {
+		// Literal Field Line with Literal Name (§4.5.6):
+		// 001 N H NameLen(3+)  — N=0 (may be indexed by intermediaries),
+		// H=0 (no Huffman).
+		out = qpackAppendInt(out, 0x20, 3, uint64(len(f.Name)))
+		out = append(out, f.Name...)
+		out = qpackAppendInt(out, 0x00, 7, uint64(len(f.Value)))
+		out = append(out, f.Value...)
+	}
+	return out
+}
+
+// DecodeFieldSection decodes a field section produced by
+// EncodeFieldSection (and rejects dynamic-table-dependent sections,
+// which SWW endpoints never produce).
+func DecodeFieldSection(buf []byte) ([]Field, error) {
+	ric, rest, err := qpackReadInt(buf, 8)
+	if err != nil {
+		return nil, err
+	}
+	if ric != 0 {
+		return nil, errQPACKUnsupported
+	}
+	base, rest, err := qpackReadInt(rest, 7)
+	if err != nil {
+		return nil, err
+	}
+	if base != 0 {
+		return nil, errQPACKUnsupported
+	}
+	var fields []Field
+	buf = rest
+	for len(buf) > 0 {
+		b := buf[0]
+		if b&0xe0 != 0x20 {
+			return nil, errQPACKUnsupported
+		}
+		if b&0x08 != 0 {
+			return nil, fmt.Errorf("http3: huffman-coded qpack name not supported")
+		}
+		nameLen, rest, err := qpackReadInt(buf, 3)
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(rest)) < nameLen {
+			return nil, errQPACKTruncated
+		}
+		name := string(rest[:nameLen])
+		rest = rest[nameLen:]
+		if len(rest) == 0 {
+			return nil, errQPACKTruncated
+		}
+		if rest[0]&0x80 != 0 {
+			return nil, fmt.Errorf("http3: huffman-coded qpack value not supported")
+		}
+		valLen, rest2, err := qpackReadInt(rest, 7)
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(rest2)) < valLen {
+			return nil, errQPACKTruncated
+		}
+		fields = append(fields, Field{Name: name, Value: string(rest2[:valLen])})
+		buf = rest2[valLen:]
+	}
+	return fields, nil
+}

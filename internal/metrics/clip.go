@@ -1,0 +1,45 @@
+package metrics
+
+import "image"
+
+// CLIP-score analogue, paper §6.3.1.
+//
+// The real CLIP score is a cosine in a joint text–image space; its
+// observed range in the paper runs from 0.09 (a random image against
+// a prompt) to 0.32 (DALLE-3). The mapping below reproduces that
+// range: a raw alignment of 0 (uncorrelated features) scores
+// clipFloor and a perfect alignment scores clipCeil.
+const (
+	clipFloor = 0.09
+	clipCeil  = 0.35
+)
+
+// CLIPScore measures how well img matches prompt. It embeds both into
+// the shared feature space and maps the cosine onto the calibrated
+// CLIP scale.
+func CLIPScore(prompt string, img image.Image) float64 {
+	return CLIPScoreFromCosine(Cosine(EmbedText(prompt), EmbedImage(img)))
+}
+
+// CLIPScoreFromCosine maps a raw feature-space alignment in [-1, 1]
+// onto the CLIP scale.
+func CLIPScoreFromCosine(cos float64) float64 {
+	if cos < 0 {
+		cos = 0
+	}
+	return clipFloor + (clipCeil-clipFloor)*cos
+}
+
+// AlignmentForCLIP inverts CLIPScoreFromCosine: the raw alignment a
+// generator must achieve for a target CLIP score. Used for model
+// calibration.
+func AlignmentForCLIP(score float64) float64 {
+	a := (score - clipFloor) / (clipCeil - clipFloor)
+	if a < 0 {
+		return 0
+	}
+	if a > 1 {
+		return 1
+	}
+	return a
+}

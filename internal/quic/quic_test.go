@@ -1,0 +1,289 @@
+package quic
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestVarintRFCVectors checks the worked examples of RFC 9000 §A.1.
+func TestVarintRFCVectors(t *testing.T) {
+	cases := []struct {
+		v   uint64
+		hex []byte
+	}{
+		{151288809941952652, []byte{0xc2, 0x19, 0x7c, 0x5e, 0xff, 0x14, 0xe8, 0x8c}},
+		{494878333, []byte{0x9d, 0x7f, 0x3e, 0x7d}},
+		{15293, []byte{0x7b, 0xbd}},
+		{37, []byte{0x25}},
+	}
+	for _, c := range cases {
+		got := AppendVarint(nil, c.v)
+		if !bytes.Equal(got, c.hex) {
+			t.Errorf("encode(%d) = %x, want %x", c.v, got, c.hex)
+		}
+		v, rest, err := ReadVarint(c.hex)
+		if err != nil || v != c.v || len(rest) != 0 {
+			t.Errorf("decode(%x) = %d, %v", c.hex, v, err)
+		}
+		rv, err := ReadVarintFrom(bytes.NewReader(c.hex))
+		if err != nil || rv != c.v {
+			t.Errorf("ReadVarintFrom(%x) = %d, %v", c.hex, rv, err)
+		}
+	}
+}
+
+func TestVarintProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		v &= MaxVarint
+		enc := AppendVarint(nil, v)
+		if len(enc) != VarintLen(v) {
+			return false
+		}
+		got, rest, err := ReadVarint(enc)
+		return err == nil && got == v && len(rest) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarintTruncated(t *testing.T) {
+	if _, _, err := ReadVarint([]byte{0xc2, 0x19}); err == nil {
+		t.Error("truncated 8-byte varint should fail")
+	}
+	if _, _, err := ReadVarint(nil); err == nil {
+		t.Error("empty buffer should fail")
+	}
+	if _, err := ReadVarintFrom(bytes.NewReader([]byte{0x40})); err == nil {
+		t.Error("truncated 2-byte varint from reader should fail")
+	}
+}
+
+func sessionPair(t *testing.T) (client, server *Session) {
+	t.Helper()
+	cEnd, sEnd := net.Pipe()
+	client = NewSession(cEnd, true)
+	server = NewSession(sEnd, false)
+	t.Cleanup(func() {
+		client.Close()
+		server.Close()
+	})
+	return client, server
+}
+
+func TestBidiStreamEcho(t *testing.T) {
+	client, server := sessionPair(t)
+	go func() {
+		st, err := server.AcceptStream()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		data, err := io.ReadAll(st)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		st.Write(append([]byte("echo:"), data...))
+		st.Close()
+	}()
+
+	st, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID() != 0 {
+		t.Errorf("first client bidi stream id = %d, want 0", st.ID())
+	}
+	io.WriteString(st, "hello h3")
+	st.Close()
+	got, err := io.ReadAll(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "echo:hello h3" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestUniStream(t *testing.T) {
+	client, server := sessionPair(t)
+	st, err := client.OpenUniStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID() != 2 || !st.Unidirectional() {
+		t.Errorf("uni stream id = %d", st.ID())
+	}
+	go func() {
+		io.WriteString(st, "control data")
+		st.Close()
+	}()
+	acc, err := server.AcceptUniStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(acc)
+	if err != nil || string(got) != "control data" {
+		t.Errorf("got %q, %v", got, err)
+	}
+}
+
+func TestStreamIDAllocation(t *testing.T) {
+	client, server := sessionPair(t)
+	c1, _ := client.OpenStream()
+	c2, _ := client.OpenStream()
+	cu, _ := client.OpenUniStream()
+	if c1.ID() != 0 || c2.ID() != 4 || cu.ID() != 2 {
+		t.Errorf("client ids = %d,%d,%d", c1.ID(), c2.ID(), cu.ID())
+	}
+	s1, _ := server.OpenStream()
+	su, _ := server.OpenUniStream()
+	if s1.ID() != 1 || su.ID() != 3 {
+		t.Errorf("server ids = %d,%d", s1.ID(), su.ID())
+	}
+}
+
+func TestLargeTransferFlowControl(t *testing.T) {
+	client, server := sessionPair(t)
+	const size = 2 << 20 // 2 MiB through a 256 KiB window
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	go func() {
+		st, err := server.AcceptStream()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		st.Write(payload)
+		st.Close()
+	}()
+	st, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	// Trigger the server by sending the open (empty FIN reaches it).
+	got, err := io.ReadAll(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("transfer corrupted: %d bytes", len(got))
+	}
+}
+
+func TestConcurrentStreams(t *testing.T) {
+	client, server := sessionPair(t)
+	go func() {
+		for {
+			st, err := server.AcceptStream()
+			if err != nil {
+				return
+			}
+			go func(st *Stream) {
+				data, _ := io.ReadAll(st)
+				st.Write(data)
+				st.Close()
+			}(st)
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := client.OpenStream()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			msg := fmt.Sprintf("stream-%d", i)
+			io.WriteString(st, msg)
+			st.Close()
+			got, err := io.ReadAll(st)
+			if err != nil || string(got) != msg {
+				t.Errorf("stream %d: %q, %v", i, got, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestStreamReset(t *testing.T) {
+	client, server := sessionPair(t)
+	st, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(st, "x")
+	acc, err := server.AcceptStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Reset(7)
+	buf := make([]byte, 16)
+	// The acceptor sees the first byte then the reset error.
+	for {
+		_, err := acc.Read(buf)
+		if err != nil {
+			if err == io.EOF {
+				t.Fatal("got EOF, want reset error")
+			}
+			break
+		}
+	}
+}
+
+func TestSessionClose(t *testing.T) {
+	client, server := sessionPair(t)
+	st, _ := client.OpenStream()
+	client.Close()
+	if _, err := st.Write([]byte("x")); err == nil {
+		t.Error("write on closed session should fail")
+	}
+	if _, err := client.OpenStream(); err == nil {
+		t.Error("open on closed session should fail")
+	}
+	// The peer learns about the close.
+	if _, err := server.AcceptStream(); err == nil {
+		t.Error("accept on remotely-closed session should fail")
+	}
+}
+
+func BenchmarkStreamThroughput(b *testing.B) {
+	cEnd, sEnd := net.Pipe()
+	client := NewSession(cEnd, true)
+	server := NewSession(sEnd, false)
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		for {
+			st, err := server.AcceptStream()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, st)
+		}
+	}()
+	st, err := client.OpenStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package quic
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Stream identifier semantics, RFC 9000 §2.1: the two least
+// significant bits carry the initiator and directionality.
+const (
+	dirClientBidi = 0x0
+	dirServerBidi = 0x1
+	dirClientUni  = 0x2
+	dirServerUni  = 0x3
+)
+
+// Mux frame types on the underlying reliable connection.
+const (
+	frameStream = 0x0 // streamID, flags(fin), length, data
+	frameWindow = 0x1 // streamID, credit
+	frameReset  = 0x2 // streamID, error code
+	frameClose  = 0x3 // error code (connection level)
+)
+
+const (
+	// streamWindow is the per-stream receive window.
+	streamWindow = 256 << 10
+	// maxMuxFrame bounds one STREAM frame's payload.
+	maxMuxFrame = 16 << 10
+)
+
+// ErrSessionClosed is returned once the session is gone.
+var ErrSessionClosed = errors.New("quic: session closed")
+
+// A Session multiplexes QUIC-shaped streams over a reliable
+// transport.
+type Session struct {
+	nc       net.Conn
+	isClient bool
+
+	wmu sync.Mutex // serializes mux frame writes
+
+	mu       sync.Mutex
+	streams  map[uint64]*Stream
+	nextBidi uint64
+	nextUni  uint64
+	closed   bool
+	closeErr error
+
+	acceptBidi chan *Stream
+	acceptUni  chan *Stream
+	done       chan struct{}
+}
+
+// NewSession starts a session over nc. The read loop runs until the
+// transport dies or Close is called.
+func NewSession(nc net.Conn, isClient bool) *Session {
+	s := &Session{
+		nc:         nc,
+		isClient:   isClient,
+		streams:    map[uint64]*Stream{},
+		acceptBidi: make(chan *Stream, 32),
+		acceptUni:  make(chan *Stream, 32),
+		done:       make(chan struct{}),
+	}
+	if isClient {
+		s.nextBidi = dirClientBidi
+		s.nextUni = dirClientUni
+	} else {
+		s.nextBidi = dirServerBidi
+		s.nextUni = dirServerUni
+	}
+	go s.readLoop()
+	return s
+}
+
+// OpenStream opens a bidirectional stream.
+func (s *Session) OpenStream() (*Stream, error) { return s.open(&s.nextBidi) }
+
+// OpenUniStream opens a unidirectional (send-only) stream.
+func (s *Session) OpenUniStream() (*Stream, error) { return s.open(&s.nextUni) }
+
+func (s *Session) open(next *uint64) (*Stream, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, s.closeError()
+	}
+	id := *next
+	*next += 4
+	st := newQStream(s, id)
+	s.streams[id] = st
+	return st, nil
+}
+
+// AcceptStream waits for a peer-initiated bidirectional stream.
+func (s *Session) AcceptStream() (*Stream, error) {
+	select {
+	case st := <-s.acceptBidi:
+		return st, nil
+	case <-s.done:
+		return nil, s.closeError()
+	}
+}
+
+// AcceptUniStream waits for a peer-initiated unidirectional stream.
+func (s *Session) AcceptUniStream() (*Stream, error) {
+	select {
+	case st := <-s.acceptUni:
+		return st, nil
+	case <-s.done:
+		return nil, s.closeError()
+	}
+}
+
+func (s *Session) closeError() error {
+	if s.closeErr != nil {
+		return s.closeErr
+	}
+	return ErrSessionClosed
+}
+
+// Close tears the session down, sending a connection-close frame.
+func (s *Session) Close() error {
+	s.wmu.Lock()
+	buf := AppendVarint(nil, frameClose)
+	buf = AppendVarint(buf, 0)
+	s.nc.Write(buf)
+	s.wmu.Unlock()
+	s.teardown(nil)
+	return nil
+}
+
+func (s *Session) teardown(err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if err == nil {
+		err = ErrSessionClosed
+	}
+	s.closeErr = err
+	streams := make([]*Stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.mu.Unlock()
+	for _, st := range streams {
+		st.fail(err)
+	}
+	close(s.done)
+	s.nc.Close()
+}
+
+func (s *Session) readLoop() {
+	r := &connReader{nc: s.nc}
+	for {
+		if err := s.readFrame(r); err != nil {
+			s.teardown(err)
+			return
+		}
+	}
+}
+
+// connReader adapts the net.Conn with a small buffer for varint
+// parsing.
+type connReader struct {
+	nc  net.Conn
+	buf bytes.Reader
+	tmp [4096]byte
+}
+
+func (c *connReader) Read(p []byte) (int, error) {
+	for c.buf.Len() == 0 {
+		n, err := c.nc.Read(c.tmp[:])
+		if n > 0 {
+			c.buf.Reset(append([]byte(nil), c.tmp[:n]...))
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	return c.buf.Read(p)
+}
+
+func (s *Session) readFrame(r io.Reader) error {
+	ftype, err := ReadVarintFrom(r)
+	if err != nil {
+		return err
+	}
+	switch ftype {
+	case frameStream:
+		id, err := ReadVarintFrom(r)
+		if err != nil {
+			return err
+		}
+		var flags [1]byte
+		if _, err := io.ReadFull(r, flags[:]); err != nil {
+			return err
+		}
+		length, err := ReadVarintFrom(r)
+		if err != nil {
+			return err
+		}
+		if length > streamWindow {
+			return fmt.Errorf("quic: stream frame of %d bytes", length)
+		}
+		data := make([]byte, length)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return err
+		}
+		st := s.streamFor(id)
+		if st == nil {
+			return nil // reset or unknown: drop
+		}
+		return st.deliver(data, flags[0]&1 != 0)
+
+	case frameWindow:
+		id, err := ReadVarintFrom(r)
+		if err != nil {
+			return err
+		}
+		credit, err := ReadVarintFrom(r)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		st := s.streams[id]
+		s.mu.Unlock()
+		if st != nil {
+			st.addCredit(int64(credit))
+		}
+		return nil
+
+	case frameReset:
+		id, err := ReadVarintFrom(r)
+		if err != nil {
+			return err
+		}
+		code, err := ReadVarintFrom(r)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		st := s.streams[id]
+		delete(s.streams, id)
+		s.mu.Unlock()
+		if st != nil {
+			st.fail(fmt.Errorf("quic: stream %d reset by peer (code %d)", id, code))
+		}
+		return nil
+
+	case frameClose:
+		code, err := ReadVarintFrom(r)
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("quic: connection closed by peer (code %d)", code)
+
+	default:
+		return fmt.Errorf("quic: unknown mux frame type %d", ftype)
+	}
+}
+
+// streamFor resolves or admits the stream a STREAM frame targets.
+func (s *Session) streamFor(id uint64) *Stream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.streams[id]; ok {
+		return st
+	}
+	if !s.remoteInitiated(id) || s.closed {
+		return nil
+	}
+	st := newQStream(s, id)
+	s.streams[id] = st
+	// Hand peer-initiated streams to the accept queues; drop when the
+	// application is not accepting (backpressure).
+	q := s.acceptBidi
+	if id&0x2 != 0 {
+		q = s.acceptUni
+	}
+	select {
+	case q <- st:
+	default:
+		delete(s.streams, id)
+		return nil
+	}
+	return st
+}
+
+func (s *Session) remoteInitiated(id uint64) bool {
+	clientInitiated := id&0x1 == 0
+	return clientInitiated != s.isClient
+}
+
+// writeStreamFrame emits one STREAM frame.
+func (s *Session) writeStreamFrame(id uint64, fin bool, data []byte) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	buf := AppendVarint(nil, frameStream)
+	buf = AppendVarint(buf, id)
+	var flags byte
+	if fin {
+		flags = 1
+	}
+	buf = append(buf, flags)
+	buf = AppendVarint(buf, uint64(len(data)))
+	buf = append(buf, data...)
+	_, err := s.nc.Write(buf)
+	return err
+}
+
+func (s *Session) writeWindow(id uint64, credit int64) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	buf := AppendVarint(nil, frameWindow)
+	buf = AppendVarint(buf, id)
+	buf = AppendVarint(buf, uint64(credit))
+	s.nc.Write(buf)
+}
+
+func (s *Session) writeReset(id uint64, code uint64) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	buf := AppendVarint(nil, frameReset)
+	buf = AppendVarint(buf, id)
+	buf = AppendVarint(buf, code)
+	s.nc.Write(buf)
+}

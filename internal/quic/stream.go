@@ -1,0 +1,170 @@
+package quic
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// A Stream is one multiplexed byte stream. Bidirectional streams are
+// readable and writable on both ends; unidirectional streams are
+// writable by their initiator and readable by the acceptor.
+type Stream struct {
+	s  *Session
+	id uint64
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      bytes.Buffer
+	finRecvd bool
+	finSent  bool
+	err      error
+
+	// recvUnacked accumulates consumed bytes until a WINDOW frame is
+	// due; recvBudget is what the peer may still send.
+	recvUnacked int64
+	recvBudget  int64
+
+	// sendCredit is what we may still send.
+	sendCredit int64
+}
+
+func newQStream(s *Session, id uint64) *Stream {
+	st := &Stream{
+		s:          s,
+		id:         id,
+		recvBudget: streamWindow,
+		sendCredit: streamWindow,
+	}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+// ID returns the QUIC stream identifier.
+func (st *Stream) ID() uint64 { return st.id }
+
+// Unidirectional reports whether the stream is one-way.
+func (st *Stream) Unidirectional() bool { return st.id&0x2 != 0 }
+
+// deliver is called by the session read loop.
+func (st *Stream) deliver(data []byte, fin bool) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if int64(len(data)) > st.recvBudget {
+		return fmt.Errorf("quic: stream %d flow violation", st.id)
+	}
+	st.recvBudget -= int64(len(data))
+	st.buf.Write(data)
+	if fin {
+		st.finRecvd = true
+	}
+	st.cond.Broadcast()
+	return nil
+}
+
+func (st *Stream) addCredit(n int64) {
+	st.mu.Lock()
+	st.sendCredit += n
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+func (st *Stream) fail(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// Read implements io.Reader. It returns io.EOF after the peer's FIN
+// once the buffer drains.
+func (st *Stream) Read(p []byte) (int, error) {
+	st.mu.Lock()
+	for st.buf.Len() == 0 {
+		if st.err != nil {
+			err := st.err
+			st.mu.Unlock()
+			return 0, err
+		}
+		if st.finRecvd {
+			st.mu.Unlock()
+			return 0, io.EOF
+		}
+		st.cond.Wait()
+	}
+	n, _ := st.buf.Read(p)
+	st.recvUnacked += int64(n)
+	var replenish int64
+	if st.recvUnacked >= streamWindow/2 {
+		replenish = st.recvUnacked
+		st.recvUnacked = 0
+		st.recvBudget += replenish
+	}
+	st.mu.Unlock()
+	if replenish > 0 {
+		st.s.writeWindow(st.id, replenish)
+	}
+	return n, nil
+}
+
+// Write implements io.Writer, blocking on flow-control credit and
+// splitting into mux frames.
+func (st *Stream) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		st.mu.Lock()
+		for st.sendCredit <= 0 && st.err == nil && !st.finSent {
+			st.cond.Wait()
+		}
+		if st.err != nil {
+			err := st.err
+			st.mu.Unlock()
+			return total, err
+		}
+		if st.finSent {
+			st.mu.Unlock()
+			return total, fmt.Errorf("quic: write after close on stream %d", st.id)
+		}
+		n := int64(len(p))
+		if n > st.sendCredit {
+			n = st.sendCredit
+		}
+		if n > maxMuxFrame {
+			n = maxMuxFrame
+		}
+		st.sendCredit -= n
+		st.mu.Unlock()
+
+		if err := st.s.writeStreamFrame(st.id, false, p[:n]); err != nil {
+			st.fail(err)
+			return total, err
+		}
+		p = p[n:]
+		total += int(n)
+	}
+	return total, nil
+}
+
+// Close sends FIN, half-closing the send direction.
+func (st *Stream) Close() error {
+	st.mu.Lock()
+	if st.finSent {
+		st.mu.Unlock()
+		return nil
+	}
+	st.finSent = true
+	st.mu.Unlock()
+	return st.s.writeStreamFrame(st.id, true, nil)
+}
+
+// Reset aborts the stream with an error code.
+func (st *Stream) Reset(code uint64) {
+	st.s.writeReset(st.id, code)
+	st.fail(fmt.Errorf("quic: stream %d reset locally (code %d)", st.id, code))
+	st.s.mu.Lock()
+	delete(st.s.streams, st.id)
+	st.s.mu.Unlock()
+}

@@ -1,0 +1,101 @@
+// Package quic provides the QUIC-like transport substrate beneath
+// internal/http3: variable-length integers (RFC 9000 §16) and a
+// stream-multiplexing session with QUIC stream-identifier semantics
+// and credit-based flow control.
+//
+// Substitution note (see DESIGN.md): real QUIC runs over UDP with
+// TLS 1.3, loss recovery and congestion control. The paper's §3.1
+// interest is the HTTP/3 *mapping* — "similar use of SETTINGS under
+// HTTP/3 can allow to advertise client-server GenAI capabilities" —
+// which depends on stream multiplexing and the SETTINGS exchange, not
+// on loss recovery. This package therefore multiplexes QUIC-shaped
+// streams over a reliable net.Conn, preserving the identifier space,
+// unidirectional streams and per-stream flow control that HTTP/3
+// builds on.
+package quic
+
+import (
+	"errors"
+	"io"
+)
+
+// Varint bounds (RFC 9000 §16): 1, 2, 4 or 8 byte encodings with the
+// two high bits of the first byte carrying the length.
+const MaxVarint = 1<<62 - 1
+
+// ErrVarintRange reports a value outside [0, 2^62).
+var ErrVarintRange = errors.New("quic: varint out of range")
+
+// AppendVarint appends the QUIC variable-length encoding of v.
+func AppendVarint(dst []byte, v uint64) []byte {
+	switch {
+	case v < 1<<6:
+		return append(dst, byte(v))
+	case v < 1<<14:
+		return append(dst, byte(v>>8)|0x40, byte(v))
+	case v < 1<<30:
+		return append(dst, byte(v>>24)|0x80, byte(v>>16), byte(v>>8), byte(v))
+	case v <= MaxVarint:
+		return append(dst,
+			byte(v>>56)|0xc0, byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	default:
+		panic(ErrVarintRange)
+	}
+}
+
+// VarintLen returns the encoded length of v.
+func VarintLen(v uint64) int {
+	switch {
+	case v < 1<<6:
+		return 1
+	case v < 1<<14:
+		return 2
+	case v < 1<<30:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// ReadVarint decodes a varint from buf, returning the value and the
+// remaining bytes.
+func ReadVarint(buf []byte) (v uint64, rest []byte, err error) {
+	if len(buf) == 0 {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	length := 1 << (buf[0] >> 6)
+	if len(buf) < length {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	v = uint64(buf[0] & 0x3f)
+	for i := 1; i < length; i++ {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v, buf[length:], nil
+}
+
+// ReadVarintFrom decodes a varint from an io.Reader (used on stream
+// boundaries where the length is not known in advance).
+func ReadVarintFrom(r io.Reader) (uint64, error) {
+	var first [1]byte
+	if _, err := io.ReadFull(r, first[:]); err != nil {
+		return 0, err
+	}
+	length := 1 << (first[0] >> 6)
+	v := uint64(first[0] & 0x3f)
+	if length == 1 {
+		return v, nil
+	}
+	rest := make([]byte, length-1)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, err
+	}
+	for _, b := range rest {
+		v = v<<8 | uint64(b)
+	}
+	return v, nil
+}

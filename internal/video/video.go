@@ -1,0 +1,198 @@
+// Package video implements the §3.2 scenario the paper leaves as
+// future work: HLS-style segmented streaming where client and server
+// have negotiated generation abilities over SETTINGS_GEN_ABILITY, so
+// the server can deliver a reduced stream (half frame rate and/or
+// lower resolution) that the client restores locally.
+//
+// "Video streaming protocols, such as HTTP Live Streaming (HLS) and
+// MPEG-DASH, run on top of HTTP. The proposed modifications to HTTP
+// for web pages can be applied also to negotiate generation abilities
+// also for video streaming. ... frame rate boosting, e.g., from 30fps
+// to 60fps, is a likely early use case. ... Sending content at a
+// lower frame rate or lower resolution has a direct effect on data
+// savings. ... The evaluation of this approach is left for future
+// work." — this package is that evaluation, on the simulated devices.
+package video
+
+import (
+	"fmt"
+	"time"
+
+	"sww/internal/device"
+	"sww/internal/http2"
+)
+
+// A Variant is one encoding of the content, as a row of an HLS master
+// playlist.
+type Variant struct {
+	Name string
+	// Width/Height and FPS describe the delivered frames.
+	Width, Height int
+	FPS           int
+	// Mbps is the average delivered bitrate.
+	Mbps float64
+}
+
+// BytesPerSegment returns the size of one segment of the given
+// duration.
+func (v Variant) BytesPerSegment(d time.Duration) int64 {
+	return int64(v.Mbps * 1e6 / 8 * d.Seconds())
+}
+
+// GBPerHour converts the bitrate to the paper's §3.2 unit.
+func (v Variant) GBPerHour() float64 {
+	return v.Mbps * 1e6 / 8 * 3600 / 1e9
+}
+
+// The paper's reference points: 4K ≈ 7 GB/h at 30 fps (Netflix),
+// doubling at 60 fps; HD ≈ 3 GB/h.
+var (
+	Variant4K60 = Variant{Name: "2160p60", Width: 3840, Height: 2160, FPS: 60, Mbps: 31.1}
+	Variant4K30 = Variant{Name: "2160p30", Width: 3840, Height: 2160, FPS: 30, Mbps: 15.6}
+	VariantHD60 = Variant{Name: "1080p60", Width: 1920, Height: 1080, FPS: 60, Mbps: 13.3}
+	VariantHD30 = Variant{Name: "1080p30", Width: 1920, Height: 1080, FPS: 30, Mbps: 6.7}
+)
+
+// A Stream is the content as the origin stores it: a set of variants
+// plus segment structure.
+type Stream struct {
+	Title           string
+	Duration        time.Duration
+	SegmentDuration time.Duration
+	Variants        []Variant
+}
+
+// NewStream builds a stream with the standard variant ladder.
+func NewStream(title string, duration time.Duration) *Stream {
+	return &Stream{
+		Title:           title,
+		Duration:        duration,
+		SegmentDuration: 4 * time.Second,
+		Variants:        []Variant{Variant4K60, Variant4K30, VariantHD60, VariantHD30},
+	}
+}
+
+// Segments returns how many segments the stream has.
+func (s *Stream) Segments() int {
+	n := int(s.Duration / s.SegmentDuration)
+	if time.Duration(n)*s.SegmentDuration < s.Duration {
+		n++
+	}
+	return n
+}
+
+// VariantByName resolves one ladder entry.
+func (s *Stream) VariantByName(name string) (Variant, error) {
+	for _, v := range s.Variants {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return Variant{}, fmt.Errorf("video: no variant %q", name)
+}
+
+// A Delivery describes what the server sends after negotiation: the
+// variant on the wire plus the restoration work the client performs.
+type Delivery struct {
+	Wire Variant
+	// BoostFrames reports client-side frame-rate doubling.
+	BoostFrames bool
+	// UpscaleRes reports client-side resolution upscaling back to the
+	// requested size.
+	UpscaleRes bool
+	// Presented is what the viewer sees after restoration.
+	Presented Variant
+}
+
+// Negotiate selects the delivery for a client requesting `want` with
+// the given negotiated ability (paper §3.2: "client devices can
+// negotiate with the video server generation abilities before content
+// is sent").
+func Negotiate(s *Stream, want Variant, ability http2.GenAbility) Delivery {
+	d := Delivery{Wire: want, Presented: want}
+	if ability.Supports(http2.GenBasic|http2.GenVideoFrameRate) && want.FPS >= 60 {
+		// Ship the half-rate sibling and boost locally.
+		for _, v := range s.Variants {
+			if v.Width == want.Width && v.FPS == want.FPS/2 {
+				d.Wire = v
+				d.BoostFrames = true
+				break
+			}
+		}
+	}
+	if ability.Supports(http2.GenBasic|http2.GenVideoResolution) && d.Wire.Width > VariantHD30.Width {
+		// Ship the HD sibling at the (possibly reduced) frame rate
+		// and upscale locally.
+		for _, v := range s.Variants {
+			if v.Width == VariantHD30.Width && v.FPS == d.Wire.FPS {
+				d.Wire = v
+				d.UpscaleRes = true
+				break
+			}
+		}
+	}
+	return d
+}
+
+// SavingsFactor is delivered-bytes reduction against the request.
+func (d Delivery) SavingsFactor(want Variant) float64 {
+	if d.Wire.Mbps == 0 {
+		return 1
+	}
+	return want.Mbps / d.Wire.Mbps
+}
+
+// Booster models the client-side restoration hardware (RTX VSR /
+// Fluid-Motion-Frames class): time to synthesize one output frame at
+// a given resolution.
+type Booster struct {
+	// nsPerPixelFrame is the per-device cost of synthesizing one
+	// pixel of one frame (interpolation + blending).
+	nsPerPixelFrame map[device.Class]float64
+}
+
+// DefaultBooster is calibrated so that 4K frame interpolation is
+// comfortably real-time on the workstation, marginal on the laptop,
+// and beyond the mobile device — the §7 "change is coming" gap.
+var DefaultBooster = &Booster{
+	nsPerPixelFrame: map[device.Class]float64{
+		device.ClassWorkstation: 0.25,
+		device.ClassLaptop:      1.6,
+		device.ClassMobile:      6.0,
+	},
+}
+
+// FrameTime returns the synthesis time for one frame at w×h.
+func (b *Booster) FrameTime(class device.Class, w, h int) (time.Duration, error) {
+	ns, ok := b.nsPerPixelFrame[class]
+	if !ok {
+		return 0, fmt.Errorf("video: no booster profile for %v", class)
+	}
+	return time.Duration(ns * float64(w*h)), nil
+}
+
+// SegmentWork returns the total client-side synthesis time for one
+// segment of the delivery: boosted frames double the frame count
+// difference; upscaling synthesizes every presented frame.
+func (b *Booster) SegmentWork(class device.Class, d Delivery, segment time.Duration) (time.Duration, error) {
+	var total time.Duration
+	if d.BoostFrames {
+		// Synthesize the missing frames: presented FPS - wire FPS.
+		missing := float64(d.Presented.FPS-d.Wire.FPS) * segment.Seconds()
+		ft, err := b.FrameTime(class, d.Presented.Width, d.Presented.Height)
+		if err != nil {
+			return 0, err
+		}
+		total += time.Duration(missing * float64(ft))
+	}
+	if d.UpscaleRes {
+		frames := float64(d.Wire.FPS) * segment.Seconds()
+		// Upscaling a frame costs ~40% of synthesizing one outright.
+		ft, err := b.FrameTime(class, d.Presented.Width, d.Presented.Height)
+		if err != nil {
+			return 0, err
+		}
+		total += time.Duration(frames * float64(ft) * 0.4)
+	}
+	return total, nil
+}

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sww/internal/core"
+)
+
+// TestWikimediaInvariants checks the Figure 2 scenario's published
+// numbers: 49 images, 1.4 MB of original data, prompts of 120–262
+// characters, ≈8.92 kB of metadata, a compression factor of ≈157×
+// and a worst case of ≈68×.
+func TestWikimediaInvariants(t *testing.T) {
+	p := WikimediaLandscape()
+	phs := p.Placeholders()
+	if len(phs) != WikimediaImageCount {
+		t.Fatalf("%d placeholders, want %d", len(phs), WikimediaImageCount)
+	}
+	var totalOriginal int
+	for _, a := range p.Originals {
+		totalOriginal += len(a.Data)
+	}
+	if totalOriginal != WikimediaTotalBytes {
+		t.Errorf("original bytes = %d, want %d", totalOriginal, WikimediaTotalBytes)
+	}
+	seen := map[string]bool{}
+	for i, ph := range phs {
+		l := len(ph.Content.Meta.Prompt)
+		if l < 110 || l > 262 {
+			t.Errorf("prompt %d has %d chars, want within the paper's 120-262 range (±10)", i, l)
+		}
+		if seen[ph.Content.Meta.Prompt+ph.Content.Meta.Name] {
+			t.Errorf("duplicate placeholder %d", i)
+		}
+		seen[ph.Content.Meta.Prompt+ph.Content.Meta.Name] = true
+	}
+	meta := p.MetadataContentBytes()
+	if meta < 7500 || meta > 10500 {
+		t.Errorf("metadata = %d B, want ≈8920", meta)
+	}
+	ratio := p.MediaCompressionRatio()
+	if ratio < 130 || ratio > 190 {
+		t.Errorf("compression = %.1fx, want ≈157x", ratio)
+	}
+	// Worst case: every image at the 428 B maximum.
+	worst := float64(totalOriginal) / float64(WikimediaImageCount*428)
+	if worst < 60 || worst > 75 {
+		t.Errorf("worst case = %.1fx, want ≈68x", worst)
+	}
+}
+
+func TestWikimediaDeterministic(t *testing.T) {
+	a, b := WikimediaLandscape(), WikimediaLandscape()
+	if a.HTML() != b.HTML() {
+		t.Error("wikimedia page not deterministic")
+	}
+	if len(a.Originals) != len(b.Originals) {
+		t.Fatal("originals differ")
+	}
+	for i := range a.Originals {
+		if len(a.Originals[i].Data) != len(b.Originals[i].Data) {
+			t.Errorf("original %d size differs", i)
+		}
+	}
+}
+
+// TestNewsArticleInvariants checks the §6.2 text experiment: 2400 B
+// of prose compressed to 778 B of prompt metadata (3.1×).
+func TestNewsArticleInvariants(t *testing.T) {
+	p := NewsArticle()
+	if len(p.Originals) != 1 || len(p.Originals[0].Data) != ArticleBytes {
+		t.Fatalf("article original = %d B, want %d", len(p.Originals[0].Data), ArticleBytes)
+	}
+	if got := p.MetadataContentBytes(); got != ArticleMetaBytes {
+		t.Errorf("metadata = %d B, want exactly %d", got, ArticleMetaBytes)
+	}
+	ratio := p.MediaCompressionRatio()
+	if math.Abs(ratio-3.08) > 0.1 {
+		t.Errorf("compression = %.2fx, want ≈3.1x", ratio)
+	}
+	phs := p.Placeholders()
+	if len(phs) != 1 || phs[0].Content.Type != core.ContentText {
+		t.Fatalf("placeholders = %+v", phs)
+	}
+	if phs[0].Content.Meta.Words == 0 {
+		t.Error("article placeholder has no word target")
+	}
+}
+
+// TestTable2Items checks the Table 2 rows: sizes, 428/649 B
+// metadata, and the 19.14× / 76.56× / 306.24× / 1.93× ratios.
+func TestTable2Items(t *testing.T) {
+	items := Table2Items()
+	if len(items) != 4 {
+		t.Fatalf("%d items", len(items))
+	}
+	want := []struct {
+		label    string
+		original int
+		meta     int
+		ratio    float64
+	}{
+		{"small-image", 8192, 428, 19.14},
+		{"medium-image", 32768, 428, 76.56},
+		{"large-image", 131072, 428, 306.24},
+		{"text-block-250w", 1250, 649, 1.93},
+	}
+	for i, w := range want {
+		it := items[i]
+		if it.Label != w.label {
+			t.Errorf("item %d = %s, want %s", i, it.Label, w.label)
+		}
+		if it.OriginalBytes != w.original {
+			t.Errorf("%s original = %d, want %d", w.label, it.OriginalBytes, w.original)
+		}
+		if got := it.Content.ContentSize(); got != w.meta {
+			t.Errorf("%s metadata = %d, want %d", w.label, got, w.meta)
+		}
+		ratio := float64(it.OriginalBytes) / float64(it.Content.ContentSize())
+		if math.Abs(ratio-w.ratio) > 0.01 {
+			t.Errorf("%s ratio = %.2f, want %.2f", w.label, ratio, w.ratio)
+		}
+	}
+}
+
+func TestTravelBlogStructure(t *testing.T) {
+	p := TravelBlog()
+	phs := p.Placeholders()
+	var imgs, txts int
+	for _, ph := range phs {
+		switch ph.Content.Type {
+		case core.ContentImage:
+			imgs++
+		case core.ContentText:
+			txts++
+		}
+	}
+	if imgs != 3 || txts != 1 {
+		t.Errorf("placeholders: %d img, %d txt; want 3/1", imgs, txts)
+	}
+	if len(p.Unique) != 1 {
+		t.Fatalf("%d unique assets, want 1 (the hike photo)", len(p.Unique))
+	}
+	// Unique content must be referenced by the page so clients fetch it.
+	found := false
+	for _, src := range core.AssetPaths(p.Doc) {
+		if src == p.Unique[0].Path {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unique asset not referenced by the page")
+	}
+	// The traditional baseline must materialize.
+	if _, err := p.TraditionalDoc(); err != nil {
+		t.Errorf("traditional form: %v", err)
+	}
+}
+
+func TestLandscapePromptsVaried(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < WikimediaImageCount; i++ {
+		p := LandscapePrompt(i)
+		if seen[p] {
+			t.Errorf("prompt %d duplicates an earlier one", i)
+		}
+		seen[p] = true
+	}
+}
+
+func TestPartitionBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct{ total, n int }{{1_400_000, 49}, {100, 3}, {10, 10}} {
+		parts := partitionBytes(rng, c.total, c.n)
+		if len(parts) != c.n {
+			t.Fatalf("%d parts", len(parts))
+		}
+		sum := 0
+		for _, p := range parts {
+			if p <= 0 {
+				t.Errorf("non-positive part %d", p)
+			}
+			sum += p
+		}
+		if sum != c.total {
+			t.Errorf("sum = %d, want %d", sum, c.total)
+		}
+	}
+}
+
+func TestSyntheticBytesDeterministic(t *testing.T) {
+	a := syntheticBytes(5, 1000)
+	b := syntheticBytes(5, 1000)
+	c := syntheticBytes(6, 1000)
+	if string(a) != string(b) {
+		t.Error("same seed differs")
+	}
+	if string(a) == string(c) {
+		t.Error("different seeds agree")
+	}
+}
