@@ -4,7 +4,7 @@
 // Usage:
 //
 //	sww-bench [-only t1|t2|fig2|steps|sizes|text|article|matrix|
-//	                 energy|carbon|traffic|cdn|video|storage|ablations]
+//	                 energy|carbon|traffic|cdn|video|storage|ablations|chaos]
 //
 // Without -only, all experiments run in order.
 package main
@@ -50,6 +50,7 @@ func main() {
 		{"upscale", "E15 §2.2 content upscaling", runUpscale},
 		{"personalize", "E16 §2.3 personalization & echo chamber", runPersonalize},
 		{"placement", "E17 §7 cache-placement flexibility", runPlacement},
+		{"chaos", "E18 fault injection & degradation ladder", runChaos},
 	}
 	failed := false
 	for _, e := range all {
@@ -366,6 +367,31 @@ func runPlacement() error {
 		fmt.Printf("%-14s %-7s %6d %11.3fGbps %10v %14v %11.2f%%\n",
 			r.Placement.Name, mode, r.StorageSites, r.BackboneGbps, r.Feasible,
 			r.PageLatency.Round(time.Millisecond), 100*r.LatencyShare)
+	}
+	return nil
+}
+
+func runChaos() error {
+	rows, err := experiments.ChaosSweep()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resilient fetch of the travel blog under injected faults;\n")
+	fmt.Printf("every recovering row must render the clean row's asset count\n")
+	fmt.Printf("%-22s %-4s %8s %6s %-12s %7s %9s %s\n",
+		"scenario", "ok", "attempts", "dials", "mode", "assets", "wire[B]", "note")
+	for _, r := range rows {
+		note := ""
+		if r.Degraded {
+			note = "degraded: " + r.DegradeReason
+		} else if r.Err != nil {
+			note = r.Err.Error()
+		}
+		if len(note) > 48 {
+			note = note[:48] + "…"
+		}
+		fmt.Printf("%-22s %-4v %8d %6d %-12s %7d %9d %s\n",
+			r.Scenario, r.OK, r.Attempts, r.Dials, r.Mode, r.Assets, r.WireBytes, note)
 	}
 	return nil
 }

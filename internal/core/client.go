@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"time"
@@ -20,9 +21,9 @@ func htmlRender(n *html.Node) string { return html.RenderString(n) }
 type clientConn interface {
 	Negotiated() http2.GenAbility
 	ServerModelIDs() (image, text uint32)
-	// fetch GETs one path and returns status, the x-sww-mode header
-	// and the full body.
-	fetch(path string) (status int, mode string, body []byte, err error)
+	// fetch GETs one path under ctx and returns status, the
+	// x-sww-mode header and the full body.
+	fetch(ctx context.Context, path string) (status int, mode string, body []byte, err error)
 	Close() error
 }
 
@@ -32,12 +33,12 @@ type h2conn struct{ cc *http2.ClientConn }
 func (c h2conn) Negotiated() http2.GenAbility     { return c.cc.Negotiated() }
 func (c h2conn) ServerModelIDs() (uint32, uint32) { return c.cc.ServerModelIDs() }
 func (c h2conn) Close() error                     { return c.cc.Close() }
-func (c h2conn) fetch(path string) (int, string, []byte, error) {
-	resp, err := c.cc.Get(path)
+func (c h2conn) fetch(ctx context.Context, path string) (int, string, []byte, error) {
+	resp, err := c.cc.GetContext(ctx, path)
 	if err != nil {
 		return 0, "", nil, err
 	}
-	body, err := http2.ReadAllBody(resp)
+	body, err := http2.ReadAllBodyContext(ctx, resp)
 	if err != nil {
 		return 0, "", nil, err
 	}
@@ -50,8 +51,8 @@ type h3conn struct{ cc *http3.ClientConn }
 func (c h3conn) Negotiated() http2.GenAbility     { return c.cc.Negotiated() }
 func (c h3conn) ServerModelIDs() (uint32, uint32) { return c.cc.ServerModelIDs() }
 func (c h3conn) Close() error                     { return c.cc.Close() }
-func (c h3conn) fetch(path string) (int, string, []byte, error) {
-	resp, err := c.cc.Get(path)
+func (c h3conn) fetch(ctx context.Context, path string) (int, string, []byte, error) {
+	resp, err := c.cc.GetContext(ctx, path)
 	if err != nil {
 		return 0, "", nil, err
 	}
@@ -216,6 +217,20 @@ type FetchResult struct {
 
 	// TransmitTime is the link time for WireBytes on this device.
 	TransmitTime time.Duration
+
+	// Degraded marks a page that was re-fetched in traditional mode
+	// after local generation failed or overran its budget — the
+	// paper's fallback ladder exercised at runtime, not just at
+	// negotiation time.
+	Degraded bool
+
+	// DegradeReason records why the degradation happened ("" when
+	// Degraded is false).
+	DegradeReason string
+
+	// Attempts counts connection-level tries it took to produce this
+	// result (1 for a clean first fetch; filled by ResilientClient).
+	Attempts int
 }
 
 // TotalSimTime returns transmit time plus on-device generation time.
@@ -227,10 +242,37 @@ func (r *FetchResult) TotalSimTime() time.Duration {
 	return t
 }
 
+// A GenerationError marks a fetch that failed in the local
+// generation stage — the transport delivered the prompt page, but
+// synthesizing its content failed or overran the generation budget.
+// It is the trigger for the degrade-to-traditional ladder: the same
+// page is still servable with SETTINGS_GEN_ABILITY off.
+type GenerationError struct {
+	Path string
+	Err  error
+}
+
+func (e *GenerationError) Error() string {
+	return fmt.Sprintf("core: generating page %s: %v", e.Path, e.Err)
+}
+
+// Unwrap exposes the underlying failure.
+func (e *GenerationError) Unwrap() error { return e.Err }
+
 // Fetch requests path, resolves the page per the negotiated mode, and
 // fetches every referenced same-site asset.
 func (c *Client) Fetch(path string) (*FetchResult, error) {
-	status, mode, body, err := c.conn.fetch(path)
+	return c.FetchContext(context.Background(), path)
+}
+
+// FetchContext is Fetch governed by ctx: the page request, every
+// asset request, and any upscale-source fetches inherit its deadline,
+// so a wedged transport surfaces as a context error instead of a
+// hang. Failures in the generation stage are returned as
+// *GenerationError; transport failures keep their transport typing
+// (see http2.Retryable).
+func (c *Client) FetchContext(ctx context.Context, path string) (*FetchResult, error) {
+	status, mode, body, err := c.conn.fetch(ctx, path)
 	if err != nil {
 		return nil, err
 	}
@@ -241,6 +283,7 @@ func (c *Client) Fetch(path string) (*FetchResult, error) {
 		Mode:      mode,
 		Assets:    map[string][]byte{},
 		WireBytes: len(body),
+		Attempts:  1,
 	}
 	doc := html.Parse(string(body))
 
@@ -250,9 +293,13 @@ func (c *Client) Fetch(path string) (*FetchResult, error) {
 		}
 		// Upscale placeholders pull their low-resolution sources over
 		// this connection; their bytes count toward the wire total.
+		// Transport failures inside Process are remembered so they are
+		// not misclassified as generation failures below.
+		var transportErr error
 		c.proc.FetchAsset = func(srcPath string) ([]byte, error) {
-			data, err := c.getAsset(srcPath)
+			data, err := c.getAsset(ctx, srcPath)
 			if err != nil {
+				transportErr = err
 				return nil, err
 			}
 			res.WireBytes += len(data)
@@ -261,7 +308,10 @@ func (c *Client) Fetch(path string) (*FetchResult, error) {
 		assets, report, err := c.proc.Process(doc)
 		c.proc.FetchAsset = nil
 		if err != nil {
-			return nil, err
+			if transportErr != nil {
+				return nil, err // the transport died; keep its typing
+			}
+			return nil, &GenerationError{Path: path, Err: err}
 		}
 		for p, data := range assets {
 			res.Assets[p] = data
@@ -275,7 +325,7 @@ func (c *Client) Fetch(path string) (*FetchResult, error) {
 		if _, generatedLocally := res.Assets[src]; generatedLocally {
 			continue
 		}
-		adata, err := c.getAsset(src)
+		adata, err := c.getAsset(ctx, src)
 		if err != nil {
 			return nil, err
 		}
@@ -290,8 +340,8 @@ func (c *Client) Fetch(path string) (*FetchResult, error) {
 }
 
 // getAsset GETs one same-site asset over the connection.
-func (c *Client) getAsset(path string) ([]byte, error) {
-	status, _, data, err := c.conn.fetch(path)
+func (c *Client) getAsset(ctx context.Context, path string) ([]byte, error) {
+	status, _, data, err := c.conn.fetch(ctx, path)
 	if err != nil {
 		return nil, fmt.Errorf("core: fetching asset %s: %w", path, err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"image/png"
 	"time"
@@ -32,7 +33,18 @@ type PageProcessor struct {
 	// Upscaler performs §2.2 content upscaling. Nil means the default
 	// model.
 	Upscaler *imagegen.Upscaler
+
+	// SimBudget bounds the page's modelled generation time. When the
+	// accumulated SimGenTime of a Process pass exceeds it, Process
+	// aborts with ErrGenDeadline — the signal for the degradation
+	// ladder to re-fetch the page traditionally. Zero means unbounded.
+	// The budget is simulated time, so enforcement is deterministic.
+	SimBudget time.Duration
 }
+
+// ErrGenDeadline reports a Process pass whose modelled generation time
+// overran the processor's SimBudget.
+var ErrGenDeadline = errors.New("core: generation deadline exceeded")
 
 // NewPageProcessor builds a processor whose pipeline runs on the
 // device's class with the named models.
@@ -129,6 +141,10 @@ func (pp *PageProcessor) Process(doc *html.Node) (map[string][]byte, *ProcessRep
 		}
 		report.Items = append(report.Items, item)
 		report.SimGenTime += item.SimTime
+		if pp.SimBudget > 0 && report.SimGenTime > pp.SimBudget {
+			return nil, nil, fmt.Errorf("%w: %v spent of %v budget after %q",
+				ErrGenDeadline, report.SimGenTime, pp.SimBudget, item.Name)
+		}
 		report.EnergyWh += item.EnergyWh
 		report.MetadataBytes += item.WireBytes
 		report.MetadataContentBytes += item.ContentBytes

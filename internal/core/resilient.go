@@ -1,0 +1,288 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"sww/internal/device"
+	"sww/internal/http2"
+)
+
+// A DialFunc opens a fresh transport connection to the site. The
+// resilient client calls it once per connection attempt, so fault
+// plans (faultnet.Plan) can hand each dial a different failure mode.
+type DialFunc func() (net.Conn, error)
+
+// A ClientFactory builds the SWW client over a freshly dialed
+// connection. NewClient is the HTTP/2 default; pass NewClientH3 to
+// run the same retry machinery over the HTTP/3 mapping.
+type ClientFactory func(nc net.Conn, dev device.Profile, proc *PageProcessor) (*Client, error)
+
+// A RetryPolicy shapes the backoff between connection attempts.
+type RetryPolicy struct {
+	// MaxAttempts bounds connection-level tries per fetch (dial +
+	// request together count as one attempt). Zero means 4.
+	MaxAttempts int
+
+	// AttemptTimeout bounds each individual attempt. A blackholed or
+	// wedged connection then fails that attempt and retries on a
+	// fresh one, instead of consuming the caller's whole deadline.
+	// Zero means attempts are bounded only by the caller's context.
+	AttemptTimeout time.Duration
+
+	// BaseDelay is the first backoff; each further attempt multiplies
+	// it by Multiplier up to MaxDelay. Zeros mean 10ms / 2.0 / 500ms.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+
+	// Jitter spreads each delay uniformly in [1-Jitter, 1+Jitter]
+	// (e.g. 0.2 = ±20%). Zero disables jitter.
+	Jitter float64
+
+	// Seed makes the jitter deterministic; 0 seeds from 1 (still
+	// deterministic — there is no wall-clock entropy anywhere).
+	Seed int64
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 500 * time.Millisecond
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	d := float64(base)
+	for i := 1; i < attempt; i++ {
+		d *= mult
+		if d >= float64(maxd) {
+			d = float64(maxd)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*rng.Float64()-1)
+	}
+	if d > float64(maxd) {
+		d = float64(maxd)
+	}
+	return time.Duration(d)
+}
+
+// A ResilientClient wraps dial + Fetch in the paper's failure ladder:
+//
+//  1. Transport faults (truncation, resets, dead peers, GOAWAY) are
+//     retried on a fresh connection with exponential backoff and
+//     jitter. GOAWAY replay is safe by construction: the http2 layer
+//     only fails streams above the GOAWAY Last-Stream-ID, which the
+//     peer guarantees it never processed (RFC 9113 §6.8), and
+//     REFUSED_STREAM carries the same guarantee.
+//  2. Generation failures (*GenerationError — a model error or a
+//     blown SimBudget) degrade to traditional: the page is re-fetched
+//     on a connection that advertises SETTINGS_GEN_ABILITY = GenNone,
+//     so the server sends ready-made content. The result is marked
+//     Degraded with the reason recorded.
+//  3. Context cancellation and protocol violations are fatal.
+type ResilientClient struct {
+	dial    DialFunc
+	factory ClientFactory
+	dev     device.Profile
+	proc    *PageProcessor
+	policy  RetryPolicy
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	client   *Client
+	degraded bool // current cached client is a traditional one
+}
+
+// NewResilientClient builds a resilient generative client. proc may be
+// nil for an always-traditional client (then only the retry ladder
+// applies). factory nil means NewClient (HTTP/2).
+func NewResilientClient(dial DialFunc, dev device.Profile, proc *PageProcessor, policy RetryPolicy, factory ClientFactory) *ResilientClient {
+	if factory == nil {
+		factory = NewClient
+	}
+	seed := policy.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &ResilientClient{
+		dial:    dial,
+		factory: factory,
+		dev:     dev,
+		proc:    proc,
+		policy:  policy,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Close drops the cached connection, if any.
+func (rc *ResilientClient) Close() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.dropLocked()
+}
+
+func (rc *ResilientClient) dropLocked() error {
+	if rc.client == nil {
+		return nil
+	}
+	err := rc.client.Close()
+	rc.client = nil
+	return err
+}
+
+// getClient returns a cached connection matching the wanted mode, or
+// dials a fresh one. A degraded fetch needs a GenNone connection
+// because SETTINGS_GEN_ABILITY is fixed at the handshake in this
+// implementation.
+func (rc *ResilientClient) getClient(degraded bool) (*Client, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.client != nil && rc.degraded == degraded {
+		return rc.client, nil
+	}
+	rc.dropLocked()
+	nc, err := rc.dial()
+	if err != nil {
+		return nil, &http2.TransportError{Op: "dial", Err: err}
+	}
+	proc := rc.proc
+	if degraded {
+		proc = nil
+	}
+	cl, err := rc.factory(nc, rc.dev, proc)
+	if err != nil {
+		nc.Close()
+		// Setup failures are connect-phase faults (nothing was
+		// requested yet), so a fresh dial is always safe.
+		return nil, &http2.TransportError{Op: "handshake", Err: err}
+	}
+	rc.client = cl
+	rc.degraded = degraded
+	return cl, nil
+}
+
+// drop discards the cached connection after a failure.
+func (rc *ResilientClient) drop() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.dropLocked()
+}
+
+// Fetch is FetchContext without a deadline.
+func (rc *ResilientClient) Fetch(path string) (*FetchResult, error) {
+	return rc.FetchContext(context.Background(), path)
+}
+
+// FetchContext fetches path through the failure ladder described on
+// ResilientClient. The returned result's Attempts, Degraded and
+// DegradeReason fields record what it took.
+func (rc *ResilientClient) FetchContext(ctx context.Context, path string) (*FetchResult, error) {
+	var lastErr error
+	degraded, degradeReason := false, ""
+	maxAttempts := rc.policy.maxAttempts()
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := rc.fetchOnce(ctx, path, degraded)
+		if err == nil {
+			res.Attempts = attempt
+			res.Degraded = degraded
+			res.DegradeReason = degradeReason
+			return res, nil
+		}
+		lastErr = err
+
+		var genErr *GenerationError
+		switch {
+		case errors.As(err, &genErr) && !degraded:
+			// The transport worked; local generation did not. Step
+			// down the ladder instead of burning retry budget —
+			// but only once.
+			degraded = true
+			if errors.Is(genErr.Err, ErrGenDeadline) {
+				degradeReason = "generation deadline exceeded"
+			} else {
+				degradeReason = fmt.Sprintf("generation failed: %v", genErr.Err)
+			}
+			rc.drop() // need a GenNone handshake
+		case http2.Retryable(err):
+			rc.drop()
+			if attempt < maxAttempts {
+				if err := rc.sleep(ctx, rc.nextDelay(attempt)); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("core: fetch %s: %d attempts exhausted: %w", path, maxAttempts, lastErr)
+}
+
+func (rc *ResilientClient) fetchOnce(ctx context.Context, path string, degraded bool) (*FetchResult, error) {
+	actx := ctx
+	if t := rc.policy.AttemptTimeout; t > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	cl, err := rc.getClient(degraded)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cl.FetchContext(actx, path)
+	if err != nil && actx.Err() != nil && ctx.Err() == nil {
+		// Only the per-attempt deadline fired: the connection is
+		// wedged (blackholed peer, stalled window) but the caller
+		// still has budget — classify as a retryable transport fault.
+		// %v, not %w: Retryable treats wrapped context errors as
+		// fatal, and this one was ours, not the caller's.
+		return nil, &http2.TransportError{Op: "attempt",
+			Err: fmt.Errorf("deadline %v exceeded: %v", rc.policy.AttemptTimeout, err)}
+	}
+	return res, err
+}
+
+// nextDelay serializes rng access so concurrent fetches stay
+// race-free (each still deterministic in sequence).
+func (rc *ResilientClient) nextDelay(attempt int) time.Duration {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.policy.delay(attempt, rc.rng)
+}
+
+func (rc *ResilientClient) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

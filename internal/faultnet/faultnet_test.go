@@ -1,0 +1,191 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoRead drains the peer end into a buffer until EOF or timeout.
+func drain(t *testing.T, nc net.Conn) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		io.Copy(&buf, nc)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		nc.Close()
+		<-done
+	}
+	return buf.Bytes()
+}
+
+func payload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i)
+	}
+	return p
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	cli, srv := Pipe(Config{})
+	msg := payload(10_000)
+	go func() {
+		srv.Write(msg)
+		srv.Close()
+	}()
+	got := drain(t, cli)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("clean conn altered data: got %d bytes, want %d", len(got), len(msg))
+	}
+	st := srv.Stats()
+	if st.BytesWritten != int64(len(msg)) || st.Corrupted != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestChunkedWrites(t *testing.T) {
+	cli, srv := Pipe(Config{ChunkWrites: 7})
+	msg := payload(1000)
+	go func() {
+		srv.Write(msg)
+		srv.Close()
+	}()
+	got := drain(t, cli)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("chunked writes lost data: %d vs %d bytes", len(got), len(msg))
+	}
+	if st := srv.Stats(); st.Chunks < 1000/7 {
+		t.Errorf("chunks = %d, want ≥ %d", st.Chunks, 1000/7)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	cli, srv := Pipe(Config{TruncateAfter: 600})
+	msg := payload(1000)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := srv.Write(msg)
+		errCh <- err
+	}()
+	got := drain(t, cli)
+	if err := <-errCh; !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if len(got) != 600 {
+		t.Errorf("peer received %d bytes, want exactly 600", len(got))
+	}
+	// Subsequent writes stay dead.
+	if _, err := srv.Write([]byte("x")); !errors.Is(err, ErrTruncated) {
+		t.Errorf("post-truncation write err = %v", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	cli, srv := Pipe(Config{ResetAfter: 100})
+	msg := payload(1000)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := srv.Write(msg)
+		errCh <- err
+	}()
+	got := drain(t, cli)
+	if err := <-errCh; !errors.Is(err, ErrReset) {
+		t.Fatalf("err = %v, want ErrReset", err)
+	}
+	if len(got) > 100 {
+		t.Errorf("peer received %d bytes after reset threshold 100", len(got))
+	}
+}
+
+func TestBlackhole(t *testing.T) {
+	cli, srv := Pipe(Config{BlackholeAfter: 200})
+	msg := payload(1000)
+	go func() {
+		n, err := srv.Write(msg)
+		if n != len(msg) || err != nil {
+			t.Errorf("blackholed write = (%d, %v), want silent success", n, err)
+		}
+		srv.Close()
+	}()
+	got := drain(t, cli)
+	if len(got) != 200 {
+		t.Errorf("peer received %d bytes, want 200 then silence", len(got))
+	}
+	if !srv.Stats().Blackholed {
+		t.Error("blackhole not recorded")
+	}
+}
+
+func TestCorruptionDeterministic(t *testing.T) {
+	run := func(seed int64) ([]byte, Stats) {
+		cli, srv := Pipe(Config{Seed: seed, CorruptProb: 0.5, ChunkWrites: 64})
+		msg := payload(2048)
+		go func() {
+			srv.Write(msg)
+			srv.Close()
+		}()
+		return drain(t, cli), srv.Stats()
+	}
+	a, sa := run(42)
+	b, sb := run(42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if sa.Corrupted == 0 || sa.Corrupted != sb.Corrupted {
+		t.Fatalf("corrupted chunks = %d / %d, want equal and nonzero", sa.Corrupted, sb.Corrupted)
+	}
+	if bytes.Equal(a, payload(2048)) {
+		t.Error("corruption flag set but data unchanged")
+	}
+	c, _ := run(43)
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical corruption")
+	}
+}
+
+func TestLatencyAndBandwidth(t *testing.T) {
+	cli, srv := Pipe(Config{WriteLatency: 20 * time.Millisecond, BandwidthBps: 100_000})
+	msg := payload(2000) // 20 ms pacing at 100 kB/s + 20 ms latency
+	start := time.Now()
+	go func() {
+		srv.Write(msg)
+		srv.Close()
+	}()
+	got := drain(t, cli)
+	if elapsed := time.Since(start); elapsed < 35*time.Millisecond {
+		t.Errorf("write completed in %v, pacing not applied", elapsed)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Error("paced conn altered data")
+	}
+}
+
+func TestPlanSequencing(t *testing.T) {
+	p := NewPlan(Config{ResetAfter: 1}, Config{TruncateAfter: 1}, Config{})
+	if c := p.Next(); c.ResetAfter != 1 {
+		t.Errorf("dial 1 config = %+v", c)
+	}
+	if c := p.Next(); c.TruncateAfter != 1 {
+		t.Errorf("dial 2 config = %+v", c)
+	}
+	for i := 0; i < 3; i++ {
+		if c := p.Next(); c.ResetAfter != 0 || c.TruncateAfter != 0 {
+			t.Errorf("dial %d not clean: %+v", 3+i, c)
+		}
+	}
+	if p.Dials() != 5 {
+		t.Errorf("dials = %d, want 5", p.Dials())
+	}
+	if c := (&Plan{}).Next(); c.ResetAfter != 0 || c.Seed != 0 {
+		t.Errorf("empty plan config = %+v", c)
+	}
+}

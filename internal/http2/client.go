@@ -1,6 +1,7 @@
 package http2
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -85,17 +86,47 @@ func (cc *ClientConn) Ping(timeout time.Duration) error { return cc.c.ping(timeo
 // Close shuts the connection down with GOAWAY(NO_ERROR).
 func (cc *ClientConn) Close() error { return cc.c.shutdown() }
 
+// CloseContext is Close bounded by the caller's deadline: the GOAWAY
+// flush drains until ctx expires instead of the configured default.
+func (cc *ClientConn) CloseContext(ctx context.Context) error { return cc.c.shutdownContext(ctx) }
+
 // Get issues a simple GET request.
 func (cc *ClientConn) Get(path string, extra ...hpack.HeaderField) (*Response, error) {
 	return cc.Do(&Request{Method: "GET", Scheme: "https", Path: path, Authority: "sww.local", Header: extra})
 }
 
+// GetContext is Get under a context: cancellation or deadline expiry
+// aborts the request's stream with RST_STREAM(CANCEL).
+func (cc *ClientConn) GetContext(ctx context.Context, path string, extra ...hpack.HeaderField) (*Response, error) {
+	return cc.DoContext(ctx, &Request{Method: "GET", Scheme: "https", Path: path, Authority: "sww.local", Header: extra})
+}
+
 // Do sends req and waits for the response headers. The response body
 // streams afterwards.
 func (cc *ClientConn) Do(req *Request) (*Response, error) {
+	return cc.DoContext(context.Background(), req)
+}
+
+// DoContext is Do under a context. The context governs the whole
+// request phase — header write, body copy, and the wait for response
+// headers; when it fires, the stream is cancelled so blocked
+// flow-control writers and header waits unwind promptly. The
+// returned response's body is NOT governed by ctx; use
+// ReadAllBodyContext (or a per-read deadline of the caller's choice)
+// to bound body streaming.
+func (cc *ClientConn) DoContext(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	st, err := cc.c.openStream()
 	if err != nil {
 		return nil, err
+	}
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			st.cancel(fmt.Errorf("http2: request canceled: %w", context.Cause(ctx)))
+		})
+		defer stop()
 	}
 	fields := make([]hpack.HeaderField, 0, len(req.Header)+4)
 	method := req.Method
@@ -198,4 +229,23 @@ func (b *responseBody) Close() error {
 func ReadAllBody(resp *Response) ([]byte, error) {
 	defer resp.Body.Close()
 	return io.ReadAll(resp.Body)
+}
+
+// ReadAllBodyContext drains and closes a response body under a
+// context: when ctx fires mid-stream (a stalled or blackholed peer),
+// the underlying stream is cancelled so the read unwinds instead of
+// hanging on a window that never refills.
+func ReadAllBodyContext(ctx context.Context, resp *Response) ([]byte, error) {
+	if ctx.Done() == nil {
+		return ReadAllBody(resp)
+	}
+	stop := context.AfterFunc(ctx, func() {
+		resp.stream.cancel(fmt.Errorf("http2: body read canceled: %w", context.Cause(ctx)))
+	})
+	defer stop()
+	body, err := ReadAllBody(resp)
+	if err != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return body, err
 }

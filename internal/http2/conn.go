@@ -1,12 +1,14 @@
 package http2
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sww/internal/hpack"
@@ -20,6 +22,7 @@ const (
 	defaultWindowSize      = 65535
 	defaultMaxStreams      = 100
 	defaultHandshakePeriod = 10 * time.Second
+	defaultDrainPeriod     = 200 * time.Millisecond
 
 	// maxHeaderBlockBytes caps an assembled header block across
 	// HEADERS + CONTINUATION frames.
@@ -56,6 +59,23 @@ type Config struct {
 	// HandshakeTimeout bounds the wait for the peer's first SETTINGS
 	// frame. Zero means 10s.
 	HandshakeTimeout time.Duration
+
+	// DrainTimeout bounds how long teardown and shutdown wait for
+	// already-queued frames (the GOAWAY in particular) to flush to a
+	// slow link before the transport dies. Zero means 200ms. Callers
+	// with a harder deadline use CloseContext, whose context deadline
+	// overrides this.
+	DrainTimeout time.Duration
+
+	// KeepAliveInterval, when positive, enables health checks on
+	// served connections: after this much frame silence the endpoint
+	// sends PING and, if no ACK arrives within KeepAliveTimeout,
+	// closes the dead peer instead of leaking the connection.
+	KeepAliveInterval time.Duration
+
+	// KeepAliveTimeout bounds the wait for a keepalive PING ACK.
+	// Zero means KeepAliveInterval.
+	KeepAliveTimeout time.Duration
 
 	// ExtraSettings are appended verbatim to the initial SETTINGS
 	// frame (for tests and future extensions).
@@ -96,6 +116,20 @@ func (c Config) handshakeTimeout() time.Duration {
 	return c.HandshakeTimeout
 }
 
+func (c Config) drainTimeout() time.Duration {
+	if c.DrainTimeout <= 0 {
+		return defaultDrainPeriod
+	}
+	return c.DrainTimeout
+}
+
+func (c Config) keepAliveTimeout() time.Duration {
+	if c.KeepAliveTimeout <= 0 {
+		return c.KeepAliveInterval
+	}
+	return c.KeepAliveTimeout
+}
+
 // peerState holds the peer's most recent SETTINGS values.
 type peerState struct {
 	maxFrameSize  uint32
@@ -123,6 +157,10 @@ type conn struct {
 
 	// hdec is used only by the read loop.
 	hdec *hpack.Decoder
+
+	// lastFrame is the UnixNano time of the last frame received,
+	// maintained by the read loop for keepalive idleness checks.
+	lastFrame atomic.Int64
 
 	connSend *sendFlow // connection-level send window
 
@@ -284,9 +322,14 @@ func (c *conn) readFrames() error {
 		if err != nil {
 			if ce, ok := err.(ConnectionError); ok {
 				c.abort(ce)
+				return err
 			}
-			return err
+			// Anything that is not a protocol violation is a transport
+			// failure: surface it typed so callers can classify it as
+			// retryable.
+			return &TransportError{Op: "read", Err: err}
 		}
+		c.lastFrame.Store(time.Now().UnixNano())
 		c.logf("%s read %v", c.role(), fr.FrameHeader)
 		if !sawSettings {
 			if fr.Type != FrameSettings || fr.Has(FlagAck) {
@@ -713,8 +756,8 @@ func (c *conn) abort(ce ConnectionError) {
 
 // teardown fails every stream and marks the connection dead.
 func (c *conn) teardown(err error) {
-	if err == nil || err == io.EOF {
-		err = errors.New("http2: connection closed by peer")
+	if err == nil || errors.Is(err, io.EOF) {
+		err = ErrPeerClosed
 	}
 	c.mu.Lock()
 	if c.closeErr == nil {
@@ -745,13 +788,19 @@ func (c *conn) teardown(err error) {
 	// GOAWAY explaining this teardown, in particular) a moment to
 	// reach the peer before the transport dies.
 	c.aw.close()
-	c.aw.drain(200 * time.Millisecond)
+	c.aw.drain(c.cfg.drainTimeout())
 	c.netConn.Close()
 }
 
 // shutdown performs a graceful local close: GOAWAY(NO_ERROR) then
-// closing the transport.
-func (c *conn) shutdown() error {
+// closing the transport, draining for the configured default.
+func (c *conn) shutdown() error { return c.shutdownContext(context.Background()) }
+
+// shutdownContext is shutdown bounded by the caller's deadline: the
+// GOAWAY drain waits until ctx expires (or the configured drain
+// timeout when ctx carries no deadline), so slow links get the whole
+// budget instead of a hard-coded flush window.
+func (c *conn) shutdownContext(ctx context.Context) error {
 	c.mu.Lock()
 	last := c.lastPeerID
 	already := c.sentGoAway
@@ -762,12 +811,16 @@ func (c *conn) shutdown() error {
 		c.fr.WriteGoAway(last, ErrCodeNo, nil)
 		c.wmu.Unlock()
 	}
-	// Give the writer a moment to flush the GOAWAY before tearing the
-	// transport down.
+	drain := c.cfg.drainTimeout()
+	if deadline, ok := ctx.Deadline(); ok {
+		drain = time.Until(deadline)
+	}
 	c.aw.close()
-	c.aw.drain(200 * time.Millisecond)
+	if drain > 0 {
+		c.aw.drain(drain)
+	}
 	err := c.netConn.Close()
-	c.teardown(errors.New("http2: connection closed locally"))
+	c.teardown(ErrLocallyClosed)
 	return err
 }
 
@@ -802,8 +855,45 @@ func (c *conn) ping(timeout time.Duration) error {
 			return err
 		}
 		return nil
+	case <-c.doneCh:
+		return c.closeError()
 	case <-time.After(timeout):
-		return fmt.Errorf("http2: ping timeout after %v", timeout)
+		return fmt.Errorf("%w after %v", ErrPingTimeout, timeout)
+	}
+}
+
+// keepAliveLoop runs the satellite health check on served
+// connections: whenever the peer has been silent for a full
+// interval, round-trip a PING; a missing ACK means a dead or wedged
+// peer, and the connection is torn down instead of leaking. The loop
+// exits when the connection dies.
+func (c *conn) keepAliveLoop() {
+	interval := c.cfg.KeepAliveInterval
+	if interval <= 0 {
+		return
+	}
+	c.lastFrame.Store(time.Now().UnixNano())
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.doneCh:
+			return
+		case <-ticker.C:
+		}
+		idle := time.Since(time.Unix(0, c.lastFrame.Load()))
+		if idle < interval {
+			continue // traffic flowed recently; no probe needed
+		}
+		if err := c.ping(c.cfg.keepAliveTimeout()); err != nil {
+			select {
+			case <-c.doneCh: // already dead; teardown done elsewhere
+			default:
+				c.logf("%s keepalive failed, closing: %v", c.role(), err)
+				c.teardown(fmt.Errorf("http2: keepalive: %w", err))
+			}
+			return
+		}
 	}
 }
 

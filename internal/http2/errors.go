@@ -12,7 +12,13 @@
 // both advertise the ability (paper §3).
 package http2
 
-import "fmt"
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
 
 // An ErrCode is an HTTP/2 error code (RFC 9113 §7).
 type ErrCode uint32
@@ -104,4 +110,81 @@ type GoAwayError struct {
 func (e GoAwayError) Error() string {
 	return fmt.Sprintf("http2: peer sent GOAWAY (last stream %d, %v, %q)",
 		e.LastStreamID, e.Code, e.DebugData)
+}
+
+// A TransportError wraps an I/O failure on the connection beneath the
+// framing layer: the peer vanished, the link reset, a read or write
+// died mid-frame. Transport errors say nothing about protocol
+// correctness, so idempotent requests are safe to retry on a fresh
+// connection.
+type TransportError struct {
+	Op  string // "read", "write", "close"
+	Err error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("http2: transport %s: %v", e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying I/O error.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// ErrPingTimeout is returned by Ping when the peer's ACK does not
+// arrive in time — the keepalive signal for a dead or wedged peer.
+var ErrPingTimeout = errors.New("http2: ping timeout")
+
+// ErrPeerClosed marks a connection the peer closed without GOAWAY.
+var ErrPeerClosed = errors.New("http2: connection closed by peer")
+
+// ErrLocallyClosed marks a connection this endpoint shut down.
+var ErrLocallyClosed = errors.New("http2: connection closed locally")
+
+// Retryable classifies an error from a request path as safe-to-retry
+// on a new connection versus fatal. The taxonomy:
+//
+//   - Transport failures (TransportError, raw EOF / unexpected EOF,
+//     net.Error, closed-connection errors): retryable — the request
+//     may or may not have been processed, but SWW requests are
+//     idempotent GETs.
+//   - GOAWAY surfaced as a stream failure: retryable. The connection
+//     machinery only fails streams whose ID exceeds the GOAWAY
+//     last-stream-ID, which the peer guarantees it never processed
+//     (RFC 9113 §6.8), so replay is always safe.
+//   - RST_STREAM with REFUSED_STREAM: retryable by specification —
+//     the peer rejected the stream before doing any work.
+//   - Ping timeouts: retryable (dead peer, not bad request).
+//   - Context cancellation/deadline: fatal — the caller gave up.
+//   - ConnectionError / other StreamErrors: fatal — a protocol
+//     violation that a retry would only repeat.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var te *TransportError
+	if errors.As(err, &te) {
+		return true
+	}
+	var ga GoAwayError
+	if errors.As(err, &ga) {
+		return true
+	}
+	var se StreamError
+	if errors.As(err, &se) {
+		return se.Code == ErrCodeRefusedStream
+	}
+	var ce ConnectionError
+	if errors.As(err, &ce) {
+		return false
+	}
+	if errors.Is(err, ErrPingTimeout) || errors.Is(err, ErrPeerClosed) ||
+		errors.Is(err, ErrLocallyClosed) || errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, io.ErrClosedPipe) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
 }

@@ -1,6 +1,7 @@
 package http2
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -191,6 +192,9 @@ func (s *Server) newServerConn(nc net.Conn) (*conn, error) {
 	if err := c.sendInitial(); err != nil {
 		return nil, err
 	}
+	if s.Config.KeepAliveInterval > 0 {
+		go c.keepAliveLoop()
+	}
 	return c, nil
 }
 
@@ -251,4 +255,27 @@ func (sc *ServerConn) Close() error {
 		return sc.err
 	}
 	return sc.c.shutdown()
+}
+
+// CloseContext shuts the connection down gracefully, draining the
+// GOAWAY until the caller's deadline instead of the default window.
+func (sc *ServerConn) CloseContext(ctx context.Context) error {
+	<-sc.ready
+	if sc.err != nil {
+		return sc.err
+	}
+	return sc.c.shutdownContext(ctx)
+}
+
+// Done returns a channel closed when the connection dies (including
+// keepalive teardown of a dead peer). For connections that failed the
+// handshake it is closed immediately.
+func (sc *ServerConn) Done() <-chan struct{} {
+	<-sc.ready
+	if sc.err != nil {
+		closed := make(chan struct{})
+		close(closed)
+		return closed
+	}
+	return sc.c.doneCh
 }

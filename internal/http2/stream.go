@@ -191,6 +191,15 @@ func (s *Stream) Close() error {
 	return nil
 }
 
+// cancel aborts the stream with RST_STREAM(CANCEL), failing local
+// readers and writers with err (context cancellation, typically)
+// rather than the generic closed-locally error.
+func (s *Stream) cancel(err error) {
+	s.c.resetStream(s.id, ErrCodeCancel)
+	s.closeWithError(err)
+	s.c.removeStream(s.id)
+}
+
 // Trailers returns any trailer fields received after the response
 // headers. Valid once Read has returned io.EOF.
 func (s *Stream) Trailers() []hpack.HeaderField {

@@ -1,9 +1,11 @@
 package http3
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"sww/internal/http2"
@@ -38,7 +40,9 @@ type conn struct {
 	sess *quic.Session
 	cfg  Config
 
+	mu           sync.Mutex // guards peerSettings
 	peerSettings map[uint64]uint64
+	seenOnce     sync.Once // a second control stream must not re-close peerSeen
 	peerSeen     chan struct{}
 }
 
@@ -104,8 +108,12 @@ func (c *conn) consumeUniStreams() {
 			if err != nil {
 				return
 			}
-			c.peerSettings = settings
-			close(c.peerSeen)
+			c.mu.Lock()
+			if c.peerSettings == nil {
+				c.peerSettings = settings
+			}
+			c.mu.Unlock()
+			c.seenOnce.Do(func() { close(c.peerSeen) })
 			// Keep the control stream open (further frames such as
 			// GOAWAY would arrive here).
 			io.Copy(io.Discard, st)
@@ -124,11 +132,20 @@ func (c *conn) waitPeerSettings() error {
 
 // peerGenAbility returns the ability the peer advertised.
 func (c *conn) peerGenAbility() (http2.GenAbility, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.peerSettings == nil {
 		return http2.GenNone, false
 	}
 	v, ok := c.peerSettings[SettingGenAbility]
 	return http2.GenAbility(v), ok
+}
+
+// peerSetting reads one peer setting under the lock.
+func (c *conn) peerSetting(id uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peerSettings[id]
 }
 
 // negotiated intersects both endpoints' abilities, as in HTTP/2.
@@ -382,27 +399,57 @@ func (cc *ClientConn) ServerGenAbility() (http2.GenAbility, bool) { return cc.c.
 // ServerModelIDs returns the server's advertised model identifiers
 // (§7 model negotiation), zero when absent.
 func (cc *ClientConn) ServerModelIDs() (image, text uint32) {
-	if cc.c.peerSettings == nil {
-		return 0, 0
-	}
-	return uint32(cc.c.peerSettings[SettingGenImageModel]),
-		uint32(cc.c.peerSettings[SettingGenTextModel])
+	return uint32(cc.c.peerSetting(SettingGenImageModel)),
+		uint32(cc.c.peerSetting(SettingGenTextModel))
 }
 
 // Close tears the session down.
 func (cc *ClientConn) Close() error { return cc.c.sess.Close() }
+
+// ErrCodeRequestCanceled is the QUIC application error code used
+// when a request's context fires (mirrors H3_REQUEST_CANCELLED).
+const ErrCodeRequestCanceled = 0x10c
 
 // Get issues a GET request.
 func (cc *ClientConn) Get(path string, extra ...Field) (*Response, error) {
 	return cc.Do("GET", path, extra, nil)
 }
 
+// GetContext is Get under a context: cancellation or deadline expiry
+// resets the request stream, unwinding any blocked read or write.
+func (cc *ClientConn) GetContext(ctx context.Context, path string, extra ...Field) (*Response, error) {
+	return cc.DoContext(ctx, "GET", path, extra, nil)
+}
+
 // Do issues a request and waits for the full response.
 func (cc *ClientConn) Do(method, path string, extra []Field, body []byte) (*Response, error) {
+	return cc.DoContext(context.Background(), method, path, extra, body)
+}
+
+// DoContext is Do governed by ctx for the whole request/response
+// exchange: when ctx fires, the stream is reset locally (failing the
+// blocked read) and toward the peer with ErrCodeRequestCanceled.
+func (cc *ClientConn) DoContext(ctx context.Context, method, path string, extra []Field, body []byte) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	st, err := cc.c.sess.OpenStream()
 	if err != nil {
 		return nil, err
 	}
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { st.Reset(ErrCodeRequestCanceled) })
+		defer stop()
+	}
+	resp, err := cc.do(st, method, path, extra, body)
+	if err != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return resp, err
+}
+
+// do runs one exchange on an already-open stream.
+func (cc *ClientConn) do(st *quic.Stream, method, path string, extra []Field, body []byte) (*Response, error) {
 	fields := []Field{
 		{Name: ":method", Value: method},
 		{Name: ":scheme", Value: "https"},
