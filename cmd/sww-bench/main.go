@@ -4,9 +4,11 @@
 // Usage:
 //
 //	sww-bench [-only t1|t2|fig2|steps|sizes|text|article|matrix|
-//	                 energy|carbon|traffic|cdn|video|storage|ablations|chaos]
+//	                 energy|carbon|traffic|cdn|video|storage|ablations|
+//	                 chaos|overload] [-quick]
 //
-// Without -only, all experiments run in order.
+// Without -only, all experiments run in order. -quick trims the
+// heavier sweeps for CI smoke runs.
 package main
 
 import (
@@ -24,7 +26,9 @@ import (
 
 func main() {
 	only := flag.String("only", "", "run a single experiment")
+	quick := flag.Bool("quick", false, "trim heavy sweeps for smoke runs")
 	flag.Parse()
+	quickMode = *quick
 
 	all := []struct {
 		key  string
@@ -51,6 +55,7 @@ func main() {
 		{"personalize", "E16 §2.3 personalization & echo chamber", runPersonalize},
 		{"placement", "E17 §7 cache-placement flexibility", runPlacement},
 		{"chaos", "E18 fault injection & degradation ladder", runChaos},
+		{"overload", "E19 server overload & load-shed ladder", runOverload},
 	}
 	failed := false
 	for _, e := range all {
@@ -392,6 +397,29 @@ func runChaos() error {
 		}
 		fmt.Printf("%-22s %-4v %8d %6d %-12s %7d %9d %s\n",
 			r.Scenario, r.OK, r.Attempts, r.Dials, r.Mode, r.Assets, r.WireBytes, note)
+	}
+	return nil
+}
+
+// quickMode mirrors the -quick flag for experiments with a trimmed
+// variant.
+var quickMode bool
+
+func runOverload() error {
+	rows, err := experiments.OverloadSweep(quickMode)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("capacity-limited generative server at multiples of admitted generation\n")
+	fmt.Printf("capacity; healthy signature: flat goodput beyond 1x, excess shed as 503\n")
+	fmt.Printf("%-5s %9s %6s %5s %6s %5s %9s %7s %9s %9s %6s\n",
+		"mult", "offered", "reqs", "ok", "shed", "err", "goodput", "shed%", "p50", "p99", "flips")
+	for _, r := range rows {
+		fmt.Printf("%4.1fx %7.0f/s %6d %5d %6d %5d %7.0f/s %6.1f%% %9v %9v %6d\n",
+			r.Multiplier, r.OfferedRPS, r.Requests, r.OK, r.Shed, r.Errors,
+			r.GoodputRPS, 100*r.ShedRate,
+			r.P50.Round(time.Millisecond), r.P99.Round(time.Millisecond),
+			r.Stats.ShedPolicyFlip)
 	}
 	return nil
 }

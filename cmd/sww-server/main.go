@@ -8,6 +8,16 @@
 //
 //	sww-server [-addr :8420] [-image-model sd3-medium]
 //	           [-text-model deepseek-r1-8b] [-policy generative|traditional]
+//	           [-max-gen-workers 4] [-gen-queue-deadline 500ms]
+//	           [-admit-rps 0] [-admit-burst 0]
+//	           [-breaker-failures 5] [-breaker-cooldown 1s] [-breaker-probes 1]
+//	           [-gen-cache-bytes 67108864] [-retry-after 1s]
+//
+// The overload flags shape the server-side load-shed ladder: a
+// bounded generation worker pool with a queue deadline, token-bucket
+// admission (off when -admit-rps is 0), a circuit breaker over the
+// generation backend, a byte-capped cache of generated traditional
+// content, and the Retry-After advice attached to 503 replies.
 //
 // The demo site contains /wiki/landscape (Figure 2), /news/article
 // (§6.2 text experiment) and /blog/hike (§2.1 travel blog).
@@ -18,10 +28,12 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"sww/internal/core"
 	"sww/internal/genai/imagegen"
 	"sww/internal/genai/textgen"
+	"sww/internal/overload"
 	"sww/internal/workload"
 )
 
@@ -31,12 +43,34 @@ func main() {
 	textModel := flag.String("text-model", textgen.DeepSeek8, "server-side text model")
 	policy := flag.String("policy", "generative", "serve policy: generative|traditional")
 	useH3 := flag.Bool("h3", false, "serve the HTTP/3 mapping instead of HTTP/2")
+	maxGenWorkers := flag.Int("max-gen-workers", 4, "concurrent server-side generations")
+	queueDeadline := flag.Duration("gen-queue-deadline", 500*time.Millisecond, "max wait for a free generation worker")
+	admitRPS := flag.Float64("admit-rps", 0, "sustained generation admission rate (0 disables)")
+	admitBurst := flag.Int("admit-burst", 0, "admission token-bucket depth (0 = 2x workers)")
+	breakerFailures := flag.Int("breaker-failures", 5, "consecutive generation failures that open the breaker (<0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before half-open probes")
+	breakerProbes := flag.Int("breaker-probes", 1, "concurrent half-open probes")
+	genCacheBytes := flag.Int64("gen-cache-bytes", 64<<20, "byte cap on cached generated traditional content")
+	retryAfter := flag.Duration("retry-after", time.Second, "default Retry-After advice on 503 replies")
 	flag.Parse()
 
 	srv, err := core.NewServer(*imageModel, *textModel)
 	if err != nil {
 		log.Fatalf("building server: %v", err)
 	}
+	srv.SetOverload(overload.Config{
+		MaxGenWorkers: *maxGenWorkers,
+		QueueDeadline: *queueDeadline,
+		AdmitRPS:      *admitRPS,
+		AdmitBurst:    *admitBurst,
+		Breaker: overload.BreakerConfig{
+			FailureThreshold: *breakerFailures,
+			Cooldown:         *breakerCooldown,
+			ProbeBudget:      *breakerProbes,
+		},
+		CacheBytes: *genCacheBytes,
+		RetryAfter: *retryAfter,
+	})
 	switch *policy {
 	case "generative":
 		srv.Policy = core.PolicyGenerative
@@ -59,6 +93,8 @@ func main() {
 	sww, trad := srv.StorageBytes()
 	fmt.Printf("storage: %d B as SWW vs %d B traditional (%.1fx)\n",
 		sww, trad, float64(trad)/float64(sww))
+	fmt.Printf("overload: %d gen workers, queue deadline %v, admit %.0f rps, gen cache %d B\n",
+		*maxGenWorkers, *queueDeadline, *admitRPS, *genCacheBytes)
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

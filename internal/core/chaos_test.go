@@ -83,7 +83,7 @@ func TestChaosTruncationAndReset(t *testing.T) {
 	plan := faultnet.NewPlan(
 		faultnet.Config{Seed: 1, TruncateAfter: 20_000}, // dies inside the unique photo
 		faultnet.Config{Seed: 2, ResetAfter: 8_000},     // reconnect reset earlier still
-		faultnet.Config{},                               // then the network heals
+		faultnet.Config{}, // then the network heals
 	)
 	rc := core.NewResilientClient(planDialer(srv, plan), device.Laptop, chaosProcessor(t),
 		core.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 42}, nil)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strconv"
 	"time"
 
 	"sww/internal/device"
@@ -16,14 +17,22 @@ import (
 // htmlRender is a tiny alias keeping server.go readable.
 func htmlRender(n *html.Node) string { return html.RenderString(n) }
 
+// fetchReply is one transport-agnostic response: status, the SWW
+// headers the client logic reads, and the full body.
+type fetchReply struct {
+	status     int
+	mode       string // x-sww-mode
+	retryAfter string // retry-after, 503 only
+	body       []byte
+}
+
 // clientConn abstracts the transport beneath the generative client,
 // so the same client logic runs over HTTP/2 and HTTP/3 (§3.1).
 type clientConn interface {
 	Negotiated() http2.GenAbility
 	ServerModelIDs() (image, text uint32)
-	// fetch GETs one path under ctx and returns status, the
-	// x-sww-mode header and the full body.
-	fetch(ctx context.Context, path string) (status int, mode string, body []byte, err error)
+	// fetch GETs one path under ctx.
+	fetch(ctx context.Context, path string) (fetchReply, error)
 	Close() error
 }
 
@@ -33,16 +42,21 @@ type h2conn struct{ cc *http2.ClientConn }
 func (c h2conn) Negotiated() http2.GenAbility     { return c.cc.Negotiated() }
 func (c h2conn) ServerModelIDs() (uint32, uint32) { return c.cc.ServerModelIDs() }
 func (c h2conn) Close() error                     { return c.cc.Close() }
-func (c h2conn) fetch(ctx context.Context, path string) (int, string, []byte, error) {
+func (c h2conn) fetch(ctx context.Context, path string) (fetchReply, error) {
 	resp, err := c.cc.GetContext(ctx, path)
 	if err != nil {
-		return 0, "", nil, err
+		return fetchReply{}, err
 	}
 	body, err := http2.ReadAllBodyContext(ctx, resp)
 	if err != nil {
-		return 0, "", nil, err
+		return fetchReply{}, err
 	}
-	return resp.Status, resp.HeaderValue(ModeHeader), body, nil
+	return fetchReply{
+		status:     resp.Status,
+		mode:       resp.HeaderValue(ModeHeader),
+		retryAfter: resp.HeaderValue(RetryAfterHeader),
+		body:       body,
+	}, nil
 }
 
 // h3conn adapts http3.ClientConn.
@@ -51,12 +65,17 @@ type h3conn struct{ cc *http3.ClientConn }
 func (c h3conn) Negotiated() http2.GenAbility     { return c.cc.Negotiated() }
 func (c h3conn) ServerModelIDs() (uint32, uint32) { return c.cc.ServerModelIDs() }
 func (c h3conn) Close() error                     { return c.cc.Close() }
-func (c h3conn) fetch(ctx context.Context, path string) (int, string, []byte, error) {
+func (c h3conn) fetch(ctx context.Context, path string) (fetchReply, error) {
 	resp, err := c.cc.GetContext(ctx, path)
 	if err != nil {
-		return 0, "", nil, err
+		return fetchReply{}, err
 	}
-	return resp.Status, resp.HeaderValue(ModeHeader), resp.Body, nil
+	return fetchReply{
+		status:     resp.Status,
+		mode:       resp.HeaderValue(ModeHeader),
+		retryAfter: resp.HeaderValue(RetryAfterHeader),
+		body:       resp.Body,
+	}, nil
 }
 
 // A Client is the §5.2 generative client: it connects, advertises its
@@ -259,6 +278,31 @@ func (e *GenerationError) Error() string {
 // Unwrap exposes the underlying failure.
 func (e *GenerationError) Unwrap() error { return e.Err }
 
+// A ServerBusyError marks a 503 reply from the server's load-shed
+// ladder: the connection is healthy and the request was well-formed,
+// the server just cannot afford the generation right now. It is
+// retryable on the SAME connection after RetryAfter — ResilientClient
+// waits it out instead of dropping the transport (see resilient.go).
+type ServerBusyError struct {
+	Path string
+	// RetryAfter is the server's requested pause (zero if the header
+	// was absent or unparsable).
+	RetryAfter time.Duration
+}
+
+func (e *ServerBusyError) Error() string {
+	return fmt.Sprintf("core: GET %s: 503 server busy (retry after %v)", e.Path, e.RetryAfter)
+}
+
+// parseRetryAfter reads the integer-seconds form of Retry-After.
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // Fetch requests path, resolves the page per the negotiated mode, and
 // fetches every referenced same-site asset.
 func (c *Client) Fetch(path string) (*FetchResult, error) {
@@ -272,20 +316,23 @@ func (c *Client) Fetch(path string) (*FetchResult, error) {
 // *GenerationError; transport failures keep their transport typing
 // (see http2.Retryable).
 func (c *Client) FetchContext(ctx context.Context, path string) (*FetchResult, error) {
-	status, mode, body, err := c.conn.fetch(ctx, path)
+	reply, err := c.conn.fetch(ctx, path)
 	if err != nil {
 		return nil, err
 	}
-	if status != 200 {
-		return nil, fmt.Errorf("core: GET %s: status %d: %s", path, status, body)
+	if reply.status == 503 {
+		return nil, &ServerBusyError{Path: path, RetryAfter: parseRetryAfter(reply.retryAfter)}
+	}
+	if reply.status != 200 {
+		return nil, fmt.Errorf("core: GET %s: status %d: %s", path, reply.status, reply.body)
 	}
 	res := &FetchResult{
-		Mode:      mode,
+		Mode:      reply.mode,
 		Assets:    map[string][]byte{},
-		WireBytes: len(body),
+		WireBytes: len(reply.body),
 		Attempts:  1,
 	}
-	doc := html.Parse(string(body))
+	doc := html.Parse(string(reply.body))
 
 	if res.Mode == ModeGenerative {
 		if c.proc == nil {
@@ -341,12 +388,15 @@ func (c *Client) FetchContext(ctx context.Context, path string) (*FetchResult, e
 
 // getAsset GETs one same-site asset over the connection.
 func (c *Client) getAsset(ctx context.Context, path string) ([]byte, error) {
-	status, _, data, err := c.conn.fetch(ctx, path)
+	reply, err := c.conn.fetch(ctx, path)
 	if err != nil {
 		return nil, fmt.Errorf("core: fetching asset %s: %w", path, err)
 	}
-	if status != 200 {
-		return nil, fmt.Errorf("core: asset %s: status %d", path, status)
+	if reply.status == 503 {
+		return nil, &ServerBusyError{Path: path, RetryAfter: parseRetryAfter(reply.retryAfter)}
 	}
-	return data, nil
+	if reply.status != 200 {
+		return nil, fmt.Errorf("core: asset %s: status %d", path, reply.status)
+	}
+	return reply.body, nil
 }

@@ -100,7 +100,11 @@ func (p RetryPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
 //     on a connection that advertises SETTINGS_GEN_ABILITY = GenNone,
 //     so the server sends ready-made content. The result is marked
 //     Degraded with the reason recorded.
-//  3. Context cancellation and protocol violations are fatal.
+//  3. Server overload (*ServerBusyError — a 503 from the server's
+//     load-shed ladder) is retried on the SAME connection after
+//     max(backoff, Retry-After): the transport is healthy, the server
+//     just asked for a pause, and redialling would only add load.
+//  4. Context cancellation and protocol violations are fatal.
 type ResilientClient struct {
 	dial    DialFunc
 	factory ClientFactory
@@ -215,7 +219,23 @@ func (rc *ResilientClient) FetchContext(ctx context.Context, path string) (*Fetc
 		lastErr = err
 
 		var genErr *GenerationError
+		var busy *ServerBusyError
 		switch {
+		case errors.As(err, &busy):
+			// The server shed this request (503 + Retry-After): the
+			// connection is healthy — the server answered — so keep it
+			// and wait out max(backoff, Retry-After) before retrying.
+			// Dropping and redialling here would convert an overload
+			// signal into a reconnect storm.
+			if attempt < maxAttempts {
+				d := rc.nextDelay(attempt)
+				if busy.RetryAfter > d {
+					d = busy.RetryAfter
+				}
+				if err := rc.sleep(ctx, d); err != nil {
+					return nil, err
+				}
+			}
 		case errors.As(err, &genErr) && !degraded:
 			// The transport worked; local generation did not. Step
 			// down the ladder instead of burning retry budget —

@@ -1,15 +1,20 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
+	"time"
 
 	"sww/internal/device"
 	"sww/internal/genai"
 	"sww/internal/hpack"
 	"sww/internal/http2"
 	"sww/internal/http3"
+	"sww/internal/overload"
 )
 
 // ServePolicy decides how the server answers a capable client (§5.1:
@@ -34,9 +39,36 @@ const (
 	ModeTraditional = "traditional"
 )
 
+// Shed-ladder observability headers. ShedHeader carries the rung that
+// produced a degraded-under-load answer ("policy-flip", "admission",
+// "queue-timeout", "breaker-open"); RetryAfterHeader is the standard
+// Retry-After on 503 replies, in integer seconds.
+const (
+	ShedHeader       = "x-sww-shed"
+	RetryAfterHeader = "retry-after"
+	shedPolicyFlip   = "policy-flip"
+)
+
 // A Server is the §5.1 generative server: it negotiates generative
 // ability through SETTINGS_GEN_ABILITY and serves each page in prompt
-// form or traditional form accordingly.
+// form or traditional form accordingly. Server-side generation — the
+// dominant server resource — runs behind an overload.Guard: a bounded
+// worker pool, token-bucket admission, a circuit breaker, and
+// singleflight coalescing, with generated results held in a
+// byte-capped LRU. Under pressure the server walks an explicit
+// load-shed ladder instead of melting down:
+//
+//  1. capable clients keep receiving prompts (they cost the server
+//     almost nothing);
+//  2. traditional requests are served from the generated-content
+//     cache or stored originals;
+//  3. capable clients whose page stores pre-rendered originals are
+//     switched to traditional content (the §5.1 policy flip),
+//     removing the risk that their own generation failure bounces
+//     back as a server-side generation right when capacity is gone;
+//  4. requests that genuinely need a generation the server cannot
+//     afford get 503 with Retry-After, which ResilientClient honours
+//     as a retryable, paced signal.
 type Server struct {
 	// Ability is advertised to clients. GenFull by default.
 	Ability http2.GenAbility
@@ -53,18 +85,22 @@ type Server struct {
 	mu     sync.RWMutex
 	pages  map[string]*Page
 	assets map[string]Asset
-	// genCache holds server-side generated traditional forms so
-	// repeat requests do not regenerate (the storage/transmission
-	// trade-off of §2.2 applies per unique object).
-	genCache map[string]*servedTraditional
+
+	// guard is the overload-protection machinery; its ByteLRU holds
+	// the server-side generated traditional forms (the storage/
+	// transmission trade-off of §2.2 applies per unique object, now
+	// bounded in bytes).
+	guard *overload.Guard
 
 	h2 *http2.Server
 }
 
 type servedTraditional struct {
-	html   string
-	assets map[string][]byte
-	report *ProcessReport
+	html       string
+	assets     map[string][]byte
+	report     *ProcessReport
+	assetPaths []string
+	bytes      int64
 }
 
 // NewServer builds a generative server. imageModel/textModel
@@ -73,11 +109,11 @@ type servedTraditional struct {
 // server can still serve pages whose originals are stored).
 func NewServer(imageModel, textModel string) (*Server, error) {
 	s := &Server{
-		Ability:  http2.GenFull | http2.GenUpscaleOnly,
-		pages:    map[string]*Page{},
-		assets:   map[string]Asset{},
-		genCache: map[string]*servedTraditional{},
+		Ability: http2.GenFull | http2.GenUpscaleOnly,
+		pages:   map[string]*Page{},
+		assets:  map[string]Asset{},
 	}
+	s.installGuard(overload.NewGuard(overload.Config{}))
 	if imageModel != "" || textModel != "" {
 		proc, err := NewPageProcessor(device.Workstation, imageModel, textModel)
 		if err != nil {
@@ -96,11 +132,57 @@ func NewServer(imageModel, textModel string) (*Server, error) {
 			cfg.TextModelID = genai.ModelID(m.Name())
 		}
 	}
+	cfg.OnStreamRefused = s.countRefusedStream
 	s.h2 = &http2.Server{
 		Handler: http2.HandlerFunc(s.serve),
 		Config:  cfg,
 	}
 	return s, nil
+}
+
+// SetOverload replaces the server's overload protection with one
+// built from cfg. Call before serving traffic; in-flight generations
+// finish under the old guard, and the generated-content cache starts
+// empty.
+func (s *Server) SetOverload(cfg overload.Config) {
+	s.installGuard(overload.NewGuard(cfg))
+}
+
+// installGuard wires a guard's cache eviction to the asset map: when
+// a generated page falls out of the LRU, its generated assets stop
+// being served too, so cache bytes and asset-map bytes shrink
+// together.
+func (s *Server) installGuard(g *overload.Guard) {
+	g.Cache().SetOnEvict(func(_ string, value any, _ int64) {
+		st := value.(*servedTraditional)
+		s.mu.Lock()
+		for _, p := range st.assetPaths {
+			delete(s.assets, p)
+		}
+		s.mu.Unlock()
+		g.Counters().CacheEvictions.Add(1)
+	})
+	s.mu.Lock()
+	s.guard = g
+	s.mu.Unlock()
+}
+
+// Overload returns the active overload guard (for tests, experiments
+// and metrics scraping).
+func (s *Server) Overload() *overload.Guard {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.guard
+}
+
+// OverloadStats snapshots the overload counters — the observability
+// surface for the shed ladder.
+func (s *Server) OverloadStats() overload.Stats {
+	return s.Overload().Counters().Snapshot()
+}
+
+func (s *Server) countRefusedStream() {
+	s.Overload().Counters().StreamsRefused.Add(1)
 }
 
 // AddPage registers a page and its assets.
@@ -159,8 +241,14 @@ func (s *Server) ServeConn(c net.Conn) error { return s.h2.ServeConn(c) }
 func (s *Server) StartConn(c net.Conn) *http2.ServerConn { return s.h2.StartConn(c) }
 
 // SetConfig overrides the underlying HTTP/2 config (ability, windows)
-// before any connection is served.
-func (s *Server) SetConfig(cfg http2.Config) { s.h2.Config = cfg }
+// before any connection is served. The overload hook for refused
+// streams is preserved unless the caller installs their own.
+func (s *Server) SetConfig(cfg http2.Config) {
+	if cfg.OnStreamRefused == nil {
+		cfg.OnStreamRefused = s.h2.Config.OnStreamRefused
+	}
+	s.h2.Config = cfg
+}
 
 // payload is the protocol-agnostic form of one response; the HTTP/2
 // and HTTP/3 adapters serialize it with their own header encodings.
@@ -168,6 +256,8 @@ type payload struct {
 	status      int
 	contentType string
 	mode        string // ModeGenerative / ModeTraditional, "" for assets
+	shed        string // shed-ladder rung, "" off the ladder
+	retryAfter  int    // seconds, 503 only
 	body        []byte
 }
 
@@ -197,6 +287,27 @@ func (s *Server) resolve(method, path string, peerGen http2.GenAbility) payload 
 			peerGen.Supports(http2.GenBasic) &&
 			peerGen.Supports(page.Requirements())
 		if generative {
+			// Rung 3 of the shed ladder: under saturation, a capable
+			// client whose page stores pre-rendered originals is
+			// switched to traditional content (§5.1's policy flip).
+			// Rationale: prompts are cheap now, but a capable client
+			// that later fails its own generation re-fetches with
+			// GenNone — a server-side generation landing exactly when
+			// capacity is gone. Pre-rendered bytes carry no such risk
+			// and cost no generation.
+			if len(page.Originals) > 0 && s.Overload().Level() >= overload.LevelSaturated {
+				if doc, err := page.TraditionalDoc(); err == nil {
+					s.Overload().Counters().ShedPolicyFlip.Add(1)
+					return payload{
+						status:      200,
+						contentType: "text/html; charset=utf-8",
+						mode:        ModeTraditional,
+						shed:        shedPolicyFlip,
+						body:        []byte(htmlRender(doc)),
+					}
+				}
+			}
+			// Rung 1: prompts as usual.
 			return payload{
 				status:      200,
 				contentType: "text/html; charset=utf-8",
@@ -213,8 +324,10 @@ func (s *Server) resolve(method, path string, peerGen http2.GenAbility) payload 
 }
 
 // resolveTraditional materializes fully rendered content: originals
-// when the page stores them, otherwise server-side generation from
-// the prompts.
+// when the page stores them, the generated-content cache next, and
+// admission-controlled server-side generation last. A shed generation
+// becomes 503 + Retry-After (rung 4) — the bottom of the ladder,
+// reached only when no cheaper form of the page exists.
 func (s *Server) resolveTraditional(p *Page) payload {
 	if len(p.Originals) > 0 {
 		if doc, err := p.TraditionalDoc(); err == nil {
@@ -228,6 +341,21 @@ func (s *Server) resolveTraditional(p *Page) payload {
 	}
 	st, err := s.generateTraditional(p)
 	if err != nil {
+		var shed *overload.ShedError
+		if errors.As(err, &shed) {
+			s.Overload().Counters().Shed503.Add(1)
+			secs := int(shed.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			return payload{
+				status:      503,
+				contentType: "text/plain",
+				shed:        shed.Reason,
+				retryAfter:  secs,
+				body:        []byte(fmt.Sprintf("server overloaded (%s); retry after %ds", shed.Reason, secs)),
+			}
+		}
 		return payload{status: 500, contentType: "text/plain",
 			body: []byte(fmt.Sprintf("server-side generation failed: %v", err))}
 	}
@@ -249,6 +377,12 @@ func (s *Server) serve(w *http2.ResponseWriter, r *http2.Request) {
 	if pl.mode != "" {
 		fields = append(fields, hpack.HeaderField{Name: ModeHeader, Value: pl.mode})
 	}
+	if pl.shed != "" {
+		fields = append(fields, hpack.HeaderField{Name: ShedHeader, Value: pl.shed})
+	}
+	if pl.retryAfter > 0 {
+		fields = append(fields, hpack.HeaderField{Name: RetryAfterHeader, Value: strconv.Itoa(pl.retryAfter)})
+	}
 	w.WriteHeaders(pl.status, fields...)
 	w.Write(pl.body)
 }
@@ -259,6 +393,12 @@ func (s *Server) serveH3(w *http3.ResponseWriter, r *http3.Request) {
 	fields := []http3.Field{{Name: "content-type", Value: pl.contentType}}
 	if pl.mode != "" {
 		fields = append(fields, http3.Field{Name: ModeHeader, Value: pl.mode})
+	}
+	if pl.shed != "" {
+		fields = append(fields, http3.Field{Name: ShedHeader, Value: pl.shed})
+	}
+	if pl.retryAfter > 0 {
+		fields = append(fields, http3.Field{Name: RetryAfterHeader, Value: strconv.Itoa(pl.retryAfter)})
 	}
 	w.WriteHeaders(pl.status, fields...)
 	w.Write(pl.body)
@@ -284,40 +424,92 @@ func (s *Server) StartConnH3(c net.Conn) *http3.ServerConn {
 	return s.H3Server().StartConn(c)
 }
 
-// generateTraditional materializes a page server-side and caches the
-// result, exposing generated media as served assets.
+// cachedTraditional returns the generated form of a page from the
+// byte-capped LRU, if still resident.
+func (s *Server) cachedTraditional(path string) (*servedTraditional, bool) {
+	if v, ok := s.Overload().Cache().Get(path); ok {
+		return v.(*servedTraditional), true
+	}
+	return nil, false
+}
+
+// generateTraditional materializes a page server-side through the
+// overload guard and caches the result, exposing generated media as
+// served assets. Concurrent misses of the same cold page coalesce
+// into a single generation (singleflight), so a dogpile costs one
+// admission token and one worker, not N.
 func (s *Server) generateTraditional(p *Page) (*servedTraditional, error) {
-	s.mu.RLock()
-	cached, ok := s.genCache[p.Path]
-	s.mu.RUnlock()
-	if ok {
-		return cached, nil
+	g := s.Overload()
+	if st, ok := s.cachedTraditional(p.Path); ok {
+		g.Counters().CacheHits.Add(1)
+		return st, nil
 	}
 	if s.serverProc == nil {
 		return nil, fmt.Errorf("core: server has no generation pipeline and page %q has no originals", p.Path)
 	}
-	doc := p.Doc.Clone()
-	assets, report, err := s.serverProc.Process(doc)
+	v, err, shared := g.Flight().Do(p.Path, func() (any, error) {
+		// Re-check under the flight lock's shadow: a previous holder
+		// may have populated the cache while this caller queued on Do.
+		if st, ok := s.cachedTraditional(p.Path); ok {
+			g.Counters().CacheHits.Add(1)
+			return st, nil
+		}
+		release, err := g.AdmitGen(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		ok := false
+		defer func() { release(ok) }()
+		g.Counters().GenRuns.Add(1)
+		doc := p.Doc.Clone()
+		assets, report, err := s.serverProc.Process(doc)
+		if err != nil {
+			g.Counters().GenFailures.Add(1)
+			return nil, err
+		}
+		ok = true
+		st := &servedTraditional{html: htmlRender(doc), assets: assets, report: report}
+		st.bytes = int64(len(st.html))
+		for path, data := range assets {
+			st.assetPaths = append(st.assetPaths, path)
+			st.bytes += int64(len(data))
+		}
+		// Model real inference occupancy: hold the worker for the
+		// configured fraction of the modelled generation time.
+		if hold := g.GenHold(report.SimGenTime); hold > 0 {
+			time.Sleep(hold)
+		}
+		s.storeTraditional(p.Path, st)
+		return st, nil
+	})
+	if shared {
+		g.Counters().Coalesced.Add(1)
+	}
 	if err != nil {
 		return nil, err
 	}
-	st := &servedTraditional{html: htmlRender(doc), assets: assets, report: report}
+	return v.(*servedTraditional), nil
+}
+
+// storeTraditional publishes a generated page: assets first (under
+// s.mu), then the LRU entry — whose insertion may evict other pages
+// and, via the eviction hook, unpublish their assets. Lock order is
+// strictly s.mu then cache, never both at once.
+func (s *Server) storeTraditional(path string, st *servedTraditional) {
 	s.mu.Lock()
-	s.genCache[p.Path] = st
-	for path, data := range assets {
-		s.assets[path] = Asset{Path: path, ContentType: "image/png", Data: data}
+	for p, data := range st.assets {
+		s.assets[p] = Asset{Path: p, ContentType: "image/png", Data: data}
 	}
 	s.mu.Unlock()
-	return st, nil
+	s.Overload().Cache().Add(path, st, st.bytes)
 }
 
 // ServerGenReport returns the accumulated server-side generation
-// report for a page (nil if the page was never served traditionally).
+// report for a page (nil if the page was never served traditionally
+// or has since been evicted from the generated-content cache).
 func (s *Server) ServerGenReport(path string) *ProcessReport {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if st, ok := s.genCache[path]; ok {
-		return st.report
+	if v, ok := s.Overload().Cache().Peek(path); ok {
+		return v.(*servedTraditional).report
 	}
 	return nil
 }

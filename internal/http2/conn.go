@@ -81,6 +81,12 @@ type Config struct {
 	// frame (for tests and future extensions).
 	ExtraSettings []Setting
 
+	// OnStreamRefused, when set, is called each time a peer-initiated
+	// stream is rejected with REFUSED_STREAM at the concurrent-stream
+	// limit — the overload-observability hook. It runs on the frame
+	// reader goroutine and must not block.
+	OnStreamRefused func()
+
 	// Logf, when set, receives debug lines.
 	Logf func(format string, args ...any)
 }
@@ -663,6 +669,9 @@ func (c *conn) acceptStream(id uint32, fields []hpack.HeaderField, endStream boo
 	c.lastPeerID = id
 	if c.peerStreams >= c.cfg.maxStreams() {
 		c.mu.Unlock()
+		if c.cfg.OnStreamRefused != nil {
+			c.cfg.OnStreamRefused()
+		}
 		return streamError(id, ErrCodeRefusedStream, "concurrent stream limit")
 	}
 	if c.sentGoAway {

@@ -1,0 +1,216 @@
+package overload
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests fail fast until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: a bounded budget of probe requests tests the
+	// backend; success closes, failure re-opens.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrBreakerOpen reports a request rejected because the breaker is
+// open (or the half-open probe budget is spent).
+var ErrBreakerOpen = errors.New("overload: circuit breaker open")
+
+// BreakerConfig tunes a Breaker. The zero value means: trip after 5
+// consecutive failures, cool down 1s, probe with 1 request at a time,
+// close after 2 consecutive probe successes.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that trips
+	// the breaker. Zero means 5; negative disables the breaker.
+	FailureThreshold int
+
+	// Cooldown is how long the breaker stays open before allowing
+	// half-open probes. Zero means 1s.
+	Cooldown time.Duration
+
+	// ProbeBudget bounds concurrent half-open probes. Zero means 1.
+	ProbeBudget int
+
+	// SuccessThreshold is the consecutive probe successes needed to
+	// close again. Zero means 2.
+	SuccessThreshold int
+}
+
+func (c BreakerConfig) failureThreshold() int {
+	if c.FailureThreshold == 0 {
+		return 5
+	}
+	return c.FailureThreshold
+}
+
+func (c BreakerConfig) cooldown() time.Duration {
+	if c.Cooldown <= 0 {
+		return time.Second
+	}
+	return c.Cooldown
+}
+
+func (c BreakerConfig) probeBudget() int {
+	if c.ProbeBudget <= 0 {
+		return 1
+	}
+	return c.ProbeBudget
+}
+
+func (c BreakerConfig) successThreshold() int {
+	if c.SuccessThreshold <= 0 {
+		return 2
+	}
+	return c.SuccessThreshold
+}
+
+// A Breaker protects one generation backend: closed → open after a
+// run of failures, open → half-open after a cooldown, half-open →
+// closed after a run of probe successes (or back to open on any probe
+// failure).
+type Breaker struct {
+	// OnOpen, when set, is called (outside the lock) each time the
+	// breaker trips from closed or half-open to open.
+	OnOpen func()
+
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int // consecutive failures while closed
+	successes int // consecutive successes while half-open
+	probes    int // in-flight half-open probes
+	openedAt  time.Time
+}
+
+// NewBreaker builds a closed breaker. now may be nil for the wall
+// clock.
+func NewBreaker(cfg BreakerConfig, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{cfg: cfg, now: now}
+}
+
+// State reports the current position, applying any due open→half-open
+// transition first so readers never see a stale open.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	return b.state
+}
+
+func (b *Breaker) maybeHalfOpenLocked() {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.cooldown() {
+		b.state = BreakerHalfOpen
+		b.probes = 0
+		b.successes = 0
+	}
+}
+
+// UntilProbe reports the remaining cooldown before half-open probes
+// are allowed (zero when not open).
+func (b *Breaker) UntilProbe() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	return b.cfg.cooldown() - b.now().Sub(b.openedAt)
+}
+
+// Allow asks to pass one request. On success it returns a done
+// callback that must be invoked exactly once with the backend
+// outcome; on rejection it returns ErrBreakerOpen. A disabled breaker
+// (FailureThreshold < 0) always allows with a no-op callback.
+func (b *Breaker) Allow() (done func(ok bool), err error) {
+	if b.cfg.FailureThreshold < 0 {
+		return func(bool) {}, nil
+	}
+	b.mu.Lock()
+	b.maybeHalfOpenLocked()
+	switch b.state {
+	case BreakerOpen:
+		b.mu.Unlock()
+		return nil, ErrBreakerOpen
+	case BreakerHalfOpen:
+		if b.probes >= b.cfg.probeBudget() {
+			b.mu.Unlock()
+			return nil, ErrBreakerOpen
+		}
+		b.probes++
+	}
+	b.mu.Unlock()
+	return func(ok bool) { b.record(ok) }, nil
+}
+
+func (b *Breaker) record(ok bool) {
+	b.mu.Lock()
+	tripped := false
+	switch b.state {
+	case BreakerClosed:
+		if ok {
+			b.failures = 0
+			break
+		}
+		b.failures++
+		if b.failures >= b.cfg.failureThreshold() {
+			b.tripLocked()
+			tripped = true
+		}
+	case BreakerHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if !ok {
+			b.tripLocked()
+			tripped = true
+			break
+		}
+		b.successes++
+		if b.successes >= b.cfg.successThreshold() {
+			b.state = BreakerClosed
+			b.failures = 0
+			b.successes = 0
+			b.probes = 0
+		}
+	case BreakerOpen:
+		// A late outcome from before the trip; nothing to update.
+	}
+	cb := b.OnOpen
+	b.mu.Unlock()
+	if tripped && cb != nil {
+		cb()
+	}
+}
+
+func (b *Breaker) tripLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.successes = 0
+	b.probes = 0
+}

@@ -1,0 +1,80 @@
+package overload
+
+import "sync/atomic"
+
+// Counters is the Guard's observability surface: every rung of the
+// shed ladder and every admission mechanism increments exactly one
+// counter, so load-shed behaviour can be asserted and graphed instead
+// of inferred from latency tails. All fields are safe for concurrent
+// use.
+type Counters struct {
+	// Admitted counts generation requests that acquired a worker.
+	Admitted atomic.Uint64
+	// GenRuns counts actual backend generation executions (post
+	// singleflight coalescing).
+	GenRuns atomic.Uint64
+	// GenFailures counts backend generation errors.
+	GenFailures atomic.Uint64
+	// Coalesced counts requests served by another request's in-flight
+	// generation (the dogpile that no longer happens).
+	Coalesced atomic.Uint64
+
+	// CacheHits / CacheEvictions account the generated-traditional
+	// LRU.
+	CacheHits      atomic.Uint64
+	CacheEvictions atomic.Uint64
+
+	// AdmitRejects counts token-bucket rejections, QueueTimeouts
+	// counts pool queue-deadline expiries, BreakerRejects counts
+	// fail-fast rejections while open.
+	AdmitRejects   atomic.Uint64
+	QueueTimeouts  atomic.Uint64
+	BreakerRejects atomic.Uint64
+	// BreakerOpens counts closed/half-open → open transitions.
+	BreakerOpens atomic.Uint64
+
+	// Ladder rungs as served: ShedPolicyFlip counts capable clients
+	// switched to pre-rendered traditional content, Shed503 counts
+	// 503 + Retry-After replies. (Rung 1, prompts, is the normal
+	// serving path; rung 2, cached traditional, shows up in
+	// CacheHits.)
+	ShedPolicyFlip atomic.Uint64
+	Shed503        atomic.Uint64
+
+	// StreamsRefused counts HTTP/2 streams rejected with
+	// REFUSED_STREAM at the concurrent-stream limit.
+	StreamsRefused atomic.Uint64
+}
+
+// Stats is a plain-value snapshot of Counters.
+type Stats struct {
+	Admitted, GenRuns, GenFailures, Coalesced   uint64
+	CacheHits, CacheEvictions                   uint64
+	AdmitRejects, QueueTimeouts, BreakerRejects uint64
+	BreakerOpens, ShedPolicyFlip, Shed503       uint64
+	StreamsRefused                              uint64
+}
+
+// Snapshot captures the counters at one instant.
+func (c *Counters) Snapshot() Stats {
+	return Stats{
+		Admitted:       c.Admitted.Load(),
+		GenRuns:        c.GenRuns.Load(),
+		GenFailures:    c.GenFailures.Load(),
+		Coalesced:      c.Coalesced.Load(),
+		CacheHits:      c.CacheHits.Load(),
+		CacheEvictions: c.CacheEvictions.Load(),
+		AdmitRejects:   c.AdmitRejects.Load(),
+		QueueTimeouts:  c.QueueTimeouts.Load(),
+		BreakerRejects: c.BreakerRejects.Load(),
+		BreakerOpens:   c.BreakerOpens.Load(),
+		ShedPolicyFlip: c.ShedPolicyFlip.Load(),
+		Shed503:        c.Shed503.Load(),
+		StreamsRefused: c.StreamsRefused.Load(),
+	}
+}
+
+// Shed totals every rejected-or-redirected request across mechanisms.
+func (s Stats) Shed() uint64 {
+	return s.AdmitRejects + s.QueueTimeouts + s.BreakerRejects
+}

@@ -1,0 +1,381 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually stepped clock for bucket/breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestTokenBucketAdmission(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(2, 3, clk.Now)
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("empty bucket admitted")
+	}
+	if got := b.UntilNextToken(); got != 500*time.Millisecond {
+		t.Fatalf("UntilNextToken = %v, want 500ms", got)
+	}
+	clk.Advance(500 * time.Millisecond) // one token refills at 2/s
+	if !b.Allow() {
+		t.Fatal("refilled token denied")
+	}
+	if b.Allow() {
+		t.Fatal("second token admitted after single refill")
+	}
+	clk.Advance(time.Hour)
+	if got := b.Available(); got != 3 {
+		t.Fatalf("bucket overfilled: %v tokens, want burst 3", got)
+	}
+}
+
+func TestPoolFIFOAndDeadline(t *testing.T) {
+	p := NewPool(1)
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// A queued waiter beyond its deadline is shed.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire = %v, want deadline exceeded", err)
+	}
+	if in, wait := p.Load(); in != 1 || wait != 0 {
+		t.Fatalf("after timeout: inflight %d waiting %d", in, wait)
+	}
+
+	// FIFO: the first queued waiter is granted first.
+	order := make(chan int, 2)
+	var ready sync.WaitGroup
+	ready.Add(1)
+	go func() {
+		ready.Done()
+		p.Acquire(context.Background())
+		order <- 1
+	}()
+	ready.Wait()
+	time.Sleep(10 * time.Millisecond) // let waiter 1 enqueue first
+	go func() {
+		p.Acquire(context.Background())
+		order <- 2
+	}()
+	time.Sleep(10 * time.Millisecond)
+	p.Release()
+	if got := <-order; got != 1 {
+		t.Fatalf("first grant went to waiter %d", got)
+	}
+	p.Release()
+	if got := <-order; got != 2 {
+		t.Fatalf("second grant went to waiter %d", got)
+	}
+	p.Release()
+	if in, wait := p.Load(); in != 0 || wait != 0 {
+		t.Fatalf("drained pool: inflight %d waiting %d", in, wait)
+	}
+}
+
+func TestPoolSlotNotLeakedOnLateGrant(t *testing.T) {
+	p := NewPool(1)
+	if !p.TryAcquire() {
+		t.Fatal("fresh pool has no slot")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Acquire(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	// Release and cancel race; whatever the waiter observes, the slot
+	// must end up usable.
+	cancel()
+	p.Release()
+	err := <-done
+	if err != nil {
+		// The waiter gave up; the slot must be free for others.
+		if !p.TryAcquire() {
+			t.Fatal("slot leaked after cancelled acquire")
+		}
+	}
+	p.Release()
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	var g Group
+	var runs atomic.Int32
+	release := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	shared := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, sh := g.Do("page", func() (any, error) {
+				runs.Add(1)
+				<-release
+				return "html", nil
+			})
+			if err != nil || v.(string) != "html" {
+				t.Errorf("Do = %v, %v", v, err)
+			}
+			shared[i] = sh
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	nshared := 0
+	for _, sh := range shared {
+		if sh {
+			nshared++
+		}
+	}
+	if nshared != n-1 {
+		t.Fatalf("shared count %d, want %d", nshared, n-1)
+	}
+	// After completion the key is forgotten: a new Do runs again.
+	_, _, sh := g.Do("page", func() (any, error) { return "again", nil })
+	if sh {
+		t.Fatal("post-completion Do reported shared")
+	}
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	clk := newFakeClock()
+	var opens atomic.Int32
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         time.Second,
+		ProbeBudget:      1,
+		SuccessThreshold: 2,
+	}, clk.Now)
+	b.OnOpen = func() { opens.Add(1) }
+
+	fail := func() {
+		done, err := b.Allow()
+		if err != nil {
+			t.Fatalf("closed breaker rejected: %v", err)
+		}
+		done(false)
+	}
+	fail()
+	fail()
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker tripped before threshold")
+	}
+	fail()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker not open after threshold failures")
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed: %v", err)
+	}
+	if got := b.UntilProbe(); got != time.Second {
+		t.Fatalf("UntilProbe = %v", got)
+	}
+
+	clk.Advance(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("breaker not half-open after cooldown")
+	}
+	// Probe budget: one in flight, second rejected.
+	done1, err := b.Allow()
+	if err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("probe budget not enforced")
+	}
+	// Failed probe re-opens.
+	done1(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not re-open")
+	}
+	if got := opens.Load(); got != 2 {
+		t.Fatalf("OnOpen fired %d times, want 2", got)
+	}
+
+	// Cooldown again, then two successful probes close it.
+	clk.Advance(time.Second)
+	for i := 0; i < 2; i++ {
+		done, err := b.Allow()
+		if err != nil {
+			t.Fatalf("probe %d rejected: %v", i, err)
+		}
+		done(true)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker not closed after probe successes")
+	}
+	// And a success resets the failure run.
+	fail()
+	fail()
+	done, _ := b.Allow()
+	done(true)
+	fail()
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset consecutive-failure count")
+	}
+}
+
+func TestByteLRUEviction(t *testing.T) {
+	var evicted []string
+	l := NewByteLRU(100)
+	l.SetOnEvict(func(key string, _ any, _ int64) { evicted = append(evicted, key) })
+
+	l.Add("a", "A", 40)
+	l.Add("b", "B", 40)
+	if n := l.Add("c", "C", 40); n != 1 {
+		t.Fatalf("third add evicted %d entries, want 1", n)
+	}
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("evicted %v, want [a]", evicted)
+	}
+	// Promotion: touching b makes c the eviction victim.
+	if _, ok := l.Get("b"); !ok {
+		t.Fatal("b missing")
+	}
+	l.Add("d", "D", 40)
+	if len(evicted) != 2 || evicted[1] != "c" {
+		t.Fatalf("evicted %v, want [a c]", evicted)
+	}
+	if l.Bytes() != 80 || l.Len() != 2 {
+		t.Fatalf("size %d len %d", l.Bytes(), l.Len())
+	}
+	// Oversized entry: admitted then immediately evicted; cap holds.
+	l.Add("huge", "H", 1000)
+	if _, ok := l.Peek("huge"); ok {
+		t.Fatal("oversized entry stayed cached")
+	}
+	if l.Bytes() > 100 {
+		t.Fatalf("cache over cap: %d", l.Bytes())
+	}
+	// Remove does not fire the callback.
+	before := len(evicted)
+	l.Remove("b")
+	if len(evicted) != before {
+		t.Fatal("Remove fired the eviction callback")
+	}
+}
+
+func TestGuardAdmissionLadder(t *testing.T) {
+	clk := newFakeClock()
+	g := NewGuard(Config{
+		MaxGenWorkers: 1,
+		QueueDeadline: 20 * time.Millisecond,
+		AdmitRPS:      1,
+		AdmitBurst:    2,
+		RetryAfter:    time.Second,
+		Breaker:       BreakerConfig{FailureThreshold: 2, Cooldown: time.Minute},
+		Clock:         clk.Now,
+	})
+
+	// Token 1 admitted.
+	rel1, err := g.AdmitGen(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Level() != LevelQueued {
+		t.Fatalf("level with full pool = %v, want queued", g.Level())
+	}
+	// Token 2 passes the bucket but times out queueing for the single
+	// worker.
+	_, err = g.AdmitGen(context.Background())
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "queue-timeout" {
+		t.Fatalf("second admit = %v, want queue-timeout shed", err)
+	}
+	// Bucket now empty → admission shed, with refill-based advice.
+	_, err = g.AdmitGen(context.Background())
+	if !errors.As(err, &shed) || shed.Reason != "admission" {
+		t.Fatalf("third admit = %v, want admission shed", err)
+	}
+	if shed.RetryAfter < time.Second {
+		t.Fatalf("admission RetryAfter = %v, want >= 1s", shed.RetryAfter)
+	}
+	if g.Level() != LevelSaturated {
+		t.Fatalf("level with empty bucket = %v, want saturated", g.Level())
+	}
+	rel1(true)
+
+	// Two backend failures trip the breaker → critical, fail fast.
+	clk.Advance(10 * time.Second) // refill bucket
+	for i := 0; i < 2; i++ {
+		rel, err := g.AdmitGen(context.Background())
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		rel(false)
+	}
+	if g.Level() != LevelCritical {
+		t.Fatalf("level with open breaker = %v, want critical", g.Level())
+	}
+	_, err = g.AdmitGen(context.Background())
+	if !errors.As(err, &shed) || shed.Reason != "breaker-open" {
+		t.Fatalf("admit with open breaker = %v, want breaker-open shed", err)
+	}
+
+	s := g.Counters().Snapshot()
+	if s.Admitted != 3 || s.QueueTimeouts != 1 || s.AdmitRejects != 1 ||
+		s.BreakerRejects != 1 || s.BreakerOpens != 1 {
+		t.Fatalf("counters: %+v", s)
+	}
+	if s.Shed() != 3 {
+		t.Fatalf("Shed() = %d, want 3", s.Shed())
+	}
+}
+
+func TestGuardShedDoesNotFeedBreaker(t *testing.T) {
+	clk := newFakeClock()
+	g := NewGuard(Config{
+		MaxGenWorkers: 1,
+		QueueDeadline: 5 * time.Millisecond,
+		AdmitRPS:      1000,
+		AdmitBurst:    1000,
+		Breaker:       BreakerConfig{FailureThreshold: 1, Cooldown: time.Minute},
+		Clock:         clk.Now,
+	})
+	rel, err := g.AdmitGen(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue timeouts while the worker is held must not trip a
+	// FailureThreshold=1 breaker: sheds are not backend failures.
+	for i := 0; i < 3; i++ {
+		if _, err := g.AdmitGen(context.Background()); err == nil {
+			t.Fatal("expected queue-timeout shed")
+		}
+	}
+	if g.Breaker().State() != BreakerClosed {
+		t.Fatal("shed requests tripped the breaker")
+	}
+	rel(true)
+}

@@ -1,0 +1,100 @@
+package overload
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// A Pool is a FIFO counting semaphore bounding concurrent generation
+// work. Unlike a buffered-channel semaphore, waiters are granted
+// strictly in arrival order, so one unlucky request cannot starve
+// behind later arrivals while its queue deadline burns down.
+type Pool struct {
+	capacity int
+
+	mu       sync.Mutex
+	inflight int
+	waiters  *list.List // of chan struct{}
+}
+
+// NewPool builds a pool with the given worker capacity (minimum 1).
+func NewPool(capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{capacity: capacity, waiters: list.New()}
+}
+
+// Capacity returns the worker bound.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Load returns the current in-flight and waiting counts.
+func (p *Pool) Load() (inflight, waiting int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inflight, p.waiters.Len()
+}
+
+// TryAcquire takes a slot if one is free without waiting.
+func (p *Pool) TryAcquire() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.inflight < p.capacity && p.waiters.Len() == 0 {
+		p.inflight++
+		return true
+	}
+	return false
+}
+
+// Acquire blocks until a slot is granted or ctx is done. A granted
+// slot must be returned with Release.
+func (p *Pool) Acquire(ctx context.Context) error {
+	p.mu.Lock()
+	if p.inflight < p.capacity && p.waiters.Len() == 0 {
+		p.inflight++
+		p.mu.Unlock()
+		return nil
+	}
+	ready := make(chan struct{})
+	elem := p.waiters.PushBack(ready)
+	p.mu.Unlock()
+
+	select {
+	case <-ready:
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		select {
+		case <-ready:
+			// Granted between ctx firing and taking the lock: the
+			// slot is ours, so hand it to the next waiter (or free it)
+			// rather than leaking it.
+			p.releaseLocked()
+			p.mu.Unlock()
+			return ctx.Err()
+		default:
+		}
+		p.waiters.Remove(elem)
+		p.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot, waking the oldest waiter if any.
+func (p *Pool) Release() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.releaseLocked()
+}
+
+func (p *Pool) releaseLocked() {
+	if front := p.waiters.Front(); front != nil {
+		p.waiters.Remove(front)
+		close(front.Value.(chan struct{}))
+		return // the slot transfers to the waiter; inflight unchanged
+	}
+	if p.inflight > 0 {
+		p.inflight--
+	}
+}

@@ -1,0 +1,48 @@
+package overload
+
+import "sync"
+
+// call is one in-flight singleflight execution.
+type call struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// A Group coalesces concurrent calls with the same key into one
+// execution whose result every caller shares — the fix for the
+// generate-on-every-concurrent-miss dogpile. The zero value is ready
+// to use.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// Do runs fn once per key among concurrent callers. shared reports
+// whether this caller received another execution's result. Results
+// are not cached beyond the in-flight window: once the original call
+// returns, the next Do with the same key executes again (caching is
+// the ByteLRU's job, with its own bounds).
+func (g *Group) Do(key string, fn func() (any, error)) (v any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(call)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

@@ -305,6 +305,53 @@ func TravelBlog() *core.Page {
 	}
 }
 
+// LoadPagePath returns the path of the i-th overload-sweep page.
+func LoadPagePath(i int) string { return fmt.Sprintf("/load/page-%03d", i) }
+
+// LoadPage builds the i-th page of the E19 overload corpus: one
+// generatable image and one generatable text block, no stored
+// originals. With no originals, a traditional request can only be
+// answered by server-side generation — exactly the expensive path the
+// overload guard protects — and every page's asset names are unique,
+// so generated-asset paths never collide across the corpus.
+func LoadPage(i int) *core.Page {
+	doc := html.Parse(fmt.Sprintf(`<!DOCTYPE html><html><head><title>Load page %03d</title></head><body><h1>Load page %03d</h1><div class="content"></div></body></html>`, i, i))
+	content := doc.ByClass("content")[0]
+
+	imgGC := core.GeneratedContent{
+		Type: core.ContentImage,
+		Meta: core.Metadata{
+			Prompt: LandscapePrompt(i % WikimediaImageCount),
+			Name:   fmt.Sprintf("load-%03d-img", i),
+			Width:  128, Height: 128,
+		},
+	}
+	imgDiv, err := imgGC.Div()
+	if err != nil {
+		panic(err)
+	}
+	content.AppendChild(imgDiv)
+
+	txtGC := core.GeneratedContent{
+		Type: core.ContentText,
+		Meta: core.Metadata{
+			Name: fmt.Sprintf("load-%03d-txt", i),
+			Bullets: []string{
+				fmt.Sprintf("synthetic load page number %d for the overload sweep", i),
+				"each page forces one server-side generation when fetched traditionally",
+			},
+			Words: 60,
+		},
+	}
+	txtDiv, err := txtGC.Div()
+	if err != nil {
+		panic(err)
+	}
+	content.AppendChild(txtDiv)
+
+	return &core.Page{Path: LoadPagePath(i), Doc: doc}
+}
+
 // PhotoGalleryPath serves the §2.2 upscaling page.
 const PhotoGalleryPath = "/gallery/photos"
 
