@@ -5,13 +5,14 @@
 //
 //	sww-bench [-only t1|t2|fig2|steps|sizes|text|article|matrix|
 //	                 energy|carbon|traffic|cdn|video|storage|ablations|
-//	                 chaos|overload] [-quick]
+//	                 chaos|overload|abuse] [-quick]
 //
 // Without -only, all experiments run in order. -quick trims the
 // heavier sweeps for CI smoke runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -56,6 +57,7 @@ func main() {
 		{"placement", "E17 §7 cache-placement flexibility", runPlacement},
 		{"chaos", "E18 fault injection & degradation ladder", runChaos},
 		{"overload", "E19 server overload & load-shed ladder", runOverload},
+		{"abuse", "E20 abuse-rate defense under attack", runAbuse},
 	}
 	failed := false
 	for _, e := range all {
@@ -437,5 +439,38 @@ func runAblations() error {
 	fmt.Printf("pipeline preloading (§4.1) on the %d-image page:\n", p.Items)
 	fmt.Printf("  preload load time: %v; per-invocation reload: %v (%.0f%% overhead)\n",
 		p.PreloadLoadTime, p.ReloadLoadTime, p.ReloadOverheadPct)
+	return nil
+}
+
+// runAbuse prints the E20 report as JSON (the acceptance numbers —
+// legit goodput with and without attack, shed/GOAWAY counts — are the
+// deliverable, so machine-readable output beats a table here) and
+// fails if the defense missed its bars.
+func runAbuse() error {
+	rep, err := experiments.AbuseSweep(quickMode)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", out)
+	fmt.Printf("legit goodput %.0f/s baseline vs %.0f/s under attack (ratio %.2f)\n",
+		rep.BaselineGoodputRPS, rep.AttackGoodputRPS, rep.GoodputRatio)
+	fmt.Printf("rapid-reset attacker: %d conns, %d pairs, %d calm RSTs, %d GOAWAYs; "+
+		"ping flooder: %d conns, %d pings, %d GOAWAYs\n",
+		rep.RapidReset.Conns, rep.RapidReset.Sent, rep.RapidReset.CalmRSTs, rep.RapidReset.GoAways,
+		rep.PingFlood.Conns, rep.PingFlood.Sent, rep.PingFlood.GoAways)
+	if rep.GoodputRatio < 0.75 {
+		return fmt.Errorf("legit goodput under attack fell to %.2fx of baseline (want >= 0.75)",
+			rep.GoodputRatio)
+	}
+	if rep.RapidReset.GoAways == 0 && rep.RapidReset.CalmRSTs == 0 {
+		return fmt.Errorf("rapid-reset attacker was never escalated")
+	}
+	if rep.PingFlood.GoAways == 0 {
+		return fmt.Errorf("ping flooder was never killed")
+	}
 	return nil
 }

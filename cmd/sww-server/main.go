@@ -12,12 +12,20 @@
 //	           [-admit-rps 0] [-admit-burst 0]
 //	           [-breaker-failures 5] [-breaker-cooldown 1s] [-breaker-probes 1]
 //	           [-gen-cache-bytes 67108864] [-retry-after 1s]
+//	           [-abuse-off] [-abuse-window 10s] [-abuse-rst-budget 100]
+//	           [-abuse-ping-budget 100] [-abuse-settings-budget 20]
+//	           [-abuse-window-update-budget 4000] [-abuse-empty-data-budget 100]
 //
 // The overload flags shape the server-side load-shed ladder: a
 // bounded generation worker pool with a queue deadline, token-bucket
 // admission (off when -admit-rps is 0), a circuit breaker over the
 // generation backend, a byte-capped cache of generated traditional
 // content, and the Retry-After advice attached to 503 replies.
+//
+// The abuse flags set the per-connection abuse-ledger budgets
+// (events per sliding window). Exceeding a budget first ignores the
+// flooding frame kind, then refuses new streams with
+// ENHANCE_YOUR_CALM, then kills the connection with GOAWAY.
 //
 // The demo site contains /wiki/landscape (Figure 2), /news/article
 // (§6.2 text experiment) and /blog/hike (§2.1 travel blog).
@@ -33,6 +41,7 @@ import (
 	"sww/internal/core"
 	"sww/internal/genai/imagegen"
 	"sww/internal/genai/textgen"
+	"sww/internal/http2"
 	"sww/internal/overload"
 	"sww/internal/workload"
 )
@@ -52,6 +61,13 @@ func main() {
 	breakerProbes := flag.Int("breaker-probes", 1, "concurrent half-open probes")
 	genCacheBytes := flag.Int64("gen-cache-bytes", 64<<20, "byte cap on cached generated traditional content")
 	retryAfter := flag.Duration("retry-after", time.Second, "default Retry-After advice on 503 replies")
+	abuseOff := flag.Bool("abuse-off", false, "disable the per-connection abuse ledger")
+	abuseWindow := flag.Duration("abuse-window", 10*time.Second, "abuse-budget sliding window")
+	abuseRSTBudget := flag.Int("abuse-rst-budget", 100, "rapid resets tolerated per window")
+	abusePingBudget := flag.Int("abuse-ping-budget", 100, "non-ACK PINGs tolerated per window")
+	abuseSettingsBudget := flag.Int("abuse-settings-budget", 20, "SETTINGS frames tolerated per window")
+	abuseWUBudget := flag.Int("abuse-window-update-budget", 4000, "WINDOW_UPDATEs tolerated per window")
+	abuseEmptyDataBudget := flag.Int("abuse-empty-data-budget", 100, "empty DATA frames tolerated per window")
 	flag.Parse()
 
 	srv, err := core.NewServer(*imageModel, *textModel)
@@ -70,6 +86,15 @@ func main() {
 		},
 		CacheBytes: *genCacheBytes,
 		RetryAfter: *retryAfter,
+	})
+	srv.SetAbusePolicy(&http2.AbusePolicy{
+		Disabled:           *abuseOff,
+		Window:             *abuseWindow,
+		RapidResetBudget:   *abuseRSTBudget,
+		PingBudget:         *abusePingBudget,
+		SettingsBudget:     *abuseSettingsBudget,
+		WindowUpdateBudget: *abuseWUBudget,
+		EmptyDataBudget:    *abuseEmptyDataBudget,
 	})
 	switch *policy {
 	case "generative":

@@ -303,8 +303,8 @@ func TestMetadataQuickRoundTrip(t *testing.T) {
 			Meta: Metadata{
 				Prompt: "p" + prompt, // never empty
 				Name:   name,
-				Width:  int(w),
-				Height: int(h),
+				Width:  int(w) % (MaxDimension + 1), // within validator bounds
+				Height: int(h) % (MaxDimension + 1),
 				Words:  int(words),
 			},
 		}

@@ -1,0 +1,57 @@
+package core
+
+// FuzzMetadataJSON drives ParseGeneratedDiv with arbitrary
+// content-type and metadata attributes. The contract under fuzzing:
+// never panic, every metadata failure is a typed *MetadataError, and
+// anything accepted respects the numeric bounds that gate downstream
+// allocations. Seed corpus in testdata/fuzz/FuzzMetadataJSON.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sww/internal/html"
+)
+
+func FuzzMetadataJSON(f *testing.F) {
+	f.Add("img", `{"prompt":"a city skyline","name":"hero","width":640,"height":480}`)
+	f.Add("txt", `{"name":"body","bullets":["solar","storage"],"words":120}`)
+	f.Add("img-upscale", `{"name":"up","src":"/assets/low.png","scale":4}`)
+	f.Add("img", `{bad json`)
+	f.Add("img", `{"prompt":"p","width":1073741824}`)
+	f.Add("img", `{"prompt":"`+strings.Repeat("a", 200)+`","steps":-3}`)
+	f.Add("zzz", `{}`)
+	f.Add("img", `[[[[[[[[{"prompt":1}]]]]]]]]`)
+
+	f.Fuzz(func(t *testing.T, ct, meta string) {
+		div := html.NewElement("div",
+			html.Attribute{Name: "class", Value: GeneratedClass},
+			html.Attribute{Name: attrContentType, Value: ct},
+			html.Attribute{Name: attrMetadata, Value: meta},
+		)
+		gc, err := ParseGeneratedDiv(div)
+		if err != nil {
+			var me *MetadataError
+			if !errors.As(err, &me) {
+				t.Fatalf("untyped metadata error %T: %v", err, err)
+			}
+			return
+		}
+		m := gc.Meta
+		switch {
+		case m.Width < 0 || m.Width > MaxDimension || m.Height < 0 || m.Height > MaxDimension:
+			t.Fatalf("accepted out-of-bounds dimensions %dx%d", m.Width, m.Height)
+		case m.Steps < 0 || m.Steps > MaxSteps:
+			t.Fatalf("accepted out-of-bounds steps %d", m.Steps)
+		case m.Scale < 0 || m.Scale > MaxScale:
+			t.Fatalf("accepted out-of-bounds scale %d", m.Scale)
+		case m.Words < 0 || m.Words > MaxWords:
+			t.Fatalf("accepted out-of-bounds words %d", m.Words)
+		case m.OriginalBytes < 0:
+			t.Fatalf("accepted negative original_bytes %d", m.OriginalBytes)
+		case len(m.Bullets) > maxBullets:
+			t.Fatalf("accepted %d bullets", len(m.Bullets))
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sww/internal/html"
+)
+
+func parseDivString(t *testing.T, src string) error {
+	t.Helper()
+	doc := html.Parse(src)
+	divs := doc.ByClass(GeneratedClass)
+	if len(divs) != 1 {
+		t.Fatalf("found %d generated divs in %q", len(divs), src)
+	}
+	_, err := ParseGeneratedDiv(divs[0])
+	return err
+}
+
+// TestMetadataBlobCap: a metadata attribute past MaxMetadataBytes is
+// rejected with a typed error before json.Unmarshal sees it.
+func TestMetadataBlobCap(t *testing.T) {
+	blob := `{"prompt":"` + strings.Repeat("a", MaxMetadataBytes) + `","name":"x"}`
+	err := parseDivString(t,
+		`<div class="generated-content" content-type="img" metadata='`+blob+`'></div>`)
+	var me *MetadataError
+	if !errors.As(err, &me) {
+		t.Fatalf("oversized metadata err = %v, want *MetadataError", err)
+	}
+	if !strings.Contains(me.Reason, "cap") {
+		t.Errorf("reason = %q, want size-cap reason", me.Reason)
+	}
+}
+
+// TestMetadataBounds: numeric fields outside their bounds return a
+// typed error instead of feeding oversized allocations downstream.
+func TestMetadataBounds(t *testing.T) {
+	cases := []struct {
+		name, meta string
+	}{
+		{"huge width", `{"prompt":"p","width":1073741824,"height":224}`},
+		{"negative width", `{"prompt":"p","width":-5}`},
+		{"huge steps", `{"prompt":"p","steps":100000}`},
+		{"huge scale", `{"prompt":"p","scale":4096}`},
+		{"negative original", `{"prompt":"p","original_bytes":-1}`},
+		{"huge words", `{"prompt":"p","words":20000000}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := parseDivString(t,
+				`<div class="generated-content" content-type="img" metadata='`+tc.meta+`'></div>`)
+			var me *MetadataError
+			if !errors.As(err, &me) {
+				t.Fatalf("err = %v, want *MetadataError", err)
+			}
+		})
+	}
+
+	// In-bounds metadata still parses.
+	err := parseDivString(t,
+		`<div class="generated-content" content-type="img" metadata='{"prompt":"p","width":4096,"height":4096,"steps":1000}'></div>`)
+	if err != nil {
+		t.Fatalf("max in-bounds metadata rejected: %v", err)
+	}
+}
+
+// TestBulletCountCap bounds the bullets slice.
+func TestBulletCountCap(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`{"name":"t","bullets":[`)
+	for i := 0; i < maxBullets+1; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q", "x")
+	}
+	b.WriteString(`]}`)
+	err := parseDivString(t,
+		`<div class="generated-content" content-type="txt" metadata='`+b.String()+`'></div>`)
+	var me *MetadataError
+	if !errors.As(err, &me) {
+		t.Fatalf("bullet flood err = %v, want *MetadataError", err)
+	}
+}
+
+// TestMalformedDivDegrades: FindPlaceholders skips a malformed div and
+// leaves it in the document, so the page still renders its traditional
+// content around it.
+func TestMalformedDivDegrades(t *testing.T) {
+	doc := html.Parse(`
+		<p>before</p>
+		<div class="generated-content" content-type="img" metadata='{"prompt":"ok","name":"good"}'></div>
+		<div class="generated-content" content-type="img" metadata='{bad json'>fallback text</div>
+		<p>after</p>`)
+	phs, errs := FindPlaceholders(doc)
+	if len(phs) != 1 || len(errs) != 1 {
+		t.Fatalf("placeholders=%d errs=%d, want 1/1", len(phs), len(errs))
+	}
+	var me *MetadataError
+	if !errors.As(errs[0], &me) {
+		t.Fatalf("parse err = %v, want *MetadataError", errs[0])
+	}
+	out := html.RenderString(doc)
+	for _, want := range []string{"before", "after", "fallback text"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("degraded page lost %q", want)
+		}
+	}
+}
+
+// TestProcessorMalformedTyped: the whole-page Process failure wraps
+// the typed metadata error, so the client's degradation ladder can
+// classify it.
+func TestProcessorMalformedTyped(t *testing.T) {
+	doc := html.Parse(`<div class="generated-content" content-type="img" metadata="{bad"></div>`)
+	proc := &PageProcessor{}
+	_, _, err := proc.Process(doc)
+	var me *MetadataError
+	if !errors.As(err, &me) {
+		t.Fatalf("Process err = %v, want wrapped *MetadataError", err)
+	}
+}

@@ -8,6 +8,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"sww/internal/html"
@@ -39,6 +40,53 @@ const (
 	attrContentType = "content-type"
 	attrMetadata    = "metadata"
 )
+
+// MaxMetadataBytes caps the metadata attribute of a single
+// generated-content div. The paper's worst case is ~428 B of prompt
+// and dimensions; 16 KiB leaves two orders of magnitude of headroom
+// for bullet-heavy text placeholders while keeping a hostile page
+// from smuggling megabytes through json.Unmarshal per div.
+const MaxMetadataBytes = 16 << 10
+
+// Bounds on the numeric metadata fields. They exist because metadata
+// arrives from the network and feeds allocations: Width×Height sizes
+// the synthesized image buffer, Steps multiplies diffusion passes,
+// Scale squares the upscale output, Words sizes text expansion.
+const (
+	MaxDimension = 4096
+	MaxSteps     = 1000
+	MaxScale     = 16
+	MaxWords     = 1 << 16
+	maxBullets   = 256
+)
+
+// A MetadataError reports a generated-content div whose metadata is
+// malformed, oversized, or out of bounds. Callers degrade the div to
+// traditional content (FindPlaceholders leaves it in place in the
+// document) rather than treating the page as fatal.
+type MetadataError struct {
+	Name   string // content name, when it was parseable
+	Reason string
+	Err    error // underlying cause (e.g. a JSON syntax error), may be nil
+}
+
+func (e *MetadataError) Error() string {
+	s := "core: metadata"
+	if e.Name != "" {
+		s += " for " + strconv.Quote(e.Name)
+	}
+	s += ": " + e.Reason
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+func (e *MetadataError) Unwrap() error { return e.Err }
+
+func metaErrf(name, format string, args ...any) *MetadataError {
+	return &MetadataError{Name: name, Reason: fmt.Sprintf(format, args...)}
+}
 
 // Metadata is the JSON dictionary carried by a generated-content div.
 // "Examples of metadata fields include the prompt or width and height
@@ -139,29 +187,48 @@ func (g GeneratedContent) Div() (*html.Node, error) {
 }
 
 func (g GeneratedContent) validate() error {
+	m := g.Meta
+	switch {
+	case m.Width < 0 || m.Width > MaxDimension || m.Height < 0 || m.Height > MaxDimension:
+		return metaErrf(m.Name, "dimensions %dx%d outside [0, %d]", m.Width, m.Height, MaxDimension)
+	case m.Steps < 0 || m.Steps > MaxSteps:
+		return metaErrf(m.Name, "steps %d outside [0, %d]", m.Steps, MaxSteps)
+	case m.Scale < 0 || m.Scale > MaxScale:
+		return metaErrf(m.Name, "scale %d outside [0, %d]", m.Scale, MaxScale)
+	case m.Words < 0 || m.Words > MaxWords:
+		return metaErrf(m.Name, "words %d outside [0, %d]", m.Words, MaxWords)
+	case m.OriginalBytes < 0:
+		return metaErrf(m.Name, "negative original_bytes %d", m.OriginalBytes)
+	case len(m.Bullets) > maxBullets:
+		return metaErrf(m.Name, "%d bullets, cap %d", len(m.Bullets), maxBullets)
+	}
 	switch g.Type {
 	case ContentImage:
-		if g.Meta.Prompt == "" {
-			return fmt.Errorf("core: image content %q has no prompt", g.Meta.Name)
+		if m.Prompt == "" {
+			return metaErrf(m.Name, "image content has no prompt")
 		}
 	case ContentText:
-		if len(g.Meta.Bullets) == 0 && g.Meta.Prompt == "" {
-			return fmt.Errorf("core: text content %q has neither bullets nor prompt", g.Meta.Name)
+		if len(m.Bullets) == 0 && m.Prompt == "" {
+			return metaErrf(m.Name, "text content has neither bullets nor prompt")
 		}
 	case ContentUpscale:
-		if g.Meta.Src == "" {
-			return fmt.Errorf("core: upscale content %q has no src", g.Meta.Name)
+		if m.Src == "" {
+			return metaErrf(m.Name, "upscale content has no src")
 		}
-		if g.Meta.Scale < 2 {
-			return fmt.Errorf("core: upscale content %q has scale %d, want ≥2", g.Meta.Name, g.Meta.Scale)
+		if m.Scale < 2 {
+			return metaErrf(m.Name, "upscale scale %d, want ≥2", m.Scale)
 		}
 	default:
-		return fmt.Errorf("core: unsupported content type %q", g.Type)
+		return metaErrf(m.Name, "unsupported content type %q", g.Type)
 	}
 	return nil
 }
 
-// ParseGeneratedDiv decodes a generated-content div.
+// ParseGeneratedDiv decodes a generated-content div. Metadata
+// failures — missing or oversized attribute, malformed JSON, fields
+// outside their bounds — return a *MetadataError; the div itself is
+// untouched, so callers that skip the error render it as traditional
+// content.
 func ParseGeneratedDiv(n *html.Node) (GeneratedContent, error) {
 	var g GeneratedContent
 	if n.Type != html.ElementNode || !n.HasClass(GeneratedClass) {
@@ -169,15 +236,18 @@ func ParseGeneratedDiv(n *html.Node) (GeneratedContent, error) {
 	}
 	ct, ok := n.AttrValue(attrContentType)
 	if !ok {
-		return g, fmt.Errorf("core: generated-content div missing content-type")
+		return g, &MetadataError{Reason: "missing content-type attribute"}
 	}
 	g.Type = ContentType(strings.ToLower(ct))
 	raw, ok := n.AttrValue(attrMetadata)
 	if !ok {
-		return g, fmt.Errorf("core: generated-content div missing metadata")
+		return g, &MetadataError{Reason: "missing metadata attribute"}
+	}
+	if len(raw) > MaxMetadataBytes {
+		return g, metaErrf("", "metadata is %d bytes, cap %d", len(raw), MaxMetadataBytes)
 	}
 	if err := json.Unmarshal([]byte(raw), &g.Meta); err != nil {
-		return g, fmt.Errorf("core: bad metadata JSON: %w", err)
+		return g, &MetadataError{Name: g.Meta.Name, Reason: "bad metadata JSON", Err: err}
 	}
 	if err := g.validate(); err != nil {
 		return g, err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"image/png"
@@ -127,14 +128,30 @@ func (r *ProcessReport) MediaCompressionRatio() float64 {
 // modified: image divs become <img src="/generated/...">, text divs
 // become paragraphs (Figure 1, bottom).
 func (pp *PageProcessor) Process(doc *html.Node) (map[string][]byte, *ProcessReport, error) {
+	return pp.ProcessContext(context.Background(), doc)
+}
+
+// ProcessContext is Process with cooperative cancellation between
+// placeholder generations. A server generating for a stream that has
+// since been reset stops paying for the rest of the page — without
+// this, a rapid-reset peer gets a full page generation per canceled
+// stream, and the abuse ledger can only bound how often that happens,
+// not how much each one costs.
+func (pp *PageProcessor) ProcessContext(ctx context.Context, doc *html.Node) (map[string][]byte, *ProcessReport, error) {
+	// A malformed placeholder fails the whole pass with a typed error:
+	// the client's degradation ladder re-fetches the page traditionally
+	// rather than rendering a half-generated document.
 	placeholders, parseErrs := FindPlaceholders(doc)
 	if len(parseErrs) > 0 {
-		return nil, nil, fmt.Errorf("core: %d malformed placeholders, first: %v", len(parseErrs), parseErrs[0])
+		return nil, nil, fmt.Errorf("core: %d malformed placeholders, first: %w", len(parseErrs), parseErrs[0])
 	}
 	loadBefore := pp.pipelineLoadTime()
 	assets := make(map[string][]byte)
 	report := &ProcessReport{}
 	for _, ph := range placeholders {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		item, err := pp.processOne(ph, assets)
 		if err != nil {
 			return nil, nil, err

@@ -133,6 +133,7 @@ func NewServer(imageModel, textModel string) (*Server, error) {
 		}
 	}
 	cfg.OnStreamRefused = s.countRefusedStream
+	cfg.OnAbuse = s.countAbuse
 	s.h2 = &http2.Server{
 		Handler: http2.HandlerFunc(s.serve),
 		Config:  cfg,
@@ -183,6 +184,26 @@ func (s *Server) OverloadStats() overload.Stats {
 
 func (s *Server) countRefusedStream() {
 	s.Overload().Counters().StreamsRefused.Add(1)
+}
+
+// countAbuse folds http2 abuse-ledger escalations into the overload
+// counters, making attack shedding visible on the same surface as the
+// load-shed ladder.
+func (s *Server) countAbuse(kind http2.AbuseKind, act http2.AbuseAction) {
+	c := s.Overload().Counters()
+	c.AbuseEvents.Add(1)
+	switch act {
+	case http2.AbuseCalm:
+		c.AbuseCalmed.Add(1)
+	case http2.AbuseKill:
+		c.AbuseGoAways.Add(1)
+	}
+}
+
+// SetAbusePolicy replaces the abuse policy on the underlying HTTP/2
+// config. Call before serving traffic.
+func (s *Server) SetAbusePolicy(p *http2.AbusePolicy) {
+	s.h2.Config.AbusePolicy = p
 }
 
 // AddPage registers a page and its assets.
@@ -241,11 +262,18 @@ func (s *Server) ServeConn(c net.Conn) error { return s.h2.ServeConn(c) }
 func (s *Server) StartConn(c net.Conn) *http2.ServerConn { return s.h2.StartConn(c) }
 
 // SetConfig overrides the underlying HTTP/2 config (ability, windows)
-// before any connection is served. The overload hook for refused
-// streams is preserved unless the caller installs their own.
+// before any connection is served. The overload hooks for refused
+// streams and abuse events, and the abuse policy, are preserved
+// unless the caller installs their own.
 func (s *Server) SetConfig(cfg http2.Config) {
 	if cfg.OnStreamRefused == nil {
 		cfg.OnStreamRefused = s.h2.Config.OnStreamRefused
+	}
+	if cfg.OnAbuse == nil {
+		cfg.OnAbuse = s.h2.Config.OnAbuse
+	}
+	if cfg.AbusePolicy == nil {
+		cfg.AbusePolicy = s.h2.Config.AbusePolicy
 	}
 	s.h2.Config = cfg
 }
@@ -265,7 +293,7 @@ type payload struct {
 // the SWW serving decision for a peer with the given negotiated
 // ability, regardless of whether the bytes travel over HTTP/2 or
 // HTTP/3.
-func (s *Server) resolve(method, path string, peerGen http2.GenAbility) payload {
+func (s *Server) resolve(ctx context.Context, method, path string, peerGen http2.GenAbility) payload {
 	if method != "GET" {
 		return payload{status: 405, contentType: "text/plain", body: []byte("method not allowed")}
 	}
@@ -315,7 +343,7 @@ func (s *Server) resolve(method, path string, peerGen http2.GenAbility) payload 
 				body:        []byte(page.HTML()),
 			}
 		}
-		return s.resolveTraditional(page)
+		return s.resolveTraditional(ctx, page)
 
 	default:
 		return payload{status: 404, contentType: "text/plain",
@@ -328,7 +356,7 @@ func (s *Server) resolve(method, path string, peerGen http2.GenAbility) payload 
 // admission-controlled server-side generation last. A shed generation
 // becomes 503 + Retry-After (rung 4) — the bottom of the ladder,
 // reached only when no cheaper form of the page exists.
-func (s *Server) resolveTraditional(p *Page) payload {
+func (s *Server) resolveTraditional(ctx context.Context, p *Page) payload {
 	if len(p.Originals) > 0 {
 		if doc, err := p.TraditionalDoc(); err == nil {
 			return payload{
@@ -339,7 +367,7 @@ func (s *Server) resolveTraditional(p *Page) payload {
 			}
 		}
 	}
-	st, err := s.generateTraditional(p)
+	st, err := s.generateTraditional(ctx, p)
 	if err != nil {
 		var shed *overload.ShedError
 		if errors.As(err, &shed) {
@@ -367,9 +395,11 @@ func (s *Server) resolveTraditional(p *Page) payload {
 	}
 }
 
-// serve adapts resolve to HTTP/2.
+// serve adapts resolve to HTTP/2. The stream context makes resets
+// effective: a canceled request stops waiting for (or holding) a
+// generation worker.
 func (s *Server) serve(w *http2.ResponseWriter, r *http2.Request) {
-	pl := s.resolve(r.Method, r.Path, r.PeerGen)
+	pl := s.resolve(r.Stream().Context(), r.Method, r.Path, r.PeerGen)
 	fields := []hpack.HeaderField{
 		{Name: "content-type", Value: pl.contentType},
 		{Name: "content-length", Value: fmt.Sprint(len(pl.body))},
@@ -389,7 +419,7 @@ func (s *Server) serve(w *http2.ResponseWriter, r *http2.Request) {
 
 // serveH3 adapts resolve to HTTP/3.
 func (s *Server) serveH3(w *http3.ResponseWriter, r *http3.Request) {
-	pl := s.resolve(r.Method, r.Path, r.PeerGen)
+	pl := s.resolve(context.Background(), r.Method, r.Path, r.PeerGen)
 	fields := []http3.Field{{Name: "content-type", Value: pl.contentType}}
 	if pl.mode != "" {
 		fields = append(fields, http3.Field{Name: ModeHeader, Value: pl.mode})
@@ -438,11 +468,14 @@ func (s *Server) cachedTraditional(path string) (*servedTraditional, bool) {
 // served assets. Concurrent misses of the same cold page coalesce
 // into a single generation (singleflight), so a dogpile costs one
 // admission token and one worker, not N.
-func (s *Server) generateTraditional(p *Page) (*servedTraditional, error) {
+func (s *Server) generateTraditional(ctx context.Context, p *Page) (*servedTraditional, error) {
 	g := s.Overload()
 	if st, ok := s.cachedTraditional(p.Path); ok {
 		g.Counters().CacheHits.Add(1)
 		return st, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if s.serverProc == nil {
 		return nil, fmt.Errorf("core: server has no generation pipeline and page %q has no originals", p.Path)
@@ -454,16 +487,31 @@ func (s *Server) generateTraditional(p *Page) (*servedTraditional, error) {
 			g.Counters().CacheHits.Add(1)
 			return st, nil
 		}
-		release, err := g.AdmitGen(context.Background())
+		release, err := g.AdmitGen(ctx)
 		if err != nil {
 			return nil, err
 		}
 		ok := false
 		defer func() { release(ok) }()
+		// The requester may have vanished (stream reset) while this
+		// request queued for a worker. Skip the pipeline run entirely:
+		// this is what makes rapid reset cheap — a canceled request
+		// costs a queue slot, not a generation. ok=true because the
+		// backend saw no failure.
+		if ctx.Err() != nil {
+			ok = true
+			return nil, ctx.Err()
+		}
 		g.Counters().GenRuns.Add(1)
 		doc := p.Doc.Clone()
-		assets, report, err := s.serverProc.Process(doc)
+		assets, report, err := s.serverProc.ProcessContext(ctx, doc)
 		if err != nil {
+			// A mid-page cancellation is the requester vanishing, not a
+			// backend failure: don't feed the breaker or GenFailures.
+			if ctx.Err() != nil {
+				ok = true
+				return nil, ctx.Err()
+			}
 			g.Counters().GenFailures.Add(1)
 			return nil, err
 		}
@@ -475,9 +523,17 @@ func (s *Server) generateTraditional(p *Page) (*servedTraditional, error) {
 			st.bytes += int64(len(data))
 		}
 		// Model real inference occupancy: hold the worker for the
-		// configured fraction of the modelled generation time.
+		// configured fraction of the modelled generation time. A
+		// canceled requester releases the worker early — the result
+		// is already computed, so it is still cached for the next
+		// fetch (coalesced waiters get it too).
 		if hold := g.GenHold(report.SimGenTime); hold > 0 {
-			time.Sleep(hold)
+			tm := time.NewTimer(hold)
+			select {
+			case <-tm.C:
+			case <-ctx.Done():
+				tm.Stop()
+			}
 		}
 		s.storeTraditional(p.Path, st)
 		return st, nil

@@ -1,0 +1,92 @@
+package hpack
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDecompressionBomb builds the classic HPACK amplification block:
+// one literal inserts a table-sized entry into the dynamic table, then
+// a run of one-byte indexed references replays it. Without a header
+// list ceiling, each input byte expands to ~2 KiB of output; the
+// decoder must refuse the block instead of materializing it.
+func TestDecompressionBomb(t *testing.T) {
+	big := HeaderField{Name: "x-bomb", Value: strings.Repeat("a", 2000)}
+	block := appendInteger(nil, 0x40, 6, 0) // literal with indexing, new name
+	block = appendString(block, big.Name, false)
+	block = appendString(block, big.Value, false)
+	// 4096 indexed references to the entry just added (index 62).
+	ref := appendInteger(nil, 0x80, 7, uint64(staticTableLen)+1)
+	for i := 0; i < 4096; i++ {
+		block = append(block, ref...)
+	}
+	// ~6 KiB of input would decode to > 8 MiB of header list.
+	d := NewDecoder(0)
+	if _, err := d.Decode(block); err != ErrHeaderListTooLarge {
+		t.Fatalf("bomb decode err = %v, want ErrHeaderListTooLarge", err)
+	}
+
+	// A tighter ceiling trips proportionally earlier.
+	d2 := NewDecoder(0)
+	d2.SetMaxHeaderListBytes(8 << 10)
+	if _, err := d2.Decode(block); err != ErrHeaderListTooLarge {
+		t.Fatalf("bomb decode (8 KiB cap) err = %v, want ErrHeaderListTooLarge", err)
+	}
+
+	// The same fields under the ceiling decode fine: the cap bounds
+	// totals, it does not reject ordinary blocks.
+	small := appendInteger(nil, 0x40, 6, 0)
+	small = appendString(small, "k", false)
+	small = appendString(small, "v", false)
+	small = append(small, appendInteger(nil, 0x80, 7, uint64(staticTableLen)+1)...)
+	if fields, err := NewDecoder(0).Decode(small); err != nil || len(fields) != 2 {
+		t.Fatalf("small block = %v fields, err %v", len(fields), err)
+	}
+}
+
+// TestHuffmanBombStopsEarly checks that an over-limit Huffman literal
+// fails during expansion, not after: the decoder must never allocate
+// the full decoded form of a string it is going to reject.
+func TestHuffmanBombStopsEarly(t *testing.T) {
+	// '0' has a 5-bit code, so n input bytes expand to 1.6n output.
+	raw := AppendHuffman(nil, strings.Repeat("0", 4000))
+	lit := appendInteger(nil, 0x00, 4, 0) // literal, new name
+	lit = appendString(lit, "n", false)
+	lit = appendInteger(lit, 0x80, 7, uint64(len(raw))) // huffman-coded value
+	lit = append(lit, raw...)
+
+	d := NewDecoder(1024)
+	if _, err := d.Decode(lit); err != ErrStringTooLong {
+		t.Fatalf("huffman bomb err = %v, want ErrStringTooLong", err)
+	}
+	if out, err := decodeHuffmanBounded(nil, raw, 512); err != ErrStringTooLong || out != nil {
+		t.Fatalf("bounded decode = %q, %v; want nil, ErrStringTooLong", out, err)
+	}
+}
+
+// TestTableSizeUpdateChurn caps the number of dynamic-table-size
+// updates per block: alternating shrink/grow updates churn the table
+// through evictions for one input byte each, so more than the two a
+// compliant encoder can need is rejected.
+func TestTableSizeUpdateChurn(t *testing.T) {
+	var block []byte
+	for i := 0; i < 8; i++ {
+		block = appendInteger(block, 0x20, 5, 0)
+		block = appendInteger(block, 0x20, 5, 4096)
+	}
+	if _, err := NewDecoder(0).Decode(block); err != ErrTableSizeUpdate {
+		t.Fatalf("update churn err = %v, want ErrTableSizeUpdate", err)
+	}
+	// Exactly two updates (the compliant shrink-then-grow) still pass.
+	ok := appendInteger(nil, 0x20, 5, 0)
+	ok = appendInteger(ok, 0x20, 5, 1024)
+	ok = append(ok, appendInteger(nil, 0x80, 7, 2)...) // :method GET
+	fields, err := NewDecoder(0).Decode(ok)
+	if err != nil || len(fields) != 1 {
+		t.Fatalf("two updates + field: %v fields, err %v", len(fields), err)
+	}
+	if !bytes.Equal([]byte(fields[0].Name), []byte(":method")) {
+		t.Fatalf("field = %v", fields[0])
+	}
+}

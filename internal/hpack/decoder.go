@@ -1,5 +1,11 @@
 package hpack
 
+// maxTableUpdatesPerBlock caps dynamic table size updates in one
+// header block. A compliant encoder needs at most two (an intermediate
+// reduction followed by the final size, RFC 7541 §4.2); more is either
+// corruption or a CPU-burn attack cycling the table through evictions.
+const maxTableUpdatesPerBlock = 2
+
 // A Decoder parses header block fragments into header fields.
 // It is not safe for concurrent use.
 type Decoder struct {
@@ -11,19 +17,37 @@ type Decoder struct {
 
 	// maxString bounds individual decoded string literals.
 	maxString int
+
+	// maxList bounds the total decoded header list per block, measured
+	// in RFC 7541 §4.1 entry sizes (name + value + 32 per field). This
+	// is the decompression-bomb ceiling: a block of one-byte indexed
+	// references to a table-sized entry otherwise amplifies input bytes
+	// into output by three orders of magnitude.
+	maxList int
 }
 
 // NewDecoder returns a decoder whose dynamic table is capped at
 // DefaultTableSize and whose string literals are capped at maxString
-// bytes (0 means a permissive 1 MiB default).
+// bytes (0 means a permissive 1 MiB default). The total decoded
+// header list per block is capped at 1 MiB; see SetMaxHeaderListBytes.
 func NewDecoder(maxString int) *Decoder {
 	if maxString <= 0 {
 		maxString = 1 << 20
 	}
-	d := &Decoder{maxString: maxString}
+	d := &Decoder{maxString: maxString, maxList: 1 << 20}
 	d.table.maxSize = DefaultTableSize
 	d.maxAllowed = DefaultTableSize
 	return d
+}
+
+// SetMaxHeaderListBytes bounds the total decoded header list of one
+// block (sum of RFC 7541 §4.1 entry sizes). Values ≤ 0 restore the
+// 1 MiB default.
+func (d *Decoder) SetMaxHeaderListBytes(n int) {
+	if n <= 0 {
+		n = 1 << 20
+	}
+	d.maxList = n
 }
 
 // SetMaxDynamicTableSize raises or lowers the ceiling the peer's
@@ -42,6 +66,15 @@ func (d *Decoder) SetMaxDynamicTableSize(n uint32) {
 func (d *Decoder) Decode(block []byte) ([]HeaderField, error) {
 	var fields []HeaderField
 	sawField := false
+	listBytes := 0
+	tableUpdates := 0
+	account := func(f HeaderField) error {
+		listBytes += int(f.Size())
+		if listBytes > d.maxList {
+			return ErrHeaderListTooLarge
+		}
+		return nil
+	}
 	for len(block) > 0 {
 		b := block[0]
 		switch {
@@ -54,6 +87,9 @@ func (d *Decoder) Decode(block []byte) ([]HeaderField, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := account(f); err != nil {
+				return nil, err
+			}
 			fields = append(fields, f)
 			block = rest
 			sawField = true
@@ -63,6 +99,9 @@ func (d *Decoder) Decode(block []byte) ([]HeaderField, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := account(f); err != nil {
+				return nil, err
+			}
 			d.table.add(f)
 			fields = append(fields, f)
 			block = rest
@@ -70,6 +109,10 @@ func (d *Decoder) Decode(block []byte) ([]HeaderField, error) {
 
 		case b&0xe0 == 0x20: // dynamic table size update, §6.3
 			if sawField {
+				return nil, ErrTableSizeUpdate
+			}
+			tableUpdates++
+			if tableUpdates > maxTableUpdatesPerBlock {
 				return nil, ErrTableSizeUpdate
 			}
 			size, rest, err := readInteger(block, 5)
@@ -87,6 +130,9 @@ func (d *Decoder) Decode(block []byte) ([]HeaderField, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := account(f); err != nil {
+				return nil, err
+			}
 			f.Sensitive = true
 			fields = append(fields, f)
 			block = rest
@@ -95,6 +141,9 @@ func (d *Decoder) Decode(block []byte) ([]HeaderField, error) {
 		default: // literal without indexing, §6.2.2 (pattern 0000)
 			f, rest, err := d.readLiteral(block, 4)
 			if err != nil {
+				return nil, err
+			}
+			if err := account(f); err != nil {
 				return nil, err
 			}
 			fields = append(fields, f)
@@ -150,12 +199,12 @@ func (d *Decoder) readString(buf []byte) (string, []byte, error) {
 	if !huffman {
 		return string(raw), rest, nil
 	}
-	decoded, err := DecodeHuffman(make([]byte, 0, len(raw)*2), raw)
+	// Bound the decode itself, not just the result: the limit stops
+	// the expansion mid-stream instead of allocating the whole bomb
+	// first and measuring it afterwards.
+	decoded, err := decodeHuffmanBounded(make([]byte, 0, min(len(raw)*2, d.maxString)), raw, d.maxString)
 	if err != nil {
 		return "", nil, err
-	}
-	if len(decoded) > d.maxString {
-		return "", nil, ErrStringTooLong
 	}
 	return string(decoded), rest, nil
 }

@@ -75,4 +75,10 @@ var (
 	// ErrStringTooLong indicates a string literal longer than the
 	// decoder's configured limit.
 	ErrStringTooLong = errors.New("hpack: string literal exceeds limit")
+
+	// ErrHeaderListTooLarge indicates a header block whose decoded
+	// field list exceeds the decoder's total ceiling — the signature of
+	// a decompression bomb built from indexed references to large
+	// table entries.
+	ErrHeaderListTooLarge = errors.New("hpack: decoded header list exceeds limit")
 )

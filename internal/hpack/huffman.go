@@ -154,6 +154,13 @@ func AppendHuffman(dst []byte, s string) []byte {
 // padding longer than 7 bits, padding that does not match the EOS
 // prefix, and any appearance of the EOS symbol itself.
 func DecodeHuffman(dst, src []byte) ([]byte, error) {
+	return decodeHuffmanBounded(dst, src, -1)
+}
+
+// decodeHuffmanBounded is DecodeHuffman with an output ceiling: once
+// the decoded length would exceed maxLen (when ≥ 0) it stops with
+// ErrStringTooLong instead of expanding the rest of a bomb literal.
+func decodeHuffmanBounded(dst, src []byte, maxLen int) ([]byte, error) {
 	n := huffDecodeTree
 	depth := 0 // bits consumed since the last emitted symbol
 	allOnes := true
@@ -172,6 +179,9 @@ func DecodeHuffman(dst, src []byte) ([]byte, error) {
 				if n.sym == 256 {
 					// EOS must never appear in the body (§5.2).
 					return nil, ErrInvalidHuffman
+				}
+				if maxLen >= 0 && len(dst) >= maxLen {
+					return nil, ErrStringTooLong
 				}
 				dst = append(dst, byte(n.sym))
 				n = huffDecodeTree

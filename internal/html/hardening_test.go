@@ -1,0 +1,58 @@
+package html
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDeepNestingBounded parses adversarially deep markup and checks
+// the tree depth stays at the parser's cap, so the depth-recursive
+// consumers (Render, Clone, Walk) cannot be driven into stack
+// exhaustion by wire input.
+func TestDeepNestingBounded(t *testing.T) {
+	const n = 100_000
+	src := strings.Repeat("<div>", n) + "x" + strings.Repeat("</div>", n)
+	doc := Parse(src)
+
+	depth, maxDepth := 0, 0
+	var walk func(*Node, int)
+	walk = func(nd *Node, d int) {
+		if d > maxDepth {
+			maxDepth = d
+		}
+		for c := nd.FirstChild; c != nil; c = c.NextSibling {
+			walk(c, d+1)
+		}
+	}
+	_ = depth
+	walk(doc, 0)
+	if maxDepth > maxParseDepth+1 {
+		t.Fatalf("tree depth %d exceeds cap %d", maxDepth, maxParseDepth)
+	}
+
+	// The flattened tree must still round-trip through the recursive
+	// consumers without blowing the stack.
+	out := RenderString(doc)
+	if !strings.Contains(out, "x") {
+		t.Fatalf("deep-nesting text content lost")
+	}
+	Parse(out)
+	doc.Clone()
+}
+
+// TestDeepNestingKeepsContent: elements past the cap are retained as
+// siblings, not dropped — the page still renders all its markup.
+func TestDeepNestingKeepsContent(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < maxParseDepth+50; i++ {
+		b.WriteString("<section>")
+	}
+	b.WriteString(`<div class="generated-content" content-type="img" metadata="{}">`)
+	doc := Parse(b.String())
+	if got := len(doc.ByClass("generated-content")); got != 1 {
+		t.Fatalf("generated-content divs found = %d, want 1", got)
+	}
+	if got := len(doc.ByTag("section")); got != maxParseDepth+50 {
+		t.Fatalf("sections = %d, want %d", got, maxParseDepth+50)
+	}
+}

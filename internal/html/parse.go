@@ -1,8 +1,17 @@
 package html
 
+// maxParseDepth caps the open-element stack. Real pages nest tens of
+// elements deep; adversarial input (<div><div><div>… repeated for the
+// whole body) would otherwise build a tree whose depth-recursive
+// consumers — Render, Walk, Clone — exhaust the goroutine stack.
+// Elements opened beyond the cap are kept as childless siblings, the
+// same recovery browsers apply to their own depth limits.
+const maxParseDepth = 512
+
 // Parse builds a node tree from src. It never fails: malformed markup
 // degrades to the browser-like recoveries implemented here (unclosed
-// elements close with their ancestors; stray end tags are dropped).
+// elements close with their ancestors; stray end tags are dropped;
+// nesting beyond maxParseDepth flattens instead of growing the tree).
 func Parse(src string) *Node {
 	doc := &Node{Type: DocumentNode}
 	z := NewTokenizer(src)
@@ -37,7 +46,7 @@ func Parse(src string) *Node {
 			}
 			el := NewElement(tok.Data, tok.Attr...)
 			top().AppendChild(el)
-			if !voidElements[tok.Data] {
+			if !voidElements[tok.Data] && len(stack) < maxParseDepth {
 				stack = append(stack, el)
 			}
 

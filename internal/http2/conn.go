@@ -87,6 +87,17 @@ type Config struct {
 	// reader goroutine and must not block.
 	OnStreamRefused func()
 
+	// AbusePolicy configures the served-connection abuse ledger
+	// (see AbusePolicy). Nil means DefaultAbusePolicy; set Disabled
+	// to turn the ledger off.
+	AbusePolicy *AbusePolicy
+
+	// OnAbuse, when set, receives every abuse-ledger escalation
+	// (action > AbuseNone), including one AbuseCalm per stream refused
+	// on a flagged connection. It runs on the frame reader goroutine
+	// and must not block.
+	OnAbuse func(AbuseKind, AbuseAction)
+
 	// Logf, when set, receives debug lines.
 	Logf func(format string, args ...any)
 }
@@ -187,6 +198,10 @@ type conn struct {
 	pings       map[[8]byte]chan struct{}
 	peerStreams uint32 // live peer-initiated streams (server side)
 
+	// abuse scores protocol misbehaviour on served connections; nil
+	// on the client role or when the policy is Disabled.
+	abuse *abuseLedger
+
 	// handler receives peer-initiated streams (server role).
 	handler Handler
 }
@@ -216,6 +231,9 @@ func newConn(nc net.Conn, cfg Config, server bool) *conn {
 	c.fr.SetMaxReadFrameSize(cfg.maxFrameSize())
 	if server {
 		c.nextID = 2
+		if cfg.AbusePolicy == nil || !cfg.AbusePolicy.Disabled {
+			c.abuse = newAbuseLedger(cfg.AbusePolicy)
+		}
 	} else {
 		c.nextID = 1
 	}
@@ -414,6 +432,14 @@ func (c *conn) onSettings(fr Frame) error {
 		}
 		return nil
 	}
+	// Each non-ACK SETTINGS obliges a settings walk plus an ACK write:
+	// a flood of them is write amplification. Over budget we neither
+	// apply nor ACK.
+	if act, err := c.noteAbuse(AbuseSettingsFlood); err != nil {
+		return err
+	} else if act >= AbuseIgnore {
+		return nil
+	}
 	settings, err := parseSettings(fr.Payload)
 	if err != nil {
 		return err
@@ -484,6 +510,13 @@ func (c *conn) onPing(fr Frame) error {
 		}
 		return nil
 	}
+	// Every non-ACK PING obliges an ACK write; over budget the ACKs
+	// stop, removing the amplification a PING flood buys.
+	if act, err := c.noteAbuse(AbusePingFlood); err != nil {
+		return err
+	} else if act >= AbuseIgnore {
+		return nil
+	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	return c.fr.WritePing(true, data)
@@ -525,6 +558,14 @@ func (c *conn) onWindowUpdate(fr Frame) error {
 	if len(fr.Payload) != 4 {
 		return connError(ErrCodeFrameSize, "WINDOW_UPDATE length %d", len(fr.Payload))
 	}
+	// WINDOW_UPDATE is the cheapest frame to spam: it carries no data
+	// and consumes no window. Over budget the updates are dropped —
+	// that only stalls sends to the flooding peer.
+	if act, err := c.noteAbuse(AbuseWindowUpdateFlood); err != nil {
+		return err
+	} else if act >= AbuseIgnore {
+		return nil
+	}
 	incr := uint32(fr.Payload[0]&0x7f)<<24 | uint32(fr.Payload[1])<<16 |
 		uint32(fr.Payload[2])<<8 | uint32(fr.Payload[3])
 	if incr == 0 {
@@ -559,8 +600,18 @@ func (c *conn) onRSTStream(fr Frame) error {
 	code := ErrCode(uint32(fr.Payload[0])<<24 | uint32(fr.Payload[1])<<16 |
 		uint32(fr.Payload[2])<<8 | uint32(fr.Payload[3]))
 	if st := c.lookupStream(fr.StreamID); st != nil {
+		// Rapid reset: the peer cancels its own stream before we sent
+		// any response DATA — it cost them one frame pair and cost us
+		// a handler dispatch. Completed streams have already left the
+		// map, so ordinary request/response turnover is never scored.
+		rapid := c.server && !c.initiatedLocally(fr.StreamID) && !st.wroteData.Load()
 		st.closeWithError(StreamError{StreamID: fr.StreamID, Code: code, Reason: "reset by peer"})
 		c.removeStream(fr.StreamID)
+		if rapid {
+			if _, err := c.noteAbuse(AbuseRapidReset); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -568,6 +619,14 @@ func (c *conn) onRSTStream(fr Frame) error {
 func (c *conn) onData(fr Frame) error {
 	if fr.StreamID == 0 {
 		return connError(ErrCodeProtocol, "DATA on stream 0")
+	}
+	// Zero-length DATA without END_STREAM consumes no flow-control
+	// window, so flow control never pushes back on a flood of it —
+	// the ledger does.
+	if fr.Length == 0 && !fr.Has(FlagEndStream) {
+		if _, err := c.noteAbuse(AbuseEmptyDataFlood); err != nil {
+			return err
+		}
 	}
 	// The whole payload, padding included, consumes flow-control
 	// window (§6.9.1).
@@ -620,6 +679,7 @@ func (c *conn) onHeaders(fr Frame) error {
 	}
 	block := append([]byte(nil), payload...)
 	endHeaders := fr.Has(FlagEndHeaders)
+	contFrames, emptyConts := 0, 0
 	for !endHeaders {
 		cont, err := c.fr.ReadFrame()
 		if err != nil {
@@ -627,6 +687,17 @@ func (c *conn) onHeaders(fr Frame) error {
 		}
 		if cont.Type != FrameContinuation || cont.StreamID != fr.StreamID {
 			return connError(ErrCodeProtocol, "expected CONTINUATION for stream %d, got %v", fr.StreamID, cont.FrameHeader)
+		}
+		contFrames++
+		if len(cont.Payload) == 0 {
+			emptyConts++
+		}
+		if contFrames > maxContinuationFrames || emptyConts > maxEmptyContinuations {
+			// Chains of tiny or empty CONTINUATION frames tie up the
+			// read loop without ever tripping the byte cap below; one
+			// over-cap chain is already conclusive misbehaviour.
+			c.noteAbuse(AbuseContinuationFlood)
+			return connError(ErrCodeEnhanceYourCalm, "continuation flood: %d frames (%d empty)", contFrames, emptyConts)
 		}
 		block = append(block, cont.Payload...)
 		if len(block) > maxHeaderBlockBytes {
@@ -667,6 +738,20 @@ func (c *conn) acceptStream(id uint32, fields []hpack.HeaderField, endStream boo
 		return connError(ErrCodeProtocol, "stream id %d not increasing", id)
 	}
 	c.lastPeerID = id
+	if c.abuse != nil {
+		if kind, flagged := c.abuse.flagged(); flagged {
+			// Calm-flagged connection: shed the stream here, before a
+			// handler goroutine or a generation worker is committed.
+			// The refusal itself is scored as continued abuse of the
+			// flagging kind, so a peer that keeps opening streams
+			// escalates itself to GOAWAY.
+			c.mu.Unlock()
+			if _, err := c.noteAbuse(kind); err != nil {
+				return err
+			}
+			return streamError(id, ErrCodeEnhanceYourCalm, "connection flagged for %v abuse", kind)
+		}
+	}
 	if c.peerStreams >= c.cfg.maxStreams() {
 		c.mu.Unlock()
 		if c.cfg.OnStreamRefused != nil {
@@ -715,6 +800,7 @@ func (c *conn) finishServerStream(st *Stream, w *ResponseWriter) {
 		w.WriteHeaders(200)
 	}
 	w.Finish()
+	st.cancelCtx()
 	c.mu.Lock()
 	if _, live := c.streams[st.id]; live {
 		delete(c.streams, st.id)
@@ -943,6 +1029,7 @@ func (c *conn) writeHeaderBlock(streamID uint32, fields []hpack.HeaderField, end
 // writeData sends data on the stream, honoring both flow-control
 // windows and the peer's maximum frame size.
 func (c *conn) writeData(st *Stream, data []byte, endStream bool) error {
+	st.wroteData.Store(true)
 	if len(data) == 0 {
 		if !endStream {
 			return nil

@@ -357,7 +357,10 @@ func TestSettingsAckWithPayloadRejected(t *testing.T) {
 // INITIAL_WINDOW_SIZE mid-stream can drive a stream window negative;
 // the server must stop sending until updates arrive, not crash.
 func TestInitialWindowShrinkMidStream(t *testing.T) {
-	p := dialRaw(t, HandlerFunc(func(w *ResponseWriter, r *Request) {
+	// The 1-byte window forces a dribble of tiny WINDOW_UPDATEs that
+	// the abuse ledger would (correctly) flag as a slow-read pattern;
+	// this test is about flow-control math, so the ledger is off.
+	p := dialRawCfg(t, Config{AbusePolicy: &AbusePolicy{Disabled: true}}, HandlerFunc(func(w *ResponseWriter, r *Request) {
 		w.WriteHeaders(200)
 		w.Write(make([]byte, 100_000)) // larger than one window
 	}))
@@ -569,5 +572,30 @@ func TestEndlessContinuationRejected(t *testing.T) {
 	fr := p.readUntil(FrameGoAway)
 	if code := goAwayCode(fr); code != ErrCodeEnhanceYourCalm {
 		t.Errorf("GOAWAY code %v, want ENHANCE_YOUR_CALM", code)
+	}
+}
+
+// TestStreamContextCanceledOnReset pins the work-cancellation half of
+// the rapid-reset defense: a peer RST must cancel the stream context
+// so handler work (generation queue waits, worker holds) stops for
+// requests nobody is waiting on.
+func TestStreamContextCanceledOnReset(t *testing.T) {
+	canceled := make(chan struct{})
+	h := HandlerFunc(func(w *ResponseWriter, r *Request) {
+		select {
+		case <-r.Stream().Context().Done():
+			close(canceled)
+		case <-time.After(2 * time.Second):
+		}
+	})
+	p := dialRaw(t, h)
+	p.request(1, "/park")
+	if err := p.fr.WriteRSTStream(1, ErrCodeCancel); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-canceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stream context not canceled on RST_STREAM")
 	}
 }

@@ -2,8 +2,10 @@ package http2
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"sww/internal/hpack"
 )
@@ -16,6 +18,22 @@ type Stream struct {
 	id uint32
 
 	send *sendFlow // peer-granted send window
+
+	// wroteData records that at least one DATA frame left on this
+	// stream. The abuse ledger uses it to tell a rapid reset (peer
+	// cancels before any response bytes) from a legitimate mid-response
+	// cancellation.
+	wroteData atomic.Bool
+
+	// ctx is canceled when the stream dies for any reason — peer
+	// RST_STREAM, connection teardown, local close — so handler work
+	// (queue waits, generation holds) stops the moment the requester
+	// is gone instead of running to completion for nobody. This is
+	// the work-cancellation half of the rapid-reset defense: the
+	// abuse ledger limits how often a peer may reset, the context
+	// makes each reset cheap.
+	ctx       context.Context
+	cancelCtx context.CancelFunc
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -43,8 +61,13 @@ func newStream(c *conn, id uint32, peerWindow int32) *Stream {
 		hdrCh: make(chan []hpack.HeaderField, 1),
 	}
 	st.cond = sync.NewCond(&st.mu)
+	st.ctx, st.cancelCtx = context.WithCancel(context.Background())
 	return st
 }
+
+// Context is canceled when the stream is reset or closed. Handlers
+// pass it down so abandoned requests stop consuming capacity.
+func (s *Stream) Context() context.Context { return s.ctx }
 
 // ID returns the stream identifier.
 func (s *Stream) ID() uint32 { return s.id }
@@ -187,6 +210,7 @@ func (s *Stream) Close() error {
 		s.c.resetStream(s.id, ErrCodeCancel)
 		s.closeWithError(streamError(s.id, ErrCodeCancel, "closed locally"))
 	}
+	s.cancelCtx()
 	s.c.removeStream(s.id)
 	return nil
 }
@@ -210,6 +234,7 @@ func (s *Stream) Trailers() []hpack.HeaderField {
 
 // closeWithError fails pending readers and writers.
 func (s *Stream) closeWithError(err error) {
+	s.cancelCtx()
 	s.mu.Lock()
 	if s.err == nil {
 		s.err = err

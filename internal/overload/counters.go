@@ -44,6 +44,15 @@ type Counters struct {
 	// StreamsRefused counts HTTP/2 streams rejected with
 	// REFUSED_STREAM at the concurrent-stream limit.
 	StreamsRefused atomic.Uint64
+
+	// Abuse-ledger escalations on served connections. AbuseEvents is
+	// every over-budget event (ignore stage and above), AbuseCalmed is
+	// every stream refused with ENHANCE_YOUR_CALM on a flagged
+	// connection (plus the flagging event itself), AbuseGoAways is
+	// connections killed with GOAWAY(ENHANCE_YOUR_CALM).
+	AbuseEvents  atomic.Uint64
+	AbuseCalmed  atomic.Uint64
+	AbuseGoAways atomic.Uint64
 }
 
 // Stats is a plain-value snapshot of Counters.
@@ -53,6 +62,7 @@ type Stats struct {
 	AdmitRejects, QueueTimeouts, BreakerRejects uint64
 	BreakerOpens, ShedPolicyFlip, Shed503       uint64
 	StreamsRefused                              uint64
+	AbuseEvents, AbuseCalmed, AbuseGoAways      uint64
 }
 
 // Snapshot captures the counters at one instant.
@@ -71,6 +81,9 @@ func (c *Counters) Snapshot() Stats {
 		ShedPolicyFlip: c.ShedPolicyFlip.Load(),
 		Shed503:        c.Shed503.Load(),
 		StreamsRefused: c.StreamsRefused.Load(),
+		AbuseEvents:    c.AbuseEvents.Load(),
+		AbuseCalmed:    c.AbuseCalmed.Load(),
+		AbuseGoAways:   c.AbuseGoAways.Load(),
 	}
 }
 

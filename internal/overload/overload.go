@@ -272,6 +272,11 @@ func (g *Guard) AdmitGen(ctx context.Context) (release func(ok bool), err error)
 	defer cancel()
 	if aerr := g.pool.Acquire(qctx); aerr != nil {
 		done(true)
+		// A caller that vanished mid-queue (stream reset, client gone)
+		// is not queue pressure: report its own error, not a shed.
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		g.ctr.QueueTimeouts.Add(1)
 		return nil, &ShedError{Reason: "queue-timeout", RetryAfter: g.cfg.retryAfter()}
 	}
