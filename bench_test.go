@@ -341,6 +341,32 @@ func BenchmarkServeTravelBlog(b *testing.B) {
 	}
 }
 
+// BenchmarkProcessParallel measures the placeholder worker pool's
+// wall-clock scaling on a multi-image page. The artifact cache is
+// disabled so every iteration pays real synthesis — this isolates the
+// parallel engine from the cache fast path.
+func BenchmarkProcessParallel(b *testing.B) {
+	page := workload.TravelBlog().HTML()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			proc, err := core.NewPageProcessor(device.Laptop, imagegen.SD3Medium, textgen.DeepSeek8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			proc.Pipeline.Cache = nil
+			proc.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				doc := html.Parse(page)
+				if _, _, err := proc.Process(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPlacementSweep is E17: §7's cache-placement analysis.
 func BenchmarkPlacementSweep(b *testing.B) {
 	load := cdn.DefaultPlacementLoad()

@@ -5,7 +5,7 @@
 //
 //	sww-bench [-only t1|t2|fig2|steps|sizes|text|article|matrix|
 //	                 energy|carbon|traffic|cdn|video|storage|ablations|
-//	                 chaos|overload|abuse] [-quick]
+//	                 chaos|overload|abuse|fastpath] [-quick]
 //
 // Without -only, all experiments run in order. -quick trims the
 // heavier sweeps for CI smoke runs.
@@ -58,6 +58,7 @@ func main() {
 		{"chaos", "E18 fault injection & degradation ladder", runChaos},
 		{"overload", "E19 server overload & load-shed ladder", runOverload},
 		{"abuse", "E20 abuse-rate defense under attack", runAbuse},
+		{"fastpath", "E21 generation fast path & artifact cache", runFastpath},
 	}
 	failed := false
 	for _, e := range all {
@@ -471,6 +472,31 @@ func runAbuse() error {
 	}
 	if rep.PingFlood.GoAways == 0 {
 		return fmt.Errorf("ping flooder was never killed")
+	}
+	return nil
+}
+
+func runFastpath() error {
+	rep, err := experiments.FastPathSweep(quickMode)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", out)
+	fmt.Printf("cold fetch %.1fms, warm mean %.2fms over %d repeats (%.1fx); "+
+		"client cache: %d hits / %d misses, %d entries, %d B\n",
+		rep.ColdWall.Seconds()*1e3, rep.WarmWall.Seconds()*1e3, rep.Fetches-1, rep.Speedup,
+		rep.ClientCache.Hits, rep.ClientCache.Misses, rep.ClientCache.Entries, rep.ClientCache.Bytes)
+	fmt.Printf("invariants: sim gen time %v, media compression %.1fx on every fetch\n",
+		rep.SimGenTime, rep.CompressionX)
+	if !rep.AssetsIdentical {
+		return fmt.Errorf("warm fetches did not byte-match the cold fetch's assets")
+	}
+	if rep.ClientCache.Hits == 0 {
+		return fmt.Errorf("artifact cache recorded no hits across %d repeat fetches", rep.Fetches-1)
 	}
 	return nil
 }

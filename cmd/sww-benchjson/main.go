@@ -1,0 +1,88 @@
+// Command sww-benchjson converts `go test -bench` text output on
+// stdin into a JSON document on stdout, so CI can archive benchmark
+// runs (BENCH_PR4.json) as machine-readable artifacts.
+//
+// Usage:
+//
+//	go test -bench 'SynthKernel' -benchtime 1x -benchmem ./... | sww-benchjson > BENCH_PR4.json
+//
+// Each benchmark result line has the shape
+//
+//	BenchmarkSynthKernel/1024-8   30   36521342 ns/op   4211 B/op   12 allocs/op
+//
+// i.e. a name, an iteration count, then (value, unit) pairs. Units
+// are kept verbatim as metric keys, so custom b.ReportMetric units
+// survive. Non-benchmark lines (pkg headers, PASS, ok) are skipped;
+// `goos`/`goarch`/`pkg`/`cpu` headers are captured as environment.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type benchDoc struct {
+	Env     map[string]string `json:"env,omitempty"`
+	Results []benchResult     `json:"results"`
+}
+
+func main() {
+	doc := benchDoc{Env: map[string]string{}, Results: []benchResult{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				doc.Env[key] = v
+			}
+		}
+		if r, ok := parseBenchLine(line); ok {
+			doc.Results = append(doc.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "sww-benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "sww-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one `Benchmark... iters value unit ...` line.
+func parseBenchLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r := benchResult{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return benchResult{}, false
+	}
+	return r, true
+}

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkSynthKernel/1024-8   \t 30   36521342 ns/op   4211 B/op   12 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Name != "BenchmarkSynthKernel/1024-8" || r.Iterations != 30 {
+		t.Errorf("parsed %+v", r)
+	}
+	want := map[string]float64{"ns/op": 36521342, "B/op": 4211, "allocs/op": 12}
+	for k, v := range want {
+		if r.Metrics[k] != v {
+			t.Errorf("%s = %v, want %v", k, r.Metrics[k], v)
+		}
+	}
+}
+
+func TestParseBenchLineCustomMetric(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkServeTravelBlog-4 100 4630000 ns/op 56.1 compression-x 0.93 clip")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Metrics["compression-x"] != 56.1 || r.Metrics["clip"] != 0.93 {
+		t.Errorf("custom metrics lost: %+v", r.Metrics)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  \tsww\t1.2s",
+		"goos: linux",
+		"BenchmarkBroken notanumber 12 ns/op",
+		"--- BENCH: BenchmarkX",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parsed noise line %q", line)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 //	           [-admit-rps 0] [-admit-burst 0]
 //	           [-breaker-failures 5] [-breaker-cooldown 1s] [-breaker-probes 1]
 //	           [-gen-cache-bytes 67108864] [-retry-after 1s]
+//	           [-artifact-cache-bytes 67108864] [-gen-parallel 0]
 //	           [-abuse-off] [-abuse-window 10s] [-abuse-rst-budget 100]
 //	           [-abuse-ping-budget 100] [-abuse-settings-budget 20]
 //	           [-abuse-window-update-budget 4000] [-abuse-empty-data-budget 100]
@@ -60,6 +61,8 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before half-open probes")
 	breakerProbes := flag.Int("breaker-probes", 1, "concurrent half-open probes")
 	genCacheBytes := flag.Int64("gen-cache-bytes", 64<<20, "byte cap on cached generated traditional content")
+	artifactCacheBytes := flag.Int64("artifact-cache-bytes", 64<<20, "byte cap on the content-addressed artifact cache (0 disables)")
+	genParallel := flag.Int("gen-parallel", 0, "per-page placeholder synthesis workers (0 = device default)")
 	retryAfter := flag.Duration("retry-after", time.Second, "default Retry-After advice on 503 replies")
 	abuseOff := flag.Bool("abuse-off", false, "disable the per-connection abuse ledger")
 	abuseWindow := flag.Duration("abuse-window", 10*time.Second, "abuse-budget sliding window")
@@ -87,6 +90,8 @@ func main() {
 		CacheBytes: *genCacheBytes,
 		RetryAfter: *retryAfter,
 	})
+	srv.SetArtifactCacheBytes(*artifactCacheBytes)
+	srv.SetGenWorkers(*genParallel)
 	srv.SetAbusePolicy(&http2.AbusePolicy{
 		Disabled:           *abuseOff,
 		Window:             *abuseWindow,
@@ -120,6 +125,8 @@ func main() {
 		sww, trad, float64(trad)/float64(sww))
 	fmt.Printf("overload: %d gen workers, queue deadline %v, admit %.0f rps, gen cache %d B\n",
 		*maxGenWorkers, *queueDeadline, *admitRPS, *genCacheBytes)
+	fmt.Printf("fast path: artifact cache %d B, gen parallelism %d (0 = device default)\n",
+		*artifactCacheBytes, *genParallel)
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"sync"
 	"time"
 
 	"sww/internal/device"
@@ -186,6 +187,9 @@ func (c *Client) adoptServerModels() {
 		return
 	}
 	if pl, err := genai.NewPipeline(c.dev.Class, imgName, txtName); err == nil {
+		// The artifact cache keys on model name, so it survives the
+		// model swap intact.
+		pl.Cache = cur.Cache
 		c.proc.Pipeline = pl
 	}
 }
@@ -341,10 +345,16 @@ func (c *Client) FetchContext(ctx context.Context, path string) (*FetchResult, e
 		// Upscale placeholders pull their low-resolution sources over
 		// this connection; their bytes count toward the wire total.
 		// Transport failures inside Process are remembered so they are
-		// not misclassified as generation failures below.
+		// not misclassified as generation failures below. The fetcher
+		// is called from the processor's worker pool, so its shared
+		// accounting is mutex-guarded (the h2 connection itself is
+		// stream-concurrent already).
+		var fetchMu sync.Mutex
 		var transportErr error
 		c.proc.FetchAsset = func(srcPath string) ([]byte, error) {
 			data, err := c.getAsset(ctx, srcPath)
+			fetchMu.Lock()
+			defer fetchMu.Unlock()
 			if err != nil {
 				transportErr = err
 				return nil, err

@@ -1,0 +1,238 @@
+package core
+
+// Equivalence tests for the parallel placeholder engine: whatever the
+// worker count, a Process pass must be observably identical to the
+// sequential pass — assets, report, rendered document, budget
+// cut-off, and cancellation.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"image"
+	"image/png"
+	"reflect"
+	"testing"
+	"time"
+
+	"sww/internal/device"
+	"sww/internal/genai/imagegen"
+	"sww/internal/genai/textgen"
+	"sww/internal/html"
+)
+
+// mixedPage builds a page of image and text placeholders with
+// distinct prompts.
+func mixedPage(t *testing.T, images, texts int) string {
+	t.Helper()
+	var b bytes.Buffer
+	b.WriteString("<html><body>")
+	for i := 0; i < images; i++ {
+		gc := GeneratedContent{
+			Type: ContentImage,
+			Meta: Metadata{
+				Prompt: fmt.Sprintf("parallel test image %d, a lighthouse at dusk", i),
+				Name:   fmt.Sprintf("par-img-%d", i),
+				Width:  64, Height: 64,
+			},
+		}
+		div, err := gc.Div()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(html.RenderString(div))
+	}
+	for i := 0; i < texts; i++ {
+		gc := GeneratedContent{
+			Type: ContentText,
+			Meta: Metadata{
+				Name:    fmt.Sprintf("par-txt-%d", i),
+				Bullets: []string{fmt.Sprintf("point %d about harbors", i), "tides rise", "ships depart"},
+				Words:   60,
+			},
+		}
+		div, err := gc.Div()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(html.RenderString(div))
+	}
+	b.WriteString("</body></html>")
+	return b.String()
+}
+
+func newParallelProc(t *testing.T, workers int) *PageProcessor {
+	t.Helper()
+	proc, err := NewPageProcessor(device.Laptop, imagegen.SD21, textgen.DeepSeek8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Workers = workers
+	return proc
+}
+
+type procOutcome struct {
+	assets map[string][]byte
+	report *ProcessReport
+	html   string
+	err    error
+}
+
+func runProc(t *testing.T, workers int, page string, budget time.Duration) procOutcome {
+	t.Helper()
+	proc := newParallelProc(t, workers)
+	proc.SimBudget = budget
+	doc := html.Parse(page)
+	assets, report, err := proc.Process(doc)
+	return procOutcome{assets: assets, report: report, html: html.RenderString(doc), err: err}
+}
+
+var workerCounts = []int{1, 2, 8}
+
+func TestParallelEquivalence(t *testing.T) {
+	page := mixedPage(t, 5, 2)
+	base := runProc(t, 1, page, 0)
+	if base.err != nil {
+		t.Fatal(base.err)
+	}
+	if len(base.report.Items) != 7 {
+		t.Fatalf("%d items", len(base.report.Items))
+	}
+	for _, w := range workerCounts[1:] {
+		got := runProc(t, w, page, 0)
+		if got.err != nil {
+			t.Fatalf("workers=%d: %v", w, got.err)
+		}
+		if len(got.assets) != len(base.assets) {
+			t.Fatalf("workers=%d: %d assets, want %d", w, len(got.assets), len(base.assets))
+		}
+		for path, data := range base.assets {
+			if !bytes.Equal(got.assets[path], data) {
+				t.Errorf("workers=%d: asset %s differs from sequential", w, path)
+			}
+		}
+		if !reflect.DeepEqual(got.report, base.report) {
+			t.Errorf("workers=%d: report differs:\n got %+v\nwant %+v", w, got.report, base.report)
+		}
+		if got.html != base.html {
+			t.Errorf("workers=%d: rendered document differs from sequential", w)
+		}
+	}
+}
+
+// TestParallelBudgetCutoff: the ErrGenDeadline cut-off lands on the
+// same item — with the same message — at every worker count, even
+// though later items may have already generated concurrently.
+func TestParallelBudgetCutoff(t *testing.T) {
+	page := mixedPage(t, 5, 0)
+	full := runProc(t, 1, page, 0)
+	if full.err != nil {
+		t.Fatal(full.err)
+	}
+	// Budget that the third item's accumulation exceeds.
+	var cum time.Duration
+	for _, it := range full.report.Items[:3] {
+		cum += it.SimTime
+	}
+	budget := cum - 1
+
+	base := runProc(t, 1, page, budget)
+	if !errors.Is(base.err, ErrGenDeadline) {
+		t.Fatalf("sequential: err = %v, want ErrGenDeadline", base.err)
+	}
+	wantName := fmt.Sprintf("%q", full.report.Items[2].Name)
+	if msg := base.err.Error(); !bytes.Contains([]byte(msg), []byte(wantName)) {
+		t.Fatalf("cut-off error %q does not name item %s", msg, wantName)
+	}
+	for _, w := range workerCounts[1:] {
+		got := runProc(t, w, page, budget)
+		if !errors.Is(got.err, ErrGenDeadline) {
+			t.Fatalf("workers=%d: err = %v, want ErrGenDeadline", w, got.err)
+		}
+		if got.err.Error() != base.err.Error() {
+			t.Errorf("workers=%d: cut-off error %q, sequential %q", w, got.err, base.err)
+		}
+	}
+}
+
+func TestParallelCancel(t *testing.T) {
+	page := mixedPage(t, 3, 1)
+	for _, w := range workerCounts {
+		proc := newParallelProc(t, w)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, _, err := proc.ProcessContext(ctx, html.Parse(page))
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", w, err)
+		}
+	}
+}
+
+// sourcePNG encodes a small gradient for upscale tests.
+func sourcePNG(t *testing.T) []byte {
+	t.Helper()
+	img := image.NewRGBA(image.Rect(0, 0, 48, 48))
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 48; x++ {
+			i := img.PixOffset(x, y)
+			img.Pix[i+0] = uint8(40 + 4*x)
+			img.Pix[i+1] = uint8(40 + 4*y)
+			img.Pix[i+2] = 128
+			img.Pix[i+3] = 255
+		}
+	}
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestUpscaleSeedPerPath: the detail-synthesis seed is derived from
+// the source path's content, so two equal-length paths — which the
+// old length-based derivation collided — upscale identical source
+// bytes into different outputs.
+func TestUpscaleSeedPerPath(t *testing.T) {
+	srcA, srcB := "/assets/a.png", "/assets/b.png" // equal length
+	if upscaleSeed(srcA) == upscaleSeed(srcB) {
+		t.Fatalf("upscaleSeed collides for %q and %q", srcA, srcB)
+	}
+
+	var b bytes.Buffer
+	b.WriteString("<html><body>")
+	for i, src := range []string{srcA, srcB} {
+		gc := GeneratedContent{
+			Type: ContentUpscale,
+			Meta: Metadata{Name: fmt.Sprintf("up-%d", i), Src: src, Scale: 2},
+		}
+		div, err := gc.Div()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(html.RenderString(div))
+	}
+	b.WriteString("</body></html>")
+
+	proc, err := NewPageProcessor(device.Laptop, imagegen.SD21, textgen.DeepSeek8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := sourcePNG(t)
+	proc.FetchAsset = func(path string) ([]byte, error) { return raw, nil }
+	assets, _, err := proc.Process(html.Parse(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := assets["/generated/up-0.png"]
+	if !ok {
+		t.Fatal("missing upscaled asset up-0")
+	}
+	bb, ok := assets["/generated/up-1.png"]
+	if !ok {
+		t.Fatal("missing upscaled asset up-1")
+	}
+	if bytes.Equal(a, bb) {
+		t.Error("equal-length source paths produced identical upscales (seed collision)")
+	}
+}

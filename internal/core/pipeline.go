@@ -5,7 +5,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"image/png"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sww/internal/device"
@@ -41,6 +45,13 @@ type PageProcessor struct {
 	// ladder to re-fetch the page traditionally. Zero means unbounded.
 	// The budget is simulated time, so enforcement is deterministic.
 	SimBudget time.Duration
+
+	// Workers bounds how many placeholders generate concurrently.
+	// Zero falls back to the device profile's GenWorkers, and from
+	// there to GOMAXPROCS. Whatever the worker count, outputs,
+	// reports, budget enforcement, and error selection are
+	// deterministic in document order.
+	Workers int
 }
 
 // ErrGenDeadline reports a Process pass whose modelled generation time
@@ -48,12 +59,16 @@ type PageProcessor struct {
 var ErrGenDeadline = errors.New("core: generation deadline exceeded")
 
 // NewPageProcessor builds a processor whose pipeline runs on the
-// device's class with the named models.
+// device's class with the named models. The pipeline gets a
+// default-sized artifact cache: generation is deterministic, so
+// repeat placeholders replay from the cache instead of re-running
+// the model (set Pipeline.Cache to nil to force re-generation).
 func NewPageProcessor(dev device.Profile, imageModel, textModel string) (*PageProcessor, error) {
 	pl, err := genai.NewPipeline(dev.Class, imageModel, textModel)
 	if err != nil {
 		return nil, err
 	}
+	pl.Cache = genai.NewArtifactCache(genai.DefaultArtifactCacheBytes)
 	return &PageProcessor{Pipeline: pl, Device: dev}, nil
 }
 
@@ -148,30 +163,134 @@ func (pp *PageProcessor) ProcessContext(ctx context.Context, doc *html.Node) (ma
 	loadBefore := pp.pipelineLoadTime()
 	assets := make(map[string][]byte)
 	report := &ProcessReport{}
-	for _, ph := range placeholders {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, err
-		}
-		item, err := pp.processOne(ph, assets)
-		if err != nil {
-			return nil, nil, err
-		}
-		report.Items = append(report.Items, item)
-		report.SimGenTime += item.SimTime
-		if pp.SimBudget > 0 && report.SimGenTime > pp.SimBudget {
-			return nil, nil, fmt.Errorf("%w: %v spent of %v budget after %q",
-				ErrGenDeadline, report.SimGenTime, pp.SimBudget, item.Name)
-		}
-		report.EnergyWh += item.EnergyWh
-		report.MetadataBytes += item.WireBytes
-		report.MetadataContentBytes += item.ContentBytes
-		report.OriginalBytes += item.OriginalBytes
-		if item.VerifyFailed {
-			report.VerifyFailures++
-		}
+	if err := pp.runPlaceholders(ctx, placeholders, assets, report); err != nil {
+		return nil, nil, err
 	}
 	report.SimLoadTime = pp.pipelineLoadTime() - loadBefore
 	return assets, report, nil
+}
+
+// genResult is one placeholder's generation output, produced by a
+// worker without touching the document or any shared state. The
+// assembly phase applies it (DOM replacement, asset-map write, report
+// accounting) in document order.
+type genResult struct {
+	item ItemReport
+	node *html.Node // replacement node, nil when err != nil
+	path string     // generated asset path, "" when none
+	data []byte     // asset bytes for path
+	err  error
+}
+
+// genWorkers resolves the effective worker-pool size.
+func (pp *PageProcessor) genWorkers() int {
+	if pp.Workers > 0 {
+		return pp.Workers
+	}
+	if pp.Device.GenWorkers > 0 {
+		return pp.Device.GenWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runPlaceholders generates all placeholders on a bounded worker pool
+// and assembles results strictly in document order, so every
+// observable outcome — asset bytes, DOM mutations, report contents,
+// SimBudget cut-off point, and which error is returned — is identical
+// to a sequential pass. Simulated generation time remains the
+// sequential sum (§6.2 accounting); only the reproduction's own
+// wall-clock is parallelized.
+//
+// Cancellation: workers observe the internal context, which is
+// canceled as soon as assembly selects an error. Items before the
+// failing one in document order are already applied (matching the
+// sequential pass); later results are discarded with the whole
+// report, as before.
+func (pp *PageProcessor) runPlaceholders(ctx context.Context, placeholders []Placeholder, assets map[string][]byte, report *ProcessReport) error {
+	n := len(placeholders)
+	if n == 0 {
+		return nil
+	}
+	workers := pp.genWorkers()
+	if workers > n {
+		workers = n
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]genResult, n)
+	ready := make(chan int, n) // buffered: workers never block, even if assembly stops early
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Same cooperative-cancellation granularity as the
+				// sequential loop: checked once before each item.
+				if err := gctx.Err(); err != nil {
+					results[i] = genResult{err: err}
+				} else {
+					results[i] = pp.generateOne(placeholders[i])
+				}
+				ready <- i
+			}
+		}()
+	}
+
+	var retErr error
+	arrived := make([]bool, n)
+	applied := 0
+	for received := 0; received < n && retErr == nil; received++ {
+		i := <-ready
+		arrived[i] = true
+		for retErr == nil && applied < n && arrived[applied] {
+			retErr = pp.applyResult(placeholders[applied], &results[applied], assets, report)
+			applied++
+		}
+	}
+	// Stop in-flight work and wait for the pool before returning:
+	// workers use caller-owned state (FetchAsset closures in
+	// particular) that must not outlive the Process call.
+	cancel()
+	wg.Wait()
+	return retErr
+}
+
+// applyResult performs one placeholder's document-order side effects:
+// DOM replacement, asset publication, and report accounting — the
+// exact sequence (and budget cut-off semantics) of the sequential
+// loop.
+func (pp *PageProcessor) applyResult(ph Placeholder, r *genResult, assets map[string][]byte, report *ProcessReport) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.path != "" {
+		assets[r.path] = r.data
+	}
+	if r.node != nil {
+		ph.Node.Parent.ReplaceChild(ph.Node, r.node)
+	}
+	item := r.item
+	report.Items = append(report.Items, item)
+	report.SimGenTime += item.SimTime
+	if pp.SimBudget > 0 && report.SimGenTime > pp.SimBudget {
+		return fmt.Errorf("%w: %v spent of %v budget after %q",
+			ErrGenDeadline, report.SimGenTime, pp.SimBudget, item.Name)
+	}
+	report.EnergyWh += item.EnergyWh
+	report.MetadataBytes += item.WireBytes
+	report.MetadataContentBytes += item.ContentBytes
+	report.OriginalBytes += item.OriginalBytes
+	if item.VerifyFailed {
+		report.VerifyFailures++
+	}
+	return nil
 }
 
 // pipelineLoadTime tolerates upscale-only processors, which carry no
@@ -183,19 +302,23 @@ func (pp *PageProcessor) pipelineLoadTime() time.Duration {
 	return pp.Pipeline.SimLoadTime()
 }
 
-func (pp *PageProcessor) processOne(ph Placeholder, assets map[string][]byte) (ItemReport, error) {
+// generateOne produces one placeholder's replacement content without
+// side effects on the document, the asset map, or the report — it is
+// safe to run concurrently for distinct placeholders.
+func (pp *PageProcessor) generateOne(ph Placeholder) genResult {
 	meta := ph.Content.Meta
-	item := ItemReport{
+	r := genResult{item: ItemReport{
 		Name:          meta.Name,
 		Type:          ph.Content.Type,
 		WireBytes:     ph.Content.WireSize(),
 		ContentBytes:  ph.Content.ContentSize(),
 		OriginalBytes: meta.OriginalBytes,
-	}
+	}}
 	switch ph.Content.Type {
 	case ContentImage:
 		if pp.Pipeline == nil {
-			return item, fmt.Errorf("core: image content %q needs a generation pipeline", meta.Name)
+			r.err = fmt.Errorf("core: image content %q needs a generation pipeline", meta.Name)
+			return r
 		}
 		res, err := pp.Pipeline.GenerateImage(genai.ImageRequest{
 			Prompt: meta.Prompt,
@@ -204,12 +327,13 @@ func (pp *PageProcessor) processOne(ph Placeholder, assets map[string][]byte) (I
 			Steps:  meta.Steps,
 		})
 		if err != nil {
-			return item, fmt.Errorf("core: generating %q: %w", meta.Name, err)
+			r.err = fmt.Errorf("core: generating %q: %w", meta.Name, err)
+			return r
 		}
-		path := generatedPath(meta.Name)
-		assets[path] = res.PNG
+		r.path = generatedPath(meta.Name)
+		r.data = res.PNG
 		img := html.NewElement("img",
-			html.Attribute{Name: "src", Value: path},
+			html.Attribute{Name: "src", Value: r.path},
 			html.Attribute{Name: "alt", Value: meta.Prompt},
 			html.Attribute{Name: "class", Value: "sww-generated"},
 		)
@@ -217,98 +341,118 @@ func (pp *PageProcessor) processOne(ph Placeholder, assets map[string][]byte) (I
 			img.SetAttr("width", fmt.Sprint(meta.Width))
 			img.SetAttr("height", fmt.Sprint(meta.Height))
 		}
-		ph.Node.Parent.ReplaceChild(ph.Node, img)
-		item.OutputBytes = len(res.PNG)
-		item.SimTime = res.SimTime
-		item.EnergyWh = pp.Device.ImageGenEnergyWh(res.SimTime)
-		item.Alignment = res.Alignment
-		if item.OriginalBytes == 0 {
-			item.OriginalBytes = res.NominalBytes
+		r.node = img
+		r.item.OutputBytes = len(res.PNG)
+		r.item.SimTime = res.SimTime
+		r.item.EnergyWh = pp.Device.ImageGenEnergyWh(res.SimTime)
+		r.item.Alignment = res.Alignment
+		if r.item.OriginalBytes == 0 {
+			r.item.OriginalBytes = res.NominalBytes
 		}
 		// §7 trust: verify the generation against the author's
-		// attested minimum alignment.
+		// attested minimum alignment. The pipeline already embedded
+		// the prompt during generation; reuse that embedding.
 		if want := meta.ExpectedAlignment; want > 0 {
-			measured := metrics.Cosine(metrics.EmbedText(meta.Prompt), metrics.EmbedImage(res.Image))
+			prompt := res.PromptEmbedding
+			if prompt == nil {
+				prompt = metrics.EmbedText(meta.Prompt)
+			}
+			measured := metrics.Cosine(prompt, metrics.EmbedImage(res.Image))
 			if measured < want {
-				item.VerifyFailed = true
+				r.item.VerifyFailed = true
 				img.SetAttr("data-sww-verify", "failed")
 			}
 		}
 
 	case ContentUpscale:
-		return pp.processUpscale(ph, item, assets)
+		pp.generateUpscale(ph, &r)
 
 	case ContentText:
 		if pp.Pipeline == nil {
-			return item, fmt.Errorf("core: text content %q needs a generation pipeline", meta.Name)
+			r.err = fmt.Errorf("core: text content %q needs a generation pipeline", meta.Name)
+			return r
 		}
 		res, err := pp.Pipeline.ExpandText(genai.TextRequest{
 			Bullets:     meta.Bullets,
 			TargetWords: meta.Words,
 		})
 		if err != nil {
-			return item, fmt.Errorf("core: expanding %q: %w", meta.Name, err)
+			r.err = fmt.Errorf("core: expanding %q: %w", meta.Name, err)
+			return r
 		}
 		par := html.NewElement("p", html.Attribute{Name: "class", Value: "sww-generated"})
 		par.AppendChild(html.NewText(res.Text))
-		ph.Node.Parent.ReplaceChild(ph.Node, par)
-		item.OutputBytes = len(res.Text)
-		item.SimTime = res.SimTime
-		item.EnergyWh = pp.Device.TextGenEnergyWh(res.SimTime)
-		item.Words = res.Words
+		r.node = par
+		r.item.OutputBytes = len(res.Text)
+		r.item.SimTime = res.SimTime
+		r.item.EnergyWh = pp.Device.TextGenEnergyWh(res.SimTime)
+		r.item.Words = res.Words
 
 	default:
-		return item, fmt.Errorf("core: unsupported content type %q", ph.Content.Type)
+		r.err = fmt.Errorf("core: unsupported content type %q", ph.Content.Type)
 	}
-	return item, nil
+	return r
 }
 
-// processUpscale fetches the low-resolution source and synthesizes
+// upscaleSeed derives the detail-synthesis seed from the source
+// path's content (FNV-1a), so distinct sources never share detail
+// noise. (A previous revision seeded from the path *length*, which
+// collided for any two equal-length paths.)
+func upscaleSeed(src string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(src))
+	return int64(h.Sum64())
+}
+
+// generateUpscale fetches the low-resolution source and synthesizes
 // the high-resolution version locally (§2.2).
-func (pp *PageProcessor) processUpscale(ph Placeholder, item ItemReport, assets map[string][]byte) (ItemReport, error) {
+func (pp *PageProcessor) generateUpscale(ph Placeholder, r *genResult) {
 	meta := ph.Content.Meta
 	if pp.FetchAsset == nil {
-		return item, fmt.Errorf("core: upscale content %q needs an asset fetcher", meta.Name)
+		r.err = fmt.Errorf("core: upscale content %q needs an asset fetcher", meta.Name)
+		return
 	}
 	raw, err := pp.FetchAsset(meta.Src)
 	if err != nil {
-		return item, fmt.Errorf("core: fetching upscale source %q: %w", meta.Src, err)
+		r.err = fmt.Errorf("core: fetching upscale source %q: %w", meta.Src, err)
+		return
 	}
 	src, err := png.Decode(bytes.NewReader(raw))
 	if err != nil {
-		return item, fmt.Errorf("core: decoding upscale source %q: %w", meta.Src, err)
+		r.err = fmt.Errorf("core: decoding upscale source %q: %w", meta.Src, err)
+		return
 	}
 	up := pp.Upscaler
 	if up == nil {
 		up = imagegen.DefaultUpscaler
 	}
-	seed := int64(len(meta.Src)+1) * 7919
-	out, simTime, err := up.Upscale(src, meta.Scale, seed, pp.Device.Class)
+	out, simTime, err := up.Upscale(src, meta.Scale, upscaleSeed(meta.Src), pp.Device.Class)
 	if err != nil {
-		return item, fmt.Errorf("core: upscaling %q: %w", meta.Name, err)
+		r.err = fmt.Errorf("core: upscaling %q: %w", meta.Name, err)
+		return
 	}
 	var buf bytes.Buffer
 	if err := png.Encode(&buf, out); err != nil {
-		return item, err
+		r.err = err
+		return
 	}
-	path := generatedPath(meta.Name)
-	assets[path] = buf.Bytes()
+	r.path = generatedPath(meta.Name)
+	r.data = buf.Bytes()
 	img := html.NewElement("img",
-		html.Attribute{Name: "src", Value: path},
+		html.Attribute{Name: "src", Value: r.path},
 		html.Attribute{Name: "alt", Value: meta.Name},
 		html.Attribute{Name: "class", Value: "sww-upscaled"},
 	)
-	ph.Node.Parent.ReplaceChild(ph.Node, img)
+	r.node = img
 
 	// The wire carried the low-res source plus the metadata; the
 	// original would have been the full-resolution asset.
-	item.WireBytes += len(raw)
-	item.OutputBytes = buf.Len()
-	item.SimTime = simTime
-	item.EnergyWh = pp.Device.ImageGenEnergyWh(simTime)
-	if item.OriginalBytes == 0 {
+	r.item.WireBytes += len(raw)
+	r.item.OutputBytes = buf.Len()
+	r.item.SimTime = simTime
+	r.item.EnergyWh = pp.Device.ImageGenEnergyWh(simTime)
+	if r.item.OriginalBytes == 0 {
 		b := out.Bounds()
-		item.OriginalBytes = b.Dx() * b.Dy() / 8
+		r.item.OriginalBytes = b.Dx() * b.Dy() / 8
 	}
-	return item, nil
 }

@@ -168,6 +168,48 @@ func (s *Server) installGuard(g *overload.Guard) {
 	s.mu.Unlock()
 }
 
+// ArtifactCache returns the generation pipeline's content-addressed
+// artifact cache (nil for servers without a generation pipeline or
+// with caching disabled).
+func (s *Server) ArtifactCache() *genai.ArtifactCache {
+	if s.serverProc == nil || s.serverProc.Pipeline == nil {
+		return nil
+	}
+	return s.serverProc.Pipeline.Cache
+}
+
+// ArtifactCacheStats snapshots the artifact cache's hit/miss/byte
+// counters (zero when no cache is attached).
+func (s *Server) ArtifactCacheStats() genai.ArtifactCacheStats {
+	c := s.ArtifactCache()
+	if c == nil {
+		return genai.ArtifactCacheStats{}
+	}
+	return c.Stats()
+}
+
+// SetArtifactCacheBytes replaces the generation pipeline's artifact
+// cache with a fresh one capped at maxBytes; maxBytes <= 0 disables
+// artifact caching entirely.
+func (s *Server) SetArtifactCacheBytes(maxBytes int64) {
+	if s.serverProc == nil || s.serverProc.Pipeline == nil {
+		return
+	}
+	if maxBytes <= 0 {
+		s.serverProc.Pipeline.Cache = nil
+		return
+	}
+	s.serverProc.Pipeline.Cache = genai.NewArtifactCache(maxBytes)
+}
+
+// SetGenWorkers bounds the server-side placeholder worker pool (0
+// restores the device default).
+func (s *Server) SetGenWorkers(n int) {
+	if s.serverProc != nil {
+		s.serverProc.Workers = n
+	}
+}
+
 // Overload returns the active overload guard (for tests, experiments
 // and metrics scraping).
 func (s *Server) Overload() *overload.Guard {

@@ -65,6 +65,13 @@ type Profile struct {
 	// attention matrix for large images and pay a super-linear
 	// penalty (§6.1: the laptop "requires attention splitting").
 	AttentionSplitting bool
+
+	// GenWorkers bounds how many placeholders the device's page
+	// processor synthesizes concurrently (wall-clock parallelism of
+	// the reproduction itself — simulated generation time still
+	// accounts sequentially, per the paper's §6.2 prototype). Zero
+	// means GOMAXPROCS.
+	GenWorkers int
 }
 
 // The paper's evaluation devices.
@@ -78,6 +85,7 @@ var (
 		TextGenPowerW:      1.125,
 		LinkMbps:           100,
 		AttentionSplitting: true,
+		GenWorkers:         4, // M1 Pro: synthesize on the performance cores
 	}
 
 	// Workstation is the Threadripper Pro with two NVIDIA ADA 4000
@@ -100,6 +108,7 @@ var (
 		TextGenPowerW:      2.0,
 		LinkMbps:           50,
 		AttentionSplitting: true,
+		GenWorkers:         2, // thermally constrained
 	}
 )
 

@@ -90,6 +90,12 @@ type ImageResult struct {
 
 	// Model is the generating model's name.
 	Model string
+
+	// PromptEmbedding is the prompt's text embedding
+	// (metrics.EmbedText) computed during generation, threaded through
+	// so the §7 verification path need not re-embed the prompt.
+	// Callers must treat it as read-only.
+	PromptEmbedding []float64
 }
 
 // A TextRequest asks a text-to-text model to expand bullet points

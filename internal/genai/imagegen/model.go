@@ -7,12 +7,28 @@ import (
 	"image/png"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"sww/internal/device"
 	"sww/internal/genai"
 	"sww/internal/metrics"
 )
+
+// pngEnc recycles the encoder's internal zlib and row buffers across
+// generations (png.Encode allocates them fresh per call). Encoding
+// parameters are the defaults, so output bytes are identical to
+// png.Encode's.
+var pngEnc = png.Encoder{BufferPool: &pngBufferPool{}}
+
+type pngBufferPool struct{ pool sync.Pool }
+
+func (p *pngBufferPool) Get() *png.EncoderBuffer {
+	b, _ := p.pool.Get().(*png.EncoderBuffer)
+	return b // nil is fine: the encoder allocates on demand
+}
+
+func (p *pngBufferPool) Put(b *png.EncoderBuffer) { p.pool.Put(b) }
 
 // Model names, registered at init.
 const (
@@ -101,18 +117,20 @@ func (m *diffusionModel) Generate(req genai.ImageRequest) (*genai.ImageResult, e
 		target = 0
 	}
 
-	img, planted := synthesize(req.Prompt, req.Width, req.Height, seed, target)
+	img, planted, emb := synthesize(req.Prompt, req.Width, req.Height, seed, target)
 	var buf bytes.Buffer
-	if err := png.Encode(&buf, img); err != nil {
+	buf.Grow(req.Width * req.Height / 2) // textured noise compresses ~2× under PNG
+	if err := pngEnc.Encode(&buf, img); err != nil {
 		return nil, err
 	}
 	return &genai.ImageResult{
-		Image:        img,
-		PNG:          buf.Bytes(),
-		NominalBytes: req.Width * req.Height / 8,
-		Alignment:    planted,
-		SimTime:      simTime,
-		Model:        m.name,
+		Image:           img,
+		PNG:             buf.Bytes(),
+		NominalBytes:    req.Width * req.Height / 8,
+		Alignment:       planted,
+		SimTime:         simTime,
+		Model:           m.name,
+		PromptEmbedding: emb,
 	}, nil
 }
 

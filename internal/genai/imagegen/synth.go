@@ -16,6 +16,7 @@ import (
 	"image"
 	"math"
 	"math/rand"
+	"sync"
 
 	"sww/internal/metrics"
 )
@@ -28,10 +29,45 @@ const (
 	texAmp   = 22  // amplitude of the in-cell texture
 )
 
+// Scratch-buffer pools. A busy server synthesizes thousands of
+// images; the w·h texture plane is the dominant transient allocation,
+// so it (and the small per-axis index scratch) is recycled rather
+// than reallocated per image.
+var (
+	floatPool sync.Pool // *[]float64
+	intPool   sync.Pool // *[]int
+)
+
+func getFloats(n int) []float64 {
+	if p, _ := floatPool.Get().(*[]float64); p != nil && cap(*p) >= n {
+		s := (*p)[:n]
+		clear(s)
+		return s
+	}
+	return make([]float64, n)
+}
+
+func putFloats(s []float64) { floatPool.Put(&s) }
+
+func getInts(n int) []int {
+	if p, _ := intPool.Get().(*[]int); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]int, n)
+}
+
+func putInts(s []int) { intPool.Put(&s) }
+
 // synthesize renders a w×h image that encodes a feature vector with
-// the given target prompt alignment. It returns the image and the
-// alignment actually planted.
-func synthesize(prompt string, w, h int, seed int64, targetAlign float64) (*image.RGBA, float64) {
+// the given target prompt alignment. It returns the image, the
+// alignment actually planted, and the prompt's text embedding (so
+// callers verifying §7 alignment need not re-embed the prompt).
+//
+// Every floating-point expression below is associated exactly as in
+// the straightforward per-pixel formulation (Go's + and * are
+// left-associative), so hoisting per-cell and per-column terms into
+// tables keeps the output byte-for-byte identical.
+func synthesize(prompt string, w, h int, seed int64, targetAlign float64) (*image.RGBA, float64, []float64) {
 	rng := rand.New(rand.NewSource(seed))
 
 	// Build the planted vector in the zero-mean subspace that
@@ -64,53 +100,119 @@ func synthesize(prompt string, w, h int, seed int64, targetAlign float64) (*imag
 	img := image.NewRGBA(image.Rect(0, 0, w, h))
 	tex := cellZeroMeanNoise(rng.Int63(), w, h)
 	cr, cg, cb := tintOffsets(prompt)
+
+	// baseLuma + featAmp*v[cell] + tex[i] associates as
+	// (baseLuma + featAmp*v[cell]) + tex[i], so the first addition can
+	// be folded into a per-cell table. The x→cell map likewise depends
+	// only on the column.
+	var cellBase [grid * grid]float64
+	for c := range cellBase {
+		cellBase[c] = baseLuma + featAmp*v[c]
+	}
+	xCell := getInts(w)
+	for x := 0; x < w; x++ {
+		xCell[x] = x * grid / w
+	}
 	for y := 0; y < h; y++ {
+		rowCell := (y * grid / h) * grid
+		row := img.Pix[y*img.Stride:]
+		trow := tex[y*w:]
 		for x := 0; x < w; x++ {
-			cell := (y*grid/h)*grid + x*grid/w
-			l := baseLuma + featAmp*v[cell] + tex[y*w+x]
-			i := img.PixOffset(x, y)
-			img.Pix[i+0] = clampByte(l + cr)
-			img.Pix[i+1] = clampByte(l + cg)
-			img.Pix[i+2] = clampByte(l + cb)
-			img.Pix[i+3] = 255
+			l := cellBase[rowCell+xCell[x]] + trow[x]
+			i := x * 4
+			row[i+0] = clampByte(l + cr)
+			row[i+1] = clampByte(l + cg)
+			row[i+2] = clampByte(l + cb)
+			row[i+3] = 255
 		}
 	}
-	return img, planted
+	putInts(xCell)
+	putFloats(tex)
+	return img, planted, e
 }
+
+// octaves is the value-noise spectrum of the synthesized texture.
+var octaves = [...]struct {
+	freq float64
+	amp  float64
+}{{6, 0.55}, {13, 0.3}, {29, 0.15}}
 
 // cellZeroMeanNoise renders multi-octave value noise and removes each
 // feature cell's mean so texture cannot disturb the planted features.
+// The returned buffer comes from floatPool; the caller releases it
+// with putFloats.
+//
+// Per octave the lattice is sampled on at most ⌈freq⌉+1 integer
+// coordinates per axis, so all lattice values are precomputed into a
+// small table once per image — the naive formulation re-hashed four
+// lattice corners per pixel per octave. Column geometry (cell index,
+// faded in-cell fraction) depends only on x and is likewise hoisted
+// out of the row loop. All arithmetic matches the naive expression's
+// association, keeping the texture bit-identical.
 func cellZeroMeanNoise(seed int64, w, h int) []float64 {
-	out := make([]float64, w*h)
-	for oct, conf := range []struct {
-		freq float64
-		amp  float64
-	}{{6, 0.55}, {13, 0.3}, {29, 0.15}} {
-		lattice := newLattice(seed + int64(oct)*7919)
+	out := getFloats(w * h)
+	ixs := getInts(w)
+	txs := getFloats(w)
+	for oct, conf := range octaves {
+		lat := newLattice(seed + int64(oct)*7919)
+		n := int(conf.freq) + 2 // ix < freq, plus the ix+1 corner
+		table := lat.table(n)
+		amp := conf.amp * texAmp
+		for x := 0; x < w; x++ {
+			fx := float64(x) / float64(w) * conf.freq
+			ix := int(math.Floor(fx))
+			ixs[x] = ix
+			txs[x] = fade(fx - float64(ix))
+		}
 		for y := 0; y < h; y++ {
 			fy := float64(y) / float64(h) * conf.freq
+			iy := int(math.Floor(fy))
+			ty := fade(fy - float64(iy))
+			r0 := table[iy*n:]
+			r1 := table[(iy+1)*n:]
+			o := out[y*w:]
 			for x := 0; x < w; x++ {
-				fx := float64(x) / float64(w) * conf.freq
-				out[y*w+x] += conf.amp * texAmp * lattice.at(fx, fy)
+				ix, tx := ixs[x], txs[x]
+				v := lerp(lerp(r0[ix], r0[ix+1], tx), lerp(r1[ix], r1[ix+1], tx), ty)
+				o[x] += amp * v
 			}
 		}
+		putFloats(table)
 	}
-	// Remove per-cell means.
-	sums := make([]float64, grid*grid)
-	counts := make([]int, grid*grid)
+	putFloats(txs)
+
+	// Remove per-cell means. Counting and summing walk pixels in the
+	// original order; the per-cell quotient is hoisted (same single
+	// division, applied per pixel as before).
+	var sums [grid * grid]float64
+	var counts [grid * grid]int
+	xCell := ixs // reuse: same width
+	for x := 0; x < w; x++ {
+		xCell[x] = x * grid / w
+	}
 	for y := 0; y < h; y++ {
+		rowCell := (y * grid / h) * grid
+		o := out[y*w:]
 		for x := 0; x < w; x++ {
-			cell := (y*grid/h)*grid + x*grid/w
-			sums[cell] += out[y*w+x]
-			counts[cell]++
+			c := rowCell + xCell[x]
+			sums[c] += o[x]
+			counts[c]++
+		}
+	}
+	var means [grid * grid]float64
+	for c := range means {
+		if counts[c] > 0 {
+			means[c] = sums[c] / float64(counts[c])
 		}
 	}
 	for y := 0; y < h; y++ {
+		rowCell := (y * grid / h) * grid
+		o := out[y*w:]
 		for x := 0; x < w; x++ {
-			cell := (y*grid/h)*grid + x*grid/w
-			out[y*w+x] -= sums[cell] / float64(counts[cell])
+			o[x] -= means[rowCell+xCell[x]]
 		}
 	}
+	putInts(xCell)
 	return out
 }
 
@@ -127,6 +229,18 @@ func (l lattice) value(ix, iy int) float64 {
 	putInt64(b[16:], int64(iy))
 	h.Write(b[:])
 	return float64(h.Sum64()%2048)/1023.5 - 1 // [-1, 1]
+}
+
+// table precomputes the n×n lattice values at integer coordinates
+// [0,n)², row-major, in a pooled buffer (release with putFloats).
+func (l lattice) table(n int) []float64 {
+	t := getFloats(n * n)
+	for iy := 0; iy < n; iy++ {
+		for ix := 0; ix < n; ix++ {
+			t[iy*n+ix] = l.value(ix, iy)
+		}
+	}
+	return t
 }
 
 func (l lattice) at(x, y float64) float64 {

@@ -22,6 +22,14 @@ type Pipeline struct {
 	Class   device.Class
 	Preload bool
 
+	// Cache, when non-nil, serves repeat generations from a
+	// content-addressed artifact cache instead of re-running the
+	// model. Generation is deterministic, so cached replay is
+	// observationally identical; simulated time and load accounting
+	// are unaffected (SimTime is re-derived per device class on
+	// cross-class hits).
+	Cache *ArtifactCache
+
 	image ImageModel
 	text  TextModel
 
@@ -78,6 +86,9 @@ func (p *Pipeline) GenerateImage(req ImageRequest) (*ImageResult, error) {
 	}
 	req.Class = p.Class
 	p.accountLoad(&p.imageLoaded, p.image.LoadTime(p.Class))
+	if p.Cache != nil {
+		return p.Cache.Image(p.image, req)
+	}
 	return p.image.Generate(req)
 }
 
@@ -88,6 +99,9 @@ func (p *Pipeline) ExpandText(req TextRequest) (*TextResult, error) {
 	}
 	req.Class = p.Class
 	p.accountLoad(&p.textLoaded, p.text.LoadTime(p.Class))
+	if p.Cache != nil {
+		return p.Cache.Text(p.text, req)
+	}
 	return p.text.Expand(req)
 }
 
