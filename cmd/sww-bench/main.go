@@ -5,7 +5,7 @@
 //
 //	sww-bench [-only t1|t2|fig2|steps|sizes|text|article|matrix|
 //	                 energy|carbon|traffic|cdn|video|storage|ablations|
-//	                 chaos|overload|abuse|fastpath] [-quick]
+//	                 chaos|overload|abuse|fastpath|telemetry] [-quick]
 //
 // Without -only, all experiments run in order. -quick trims the
 // heavier sweeps for CI smoke runs.
@@ -59,6 +59,7 @@ func main() {
 		{"overload", "E19 server overload & load-shed ladder", runOverload},
 		{"abuse", "E20 abuse-rate defense under attack", runAbuse},
 		{"fastpath", "E21 generation fast path & artifact cache", runFastpath},
+		{"telemetry", "E22 operational telemetry cross-check", runTelemetry},
 	}
 	failed := false
 	for _, e := range all {
@@ -497,6 +498,29 @@ func runFastpath() error {
 	}
 	if rep.ClientCache.Hits == 0 {
 		return fmt.Errorf("artifact cache recorded no hits across %d repeat fetches", rep.Fetches-1)
+	}
+	return nil
+}
+
+// runTelemetry prints E22: the shed ladder observed purely through
+// the ops surface (-ops-addr's registry, trace ring and event log),
+// with per-outcome request counts, latency percentiles, and the
+// counters-equal-traces invariant.
+func runTelemetry() error {
+	rep, err := experiments.TelemetrySweep(quickMode)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("per-outcome requests and latency, read back from the ops registry:\n")
+	fmt.Printf("%-14s %9s %9s %9s %9s\n", "outcome", "requests", "p50", "p95", "p99")
+	for _, r := range rep.Rows {
+		fmt.Printf("%-14s %9d %7.2fms %7.2fms %7.2fms\n",
+			r.Outcome, r.Requests, r.P50ms, r.P95ms, r.P99ms)
+	}
+	fmt.Printf("traces: %d finished / %d total; events: %d; counters==traces: %v\n",
+		rep.TracesFinished, rep.TracesTotal, rep.EventsTotal, rep.CountersMatchTraces)
+	if !rep.CountersMatchTraces {
+		return fmt.Errorf("per-outcome counters do not sum to finished traces")
 	}
 	return nil
 }

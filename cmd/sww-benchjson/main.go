@@ -1,10 +1,18 @@
 // Command sww-benchjson converts `go test -bench` text output on
 // stdin into a JSON document on stdout, so CI can archive benchmark
-// runs (BENCH_PR4.json) as machine-readable artifacts.
+// runs (BENCH_PR5.json) as machine-readable artifacts.
 //
 // Usage:
 //
-//	go test -bench 'SynthKernel' -benchtime 1x -benchmem ./... | sww-benchjson > BENCH_PR4.json
+//	go test -bench 'SynthKernel' -benchtime 1x -benchmem ./... | sww-benchjson > BENCH_PR5.json
+//	sww-benchjson -telemetry http://127.0.0.1:8421/statusz < bench.txt > BENCH_PR5.json
+//
+// -telemetry merges the latency histograms of a running server's ops
+// listener (the /statusz JSON of -ops-addr, fetched from a http://
+// URL or read from a file) into the document: each histogram becomes
+// one result named telemetry/<metric> with count and p50/p95/p99
+// milliseconds, so a load run's server-side percentiles land next to
+// the micro-benchmarks in one artifact.
 //
 // Each benchmark result line has the shape
 //
@@ -19,10 +27,17 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"sww/internal/telemetry"
 )
 
 type benchResult struct {
@@ -37,6 +52,8 @@ type benchDoc struct {
 }
 
 func main() {
+	telSource := flag.String("telemetry", "", "ops /statusz source (http:// URL or file path) whose histograms are merged into the document")
+	flag.Parse()
 	doc := benchDoc{Env: map[string]string{}, Results: []benchResult{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -54,6 +71,14 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "sww-benchjson: reading stdin: %v\n", err)
 		os.Exit(1)
+	}
+	if *telSource != "" {
+		results, err := telemetryResults(*telSource)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sww-benchjson: telemetry %s: %v\n", *telSource, err)
+			os.Exit(1)
+		}
+		doc.Results = append(doc.Results, results...)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -85,4 +110,64 @@ func parseBenchLine(line string) (benchResult, bool) {
 		return benchResult{}, false
 	}
 	return r, true
+}
+
+// telemetryResults reads a /statusz snapshot and renders each latency
+// histogram as one result row.
+func telemetryResults(source string) ([]benchResult, error) {
+	var raw []byte
+	var err error
+	if strings.HasPrefix(source, "http://") || strings.HasPrefix(source, "https://") {
+		cl := &http.Client{Timeout: 5 * time.Second}
+		resp, err := cl.Get(source)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			return nil, fmt.Errorf("status %s", resp.Status)
+		}
+		raw, err = io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+	} else if raw, err = os.ReadFile(source); err != nil {
+		return nil, err
+	}
+	// /statusz wraps the registry snapshot in {"metrics": ...}; accept
+	// a bare snapshot too so a saved registry dump also works.
+	var statusz struct {
+		Metrics telemetry.Snapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &statusz); err != nil {
+		return nil, err
+	}
+	hists := statusz.Metrics.Histograms
+	if len(hists) == 0 {
+		var snap telemetry.Snapshot
+		if err := json.Unmarshal(raw, &snap); err == nil {
+			hists = snap.Histograms
+		}
+	}
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	results := make([]benchResult, 0, len(names))
+	for _, name := range names {
+		h := hists[name]
+		results = append(results, benchResult{
+			Name:       "telemetry/" + name,
+			Iterations: int64(h.Count),
+			Metrics: map[string]float64{
+				"count":       float64(h.Count),
+				"sum_seconds": h.SumSeconds,
+				"p50_ms":      h.P50ms,
+				"p95_ms":      h.P95ms,
+				"p99_ms":      h.P99ms,
+			},
+		})
+	}
+	return results, nil
 }

@@ -16,6 +16,12 @@
 //	           [-abuse-off] [-abuse-window 10s] [-abuse-rst-budget 100]
 //	           [-abuse-ping-budget 100] [-abuse-settings-budget 20]
 //	           [-abuse-window-update-budget 4000] [-abuse-empty-data-budget 100]
+//	           [-ops-addr 127.0.0.1:8421]
+//
+// -ops-addr starts an operations listener (off by default): Prometheus
+// metrics at /metrics, a JSON snapshot at /statusz, recent request
+// traces at /tracez, and net/http/pprof under /debug/pprof/. Keep it
+// on a loopback or otherwise private address — it is unauthenticated.
 //
 // The overload flags shape the server-side load-shed ladder: a
 // bounded generation worker pool with a queue deadline, token-bucket
@@ -44,6 +50,7 @@ import (
 	"sww/internal/genai/textgen"
 	"sww/internal/http2"
 	"sww/internal/overload"
+	"sww/internal/telemetry"
 	"sww/internal/workload"
 )
 
@@ -71,6 +78,7 @@ func main() {
 	abuseSettingsBudget := flag.Int("abuse-settings-budget", 20, "SETTINGS frames tolerated per window")
 	abuseWUBudget := flag.Int("abuse-window-update-budget", 4000, "WINDOW_UPDATEs tolerated per window")
 	abuseEmptyDataBudget := flag.Int("abuse-empty-data-budget", 100, "empty DATA frames tolerated per window")
+	opsAddr := flag.String("ops-addr", "", "operations listener address for /metrics, /statusz, /tracez, /debug/pprof (empty disables)")
 	flag.Parse()
 
 	srv, err := core.NewServer(*imageModel, *textModel)
@@ -120,6 +128,19 @@ func main() {
 		fmt.Printf("serving %s (%d placeholders, media ratio %.1fx)\n",
 			p.Path, len(p.Placeholders()), p.MediaCompressionRatio())
 	}
+	// Telemetry attaches after the overload/cache flags above so the
+	// adopted counters are the ones actually serving.
+	if *opsAddr != "" {
+		set := telemetry.NewSet()
+		srv.EnableTelemetry(set)
+		ol, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			log.Fatalf("ops listen: %v", err)
+		}
+		go func() { log.Fatalf("ops listener: %v", set.Serve(ol)) }()
+		fmt.Printf("ops: metrics/statusz/tracez/pprof on http://%s\n", ol.Addr())
+	}
+
 	sww, trad := srv.StorageBytes()
 	fmt.Printf("storage: %d B as SWW vs %d B traditional (%.1fx)\n",
 		sww, trad, float64(trad)/float64(sww))

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -298,13 +300,31 @@ func (e *ServerBusyError) Error() string {
 	return fmt.Sprintf("core: GET %s: 503 server busy (retry after %v)", e.Path, e.RetryAfter)
 }
 
-// parseRetryAfter reads the integer-seconds form of Retry-After.
-func parseRetryAfter(v string) time.Duration {
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
-		return 0
+// parseRetryAfter reads Retry-After in either RFC 9110 §10.2.3 form:
+// delta-seconds ("120") or an HTTP-date ("Fri, 07 Aug 2026 10:00:00
+// GMT", plus the two obsolete date formats http.ParseTime accepts).
+// It reports ok=false for an absent, negative, or unparseable header
+// so callers fall back to their own backoff instead of treating
+// garbage as "retry immediately". A date in the past parses to zero:
+// the server named a moment that has already arrived.
+func parseRetryAfter(v string, now time.Time) (d time.Duration, ok bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
 	}
-	return time.Duration(secs) * time.Second
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
 }
 
 // Fetch requests path, resolves the page per the negotiated mode, and
@@ -325,7 +345,8 @@ func (c *Client) FetchContext(ctx context.Context, path string) (*FetchResult, e
 		return nil, err
 	}
 	if reply.status == 503 {
-		return nil, &ServerBusyError{Path: path, RetryAfter: parseRetryAfter(reply.retryAfter)}
+		ra, _ := parseRetryAfter(reply.retryAfter, time.Now())
+		return nil, &ServerBusyError{Path: path, RetryAfter: ra}
 	}
 	if reply.status != 200 {
 		return nil, fmt.Errorf("core: GET %s: status %d: %s", path, reply.status, reply.body)
@@ -403,7 +424,8 @@ func (c *Client) getAsset(ctx context.Context, path string) ([]byte, error) {
 		return nil, fmt.Errorf("core: fetching asset %s: %w", path, err)
 	}
 	if reply.status == 503 {
-		return nil, &ServerBusyError{Path: path, RetryAfter: parseRetryAfter(reply.retryAfter)}
+		ra, _ := parseRetryAfter(reply.retryAfter, time.Now())
+		return nil, &ServerBusyError{Path: path, RetryAfter: ra}
 	}
 	if reply.status != 200 {
 		return nil, fmt.Errorf("core: asset %s: status %d", path, reply.status)

@@ -11,6 +11,7 @@ import (
 
 	"sww/internal/device"
 	"sww/internal/http2"
+	"sww/internal/telemetry"
 )
 
 // A DialFunc opens a fresh transport connection to the site. The
@@ -42,7 +43,10 @@ type RetryPolicy struct {
 	Multiplier float64
 
 	// Jitter spreads each delay uniformly in [1-Jitter, 1+Jitter]
-	// (e.g. 0.2 = ±20%). Zero disables jitter.
+	// (e.g. 0.2 = ±20%). Zero disables jitter. Values outside [0, 1]
+	// are clamped into it, and the jittered delay never drops below
+	// max(1ms, BaseDelay/4): a Jitter near 1 used to be able to scale
+	// a backoff to ~0, turning the retry loop into a hot loop.
 	Jitter float64
 
 	// Seed makes the jitter deterministic; 0 seeds from 1 (still
@@ -56,6 +60,10 @@ func (p RetryPolicy) maxAttempts() int {
 	}
 	return p.MaxAttempts
 }
+
+// minRetryDelay floors every backoff: even a fully jittered delay
+// must still pace the retry loop.
+const minRetryDelay = time.Millisecond
 
 func (p RetryPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
 	base := p.BaseDelay
@@ -78,11 +86,34 @@ func (p RetryPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
 			break
 		}
 	}
-	if p.Jitter > 0 {
-		d *= 1 + p.Jitter*(2*rng.Float64()-1)
+	// Clamp Jitter into [0, 1]: above 1 the low edge of the spread
+	// goes negative, below 0 is meaningless. Rejecting at use keeps
+	// a hand-built policy from ever producing negative sleeps.
+	j := p.Jitter
+	if j < 0 {
+		j = 0
+	}
+	if j > 1 {
+		j = 1
+	}
+	if j > 0 {
+		d *= 1 + j*(2*rng.Float64()-1)
 	}
 	if d > float64(maxd) {
 		d = float64(maxd)
+	}
+	// Floor the jittered delay so Jitter near 1 cannot scale a
+	// backoff to ~0 — a zero delay makes every retry immediate, which
+	// is exactly the hammering backoff exists to prevent.
+	floor := float64(minRetryDelay)
+	if b4 := float64(base) / 4; b4 > floor {
+		floor = b4
+	}
+	if floor > float64(maxd) {
+		floor = float64(maxd)
+	}
+	if d < floor {
+		d = floor
 	}
 	return time.Duration(d)
 }
@@ -116,6 +147,11 @@ type ResilientClient struct {
 	rng      *rand.Rand
 	client   *Client
 	degraded bool // current cached client is a traditional one
+
+	// tel/met: optional ops telemetry (SetTelemetry in telemetry.go).
+	// The zero-value met no-ops, so the fetch path records blindly.
+	tel *telemetry.Set
+	met clientMetrics
 }
 
 // NewResilientClient builds a resilient generative client. proc may be
@@ -209,6 +245,10 @@ func (rc *ResilientClient) FetchContext(ctx context.Context, path string) (*Fetc
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		rc.met.attempts.Inc()
+		if attempt > 1 {
+			rc.met.retries.Inc()
+		}
 		res, err := rc.fetchOnce(ctx, path, degraded)
 		if err == nil {
 			res.Attempts = attempt
@@ -227,11 +267,22 @@ func (rc *ResilientClient) FetchContext(ctx context.Context, path string) (*Fetc
 			// and wait out max(backoff, Retry-After) before retrying.
 			// Dropping and redialling here would convert an overload
 			// signal into a reconnect storm.
+			rc.met.busy.Inc()
 			if attempt < maxAttempts {
 				d := rc.nextDelay(attempt)
 				if busy.RetryAfter > d {
 					d = busy.RetryAfter
 				}
+				// Cap the wait at the caller's deadline: a Retry-After
+				// beyond it cannot lead to a successful retry, so fail
+				// fast with the busy error instead of sleeping until
+				// the context expires and surfacing a bare deadline.
+				if dl, ok := ctx.Deadline(); ok {
+					if remain := time.Until(dl); d > remain {
+						return nil, fmt.Errorf("core: fetch %s: retry wait %v exceeds deadline: %w", path, d, lastErr)
+					}
+				}
+				rc.met.backoff.Observe(d)
 				if err := rc.sleep(ctx, d); err != nil {
 					return nil, err
 				}
@@ -246,11 +297,15 @@ func (rc *ResilientClient) FetchContext(ctx context.Context, path string) (*Fetc
 			} else {
 				degradeReason = fmt.Sprintf("generation failed: %v", genErr.Err)
 			}
+			rc.met.degrades.Inc()
+			rc.tel.Eventf("degrade", "%s: %s", path, degradeReason)
 			rc.drop() // need a GenNone handshake
 		case http2.Retryable(err):
 			rc.drop()
 			if attempt < maxAttempts {
-				if err := rc.sleep(ctx, rc.nextDelay(attempt)); err != nil {
+				d := rc.nextDelay(attempt)
+				rc.met.backoff.Observe(d)
+				if err := rc.sleep(ctx, d); err != nil {
 					return nil, err
 				}
 			}

@@ -15,6 +15,7 @@ import (
 	"sww/internal/http2"
 	"sww/internal/http3"
 	"sww/internal/overload"
+	"sww/internal/telemetry"
 )
 
 // ServePolicy decides how the server answers a capable client (§5.1:
@@ -91,6 +92,10 @@ type Server struct {
 	// transmission trade-off of §2.2 applies per unique object, now
 	// bounded in bytes).
 	guard *overload.Guard
+
+	// tel is the attached ops telemetry set (nil = telemetry off);
+	// see EnableTelemetry in telemetry.go.
+	tel *telemetry.Set
 
 	h2 *http2.Server
 }
@@ -226,6 +231,10 @@ func (s *Server) OverloadStats() overload.Stats {
 
 func (s *Server) countRefusedStream() {
 	s.Overload().Counters().StreamsRefused.Add(1)
+	if set := s.Telemetry(); set != nil {
+		set.Registry.Counter(telemetry.WithLabel("sww_requests_total", "outcome", OutcomeRefused)).Inc()
+		set.Eventf("refused-stream", "stream refused at concurrency limit")
+	}
 }
 
 // countAbuse folds http2 abuse-ledger escalations into the overload
@@ -240,6 +249,7 @@ func (s *Server) countAbuse(kind http2.AbuseKind, act http2.AbuseAction) {
 	case http2.AbuseKill:
 		c.AbuseGoAways.Add(1)
 	}
+	s.Telemetry().Eventf("abuse", "%s escalated to %s", kind, act)
 }
 
 // SetAbusePolicy replaces the abuse policy on the underlying HTTP/2
@@ -327,6 +337,7 @@ type payload struct {
 	contentType string
 	mode        string // ModeGenerative / ModeTraditional, "" for assets
 	shed        string // shed-ladder rung, "" off the ladder
+	outcome     string // Outcome* label for telemetry and traces
 	retryAfter  int    // seconds, 503 only
 	body        []byte
 }
@@ -337,12 +348,15 @@ type payload struct {
 // HTTP/3.
 func (s *Server) resolve(ctx context.Context, method, path string, peerGen http2.GenAbility) payload {
 	if method != "GET" {
-		return payload{status: 405, contentType: "text/plain", body: []byte("method not allowed")}
+		return payload{status: 405, contentType: "text/plain", outcome: OutcomeError, body: []byte("method not allowed")}
 	}
+	tr := traceFrom(ctx)
+	lookup := tr.StartSpan("lookup")
 	s.mu.RLock()
 	asset, isAsset := s.assets[path]
 	page, isPage := s.pages[path]
 	s.mu.RUnlock()
+	lookup.End()
 
 	switch {
 	case isAsset:
@@ -350,7 +364,7 @@ func (s *Server) resolve(ctx context.Context, method, path string, peerGen http2
 		if ct == "" {
 			ct = "application/octet-stream"
 		}
-		return payload{status: 200, contentType: ct, body: asset.Data}
+		return payload{status: 200, contentType: ct, outcome: OutcomeAsset, body: asset.Data}
 
 	case isPage:
 		generative := s.Policy == PolicyGenerative &&
@@ -368,11 +382,13 @@ func (s *Server) resolve(ctx context.Context, method, path string, peerGen http2
 			if len(page.Originals) > 0 && s.Overload().Level() >= overload.LevelSaturated {
 				if doc, err := page.TraditionalDoc(); err == nil {
 					s.Overload().Counters().ShedPolicyFlip.Add(1)
+					tr.Note("shed", "policy flip at "+s.Overload().Level().String())
 					return payload{
 						status:      200,
 						contentType: "text/html; charset=utf-8",
 						mode:        ModeTraditional,
 						shed:        shedPolicyFlip,
+						outcome:     OutcomePolicyFlip,
 						body:        []byte(htmlRender(doc)),
 					}
 				}
@@ -382,13 +398,14 @@ func (s *Server) resolve(ctx context.Context, method, path string, peerGen http2
 				status:      200,
 				contentType: "text/html; charset=utf-8",
 				mode:        ModeGenerative,
+				outcome:     OutcomePrompt,
 				body:        []byte(page.HTML()),
 			}
 		}
 		return s.resolveTraditional(ctx, page)
 
 	default:
-		return payload{status: 404, contentType: "text/plain",
+		return payload{status: 404, contentType: "text/plain", outcome: OutcomeNotFound,
 			body: []byte(fmt.Sprintf("no such path %q", path))}
 	}
 }
@@ -405,11 +422,12 @@ func (s *Server) resolveTraditional(ctx context.Context, p *Page) payload {
 				status:      200,
 				contentType: "text/html; charset=utf-8",
 				mode:        ModeTraditional,
+				outcome:     OutcomeTraditional,
 				body:        []byte(htmlRender(doc)),
 			}
 		}
 	}
-	st, err := s.generateTraditional(ctx, p)
+	st, cached, err := s.generateTraditional(ctx, p)
 	if err != nil {
 		var shed *overload.ShedError
 		if errors.As(err, &shed) {
@@ -418,21 +436,28 @@ func (s *Server) resolveTraditional(ctx context.Context, p *Page) payload {
 			if secs < 1 {
 				secs = 1
 			}
+			s.Telemetry().Eventf("shed", "503 %s for %s, retry-after %ds", shed.Reason, p.Path, secs)
 			return payload{
 				status:      503,
 				contentType: "text/plain",
 				shed:        shed.Reason,
+				outcome:     OutcomeShed,
 				retryAfter:  secs,
 				body:        []byte(fmt.Sprintf("server overloaded (%s); retry after %ds", shed.Reason, secs)),
 			}
 		}
-		return payload{status: 500, contentType: "text/plain",
+		return payload{status: 500, contentType: "text/plain", outcome: OutcomeError,
 			body: []byte(fmt.Sprintf("server-side generation failed: %v", err))}
+	}
+	outcome := OutcomeTraditional
+	if cached {
+		outcome = OutcomeCached
 	}
 	return payload{
 		status:      200,
 		contentType: "text/html; charset=utf-8",
 		mode:        ModeTraditional,
+		outcome:     outcome,
 		body:        []byte(st.html),
 	}
 }
@@ -441,7 +466,9 @@ func (s *Server) resolveTraditional(ctx context.Context, p *Page) payload {
 // effective: a canceled request stops waiting for (or holding) a
 // generation worker.
 func (s *Server) serve(w *http2.ResponseWriter, r *http2.Request) {
-	pl := s.resolve(r.Stream().Context(), r.Method, r.Path, r.PeerGen)
+	ctx, tr, start := s.beginRequest(r.Stream().Context(), "h2", r.Path, r.PeerGen)
+	pl := s.resolve(ctx, r.Method, r.Path, r.PeerGen)
+	sp := tr.StartSpan("serve")
 	fields := []hpack.HeaderField{
 		{Name: "content-type", Value: pl.contentType},
 		{Name: "content-length", Value: fmt.Sprint(len(pl.body))},
@@ -457,11 +484,15 @@ func (s *Server) serve(w *http2.ResponseWriter, r *http2.Request) {
 	}
 	w.WriteHeaders(pl.status, fields...)
 	w.Write(pl.body)
+	sp.End()
+	s.finishRequest(tr, pl, start)
 }
 
 // serveH3 adapts resolve to HTTP/3.
 func (s *Server) serveH3(w *http3.ResponseWriter, r *http3.Request) {
-	pl := s.resolve(context.Background(), r.Method, r.Path, r.PeerGen)
+	ctx, tr, start := s.beginRequest(context.Background(), "h3", r.Path, r.PeerGen)
+	pl := s.resolve(ctx, r.Method, r.Path, r.PeerGen)
+	sp := tr.StartSpan("serve")
 	fields := []http3.Field{{Name: "content-type", Value: pl.contentType}}
 	if pl.mode != "" {
 		fields = append(fields, http3.Field{Name: ModeHeader, Value: pl.mode})
@@ -474,6 +505,8 @@ func (s *Server) serveH3(w *http3.ResponseWriter, r *http3.Request) {
 	}
 	w.WriteHeaders(pl.status, fields...)
 	w.Write(pl.body)
+	sp.End()
+	s.finishRequest(tr, pl, start)
 }
 
 // H3Server returns an HTTP/3 server serving this site (§3.1: the
@@ -505,34 +538,52 @@ func (s *Server) cachedTraditional(path string) (*servedTraditional, bool) {
 	return nil, false
 }
 
+// flightOut is the singleflight value for a generated page: the
+// content plus whether it came from the generated-content cache (the
+// in-flight recheck) rather than a fresh pipeline run.
+type flightOut struct {
+	st     *servedTraditional
+	cached bool
+}
+
 // generateTraditional materializes a page server-side through the
 // overload guard and caches the result, exposing generated media as
 // served assets. Concurrent misses of the same cold page coalesce
 // into a single generation (singleflight), so a dogpile costs one
-// admission token and one worker, not N.
-func (s *Server) generateTraditional(ctx context.Context, p *Page) (*servedTraditional, error) {
+// admission token and one worker, not N. cached reports whether the
+// content came from the LRU instead of a pipeline run.
+func (s *Server) generateTraditional(ctx context.Context, p *Page) (st *servedTraditional, cached bool, err error) {
 	g := s.Overload()
+	tr := traceFrom(ctx)
+	lookup := tr.StartSpan("cache")
 	if st, ok := s.cachedTraditional(p.Path); ok {
+		lookup.EndNote("hit")
 		g.Counters().CacheHits.Add(1)
-		return st, nil
+		return st, true, nil
 	}
+	lookup.EndNote("miss")
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if s.serverProc == nil {
-		return nil, fmt.Errorf("core: server has no generation pipeline and page %q has no originals", p.Path)
+		return nil, false, fmt.Errorf("core: server has no generation pipeline and page %q has no originals", p.Path)
 	}
 	v, err, shared := g.Flight().Do(p.Path, func() (any, error) {
 		// Re-check under the flight lock's shadow: a previous holder
 		// may have populated the cache while this caller queued on Do.
 		if st, ok := s.cachedTraditional(p.Path); ok {
 			g.Counters().CacheHits.Add(1)
-			return st, nil
+			return &flightOut{st: st, cached: true}, nil
 		}
+		admit := tr.StartSpan("admission")
+		admitStart := time.Now()
 		release, err := g.AdmitGen(ctx)
+		s.observeDuration("sww_admission_wait_seconds", time.Since(admitStart))
 		if err != nil {
+			admit.EndNote(err.Error())
 			return nil, err
 		}
+		admit.End()
 		ok := false
 		defer func() { release(ok) }()
 		// The requester may have vanished (stream reset) while this
@@ -545,9 +596,13 @@ func (s *Server) generateTraditional(ctx context.Context, p *Page) (*servedTradi
 			return nil, ctx.Err()
 		}
 		g.Counters().GenRuns.Add(1)
+		gen := tr.StartSpan("generate")
+		genStart := time.Now()
 		doc := p.Doc.Clone()
 		assets, report, err := s.serverProc.ProcessContext(ctx, doc)
+		s.observeDuration("sww_generation_duration_seconds", time.Since(genStart))
 		if err != nil {
+			gen.EndNote(err.Error())
 			// A mid-page cancellation is the requester vanishing, not a
 			// backend failure: don't feed the breaker or GenFailures.
 			if ctx.Err() != nil {
@@ -557,6 +612,7 @@ func (s *Server) generateTraditional(ctx context.Context, p *Page) (*servedTradi
 			g.Counters().GenFailures.Add(1)
 			return nil, err
 		}
+		gen.End()
 		ok = true
 		st := &servedTraditional{html: htmlRender(doc), assets: assets, report: report}
 		st.bytes = int64(len(st.html))
@@ -578,15 +634,17 @@ func (s *Server) generateTraditional(ctx context.Context, p *Page) (*servedTradi
 			}
 		}
 		s.storeTraditional(p.Path, st)
-		return st, nil
+		return &flightOut{st: st}, nil
 	})
 	if shared {
 		g.Counters().Coalesced.Add(1)
+		tr.Note("generate", "coalesced into in-flight generation")
 	}
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return v.(*servedTraditional), nil
+	out := v.(*flightOut)
+	return out.st, out.cached, nil
 }
 
 // storeTraditional publishes a generated page: assets first (under

@@ -4,11 +4,11 @@ import (
 	"hash/fnv"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"sww/internal/device"
 	"sww/internal/overload"
+	"sww/internal/telemetry"
 )
 
 // DefaultArtifactCacheBytes is the byte cap page processors attach by
@@ -45,7 +45,12 @@ type ArtifactCache struct {
 	lru    *overload.ByteLRU
 	flight overload.Group
 
-	hits, misses atomic.Uint64
+	// Every request increments exactly one of these: hits (served
+	// from the LRU, material-verified), misses (ran the model), or
+	// coalesced (joined another request's in-flight generation). The
+	// invariant hits+misses+coalesced == requests is what makes the
+	// counters trustworthy under concurrency — see the stats tests.
+	hits, misses, coalesced telemetry.Counter
 }
 
 // NewArtifactCache builds a cache bounded to maxBytes of artifact
@@ -55,21 +60,47 @@ func NewArtifactCache(maxBytes int64) *ArtifactCache {
 }
 
 // ArtifactCacheStats is a point-in-time counter snapshot.
+// Hits + Misses + Coalesced equals the total requests served.
 type ArtifactCacheStats struct {
-	Hits    uint64
-	Misses  uint64
-	Entries int
-	Bytes   int64
+	Hits      uint64
+	Misses    uint64
+	Coalesced uint64
+	Entries   int
+	Bytes     int64
 }
 
 // Stats snapshots the cache counters.
 func (c *ArtifactCache) Stats() ArtifactCacheStats {
 	return ArtifactCacheStats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Entries: c.lru.Len(),
-		Bytes:   c.lru.Bytes(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Entries:   c.lru.Len(),
+		Bytes:     c.lru.Bytes(),
 	}
+}
+
+// Register exports the cache's counters and size gauges into reg
+// under the sww_artifact_cache_* family.
+func (c *ArtifactCache) Register(reg *telemetry.Registry) {
+	reg.Adopt("sww_artifact_cache_hits_total", &c.hits)
+	reg.Adopt("sww_artifact_cache_misses_total", &c.misses)
+	reg.Adopt("sww_artifact_cache_coalesced_total", &c.coalesced)
+	reg.GaugeFunc("sww_artifact_cache_bytes", func() float64 { return float64(c.lru.Bytes()) })
+	reg.GaugeFunc("sww_artifact_cache_entries", func() float64 { return float64(c.lru.Len()) })
+}
+
+// imageSize is the LRU accounting for one cached image: encoded PNG,
+// decoded pixels, and the memoized prompt embedding. The embedding
+// ride-along (8 bytes per float64) was previously uncounted, leaving
+// phantom bytes in memory that the cap never saw.
+func imageSize(res *ImageResult) int64 {
+	size := int64(len(res.PNG))
+	if res.Image != nil {
+		size += int64(len(res.Image.Pix))
+	}
+	size += int64(len(res.PromptEmbedding)) * 8
+	return size
 }
 
 type cachedImage struct {
@@ -143,7 +174,7 @@ func (c *ArtifactCache) Image(m ImageModel, req ImageRequest) (*ImageResult, err
 	// class-independent but SimTime is not, so only same-class
 	// callers may share one in-flight result.
 	fkey := key + "\x00" + strconv.Itoa(int(req.Class))
-	v, err, _ := c.flight.Do(fkey, func() (any, error) {
+	v, err, shared := c.flight.Do(fkey, func() (any, error) {
 		if res, ok := c.imageHit(key, material, m, req.Class); ok {
 			c.hits.Add(1)
 			return res, nil
@@ -153,18 +184,19 @@ func (c *ArtifactCache) Image(m ImageModel, req ImageRequest) (*ImageResult, err
 		if err != nil {
 			return nil, err
 		}
-		size := int64(len(res.PNG))
-		if res.Image != nil {
-			size += int64(len(res.Image.Pix))
-		}
 		c.lru.Add(key, &cachedImage{
 			material: material,
 			res:      *res,
 			class:    req.Class,
 			w:        req.Width, h: req.Height, steps: req.Steps,
-		}, size)
+		}, imageSize(res))
 		return res, nil
 	})
+	// Only joining callers report shared; the executing caller already
+	// counted its own hit or miss inside fn.
+	if shared {
+		c.coalesced.Add(1)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -205,7 +237,7 @@ func (c *ArtifactCache) Text(m TextModel, req TextRequest) (*TextResult, error) 
 		return res, nil
 	}
 	fkey := key + "\x00" + strconv.Itoa(int(req.Class))
-	v, err, _ := c.flight.Do(fkey, func() (any, error) {
+	v, err, shared := c.flight.Do(fkey, func() (any, error) {
 		if res, ok := c.textHit(key, material, m, req.Class); ok {
 			c.hits.Add(1)
 			return res, nil
@@ -223,6 +255,9 @@ func (c *ArtifactCache) Text(m TextModel, req TextRequest) (*TextResult, error) 
 		}, int64(len(res.Text)))
 		return res, nil
 	})
+	if shared {
+		c.coalesced.Add(1)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -195,6 +195,124 @@ func TestArtifactCacheText(t *testing.T) {
 	}
 }
 
+// embeddingImageModel returns artifacts that carry a memoized prompt
+// embedding, the ride-along payload whose bytes the LRU must account.
+type embeddingImageModel struct{ countingImageModel }
+
+func (m *embeddingImageModel) Generate(req genai.ImageRequest) (*genai.ImageResult, error) {
+	res, err := m.countingImageModel.Generate(req)
+	if err != nil {
+		return nil, err
+	}
+	res.PromptEmbedding = make([]float64, 1024)
+	return res, nil
+}
+
+// TestArtifactCacheEmbeddingBytesAccounted: regression for the cache
+// accounting bug where ImageResult.PromptEmbedding bytes (8 per
+// float64) were held by the entry but never charged against the LRU
+// cap — phantom memory the byte bound could not see.
+func TestArtifactCacheEmbeddingBytesAccounted(t *testing.T) {
+	m := &embeddingImageModel{}
+	c := genai.NewArtifactCache(1 << 20)
+	if _, err := c.Image(m, genai.ImageRequest{Prompt: "p", Width: 8, Height: 8, Class: device.ClassLaptop}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	// One entry: PNG ("p") + 8×8 RGBA pixels (256) + 1024 float64s.
+	const embeddingBytes = 1024 * 8
+	if st.Bytes < embeddingBytes {
+		t.Fatalf("stats.Bytes = %d, want >= %d (embedding bytes uncounted)", st.Bytes, embeddingBytes)
+	}
+}
+
+// TestArtifactCacheCoalescedInvariant: every request increments
+// exactly one of hits/misses/coalesced, so their sum equals the
+// request count even under a concurrent identical burst.
+func TestArtifactCacheCoalescedInvariant(t *testing.T) {
+	m := &countingImageModel{block: make(chan struct{})}
+	c := genai.NewArtifactCache(1 << 20)
+	req := genai.ImageRequest{Prompt: "burst", Width: 8, Height: 8, Class: device.ClassLaptop}
+	const callers = 8
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer wg.Done()
+			if _, err := c.Image(m, req); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(m.block)
+	wg.Wait()
+	st := c.Stats()
+	if got := st.Hits + st.Misses + st.Coalesced; got != callers {
+		t.Fatalf("hits(%d)+misses(%d)+coalesced(%d) = %d, want %d requests",
+			st.Hits, st.Misses, st.Coalesced, got, callers)
+	}
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (single generation)", st.Misses)
+	}
+}
+
+// timerlessImageModel cannot re-time artifacts for another device
+// class (no GenTimer), so a cross-class request takes the
+// re-derive-and-replace path: a fresh generation stored under the
+// same digest key.
+type timerlessImageModel struct {
+	gens atomic.Int64
+}
+
+func (m *timerlessImageModel) Name() string                        { return "fake-img-nt" }
+func (m *timerlessImageModel) ServerOnly() bool                    { return false }
+func (m *timerlessImageModel) LoadTime(device.Class) time.Duration { return 0 }
+func (m *timerlessImageModel) Generate(req genai.ImageRequest) (*genai.ImageResult, error) {
+	m.gens.Add(1)
+	img := image.NewRGBA(image.Rect(0, 0, req.Width, req.Height))
+	return &genai.ImageResult{
+		Image:   img,
+		PNG:     []byte(req.Prompt),
+		SimTime: time.Duration(int(req.Class)+1) * time.Second,
+		Model:   m.Name(),
+	}, nil
+}
+
+// TestArtifactCacheReplaceAccounting: when a cross-class re-derive
+// replaces an entry under the same key, LRU bytes must equal the new
+// entry's size — not the sum of both (double-count) and not stale
+// remains of the displaced one.
+func TestArtifactCacheReplaceAccounting(t *testing.T) {
+	m := &timerlessImageModel{}
+	c := genai.NewArtifactCache(1 << 20)
+	if _, err := c.Image(m, genai.ImageRequest{Prompt: "p", Width: 8, Height: 8, Class: device.ClassLaptop}); err != nil {
+		t.Fatal(err)
+	}
+	oneEntry := c.Stats().Bytes
+	if oneEntry <= 0 {
+		t.Fatalf("bytes = %d after first generation", oneEntry)
+	}
+	// Same artifact tuple, different class: the hit fails (no
+	// GenTimer), a second generation replaces the entry in place.
+	if _, err := c.Image(m, genai.ImageRequest{Prompt: "p", Width: 8, Height: 8, Class: device.ClassWorkstation}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if m.gens.Load() != 2 {
+		t.Fatalf("%d generations, want 2 (cross-class without GenTimer regenerates)", m.gens.Load())
+	}
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d after same-key replace, want 1", st.Entries)
+	}
+	if st.Bytes != oneEntry {
+		t.Fatalf("bytes = %d after replace, want %d (no double-count, no phantom bytes)", st.Bytes, oneEntry)
+	}
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 0/2", st.Hits, st.Misses)
+	}
+}
+
 // TestPipelineCacheEquivalence: a cached pipeline returns results
 // identical to an uncached one, and SimLoadTime accounting is
 // unchanged by caching.

@@ -559,13 +559,17 @@ func (c *conn) onWindowUpdate(fr Frame) error {
 		return connError(ErrCodeFrameSize, "WINDOW_UPDATE length %d", len(fr.Payload))
 	}
 	// WINDOW_UPDATE is the cheapest frame to spam: it carries no data
-	// and consumes no window. Over budget the updates are dropped —
-	// that only stalls sends to the flooding peer.
-	if act, err := c.noteAbuse(AbuseWindowUpdateFlood); err != nil {
+	// and consumes no window. Over budget the updates are dropped
+	// (not applied) — that only stalls sends to the flooding peer.
+	// Protocol validation still runs on dropped frames: an abuse-rate
+	// drop must not mask a zero increment or a window overflow, which
+	// RFC 9113 §6.9 makes errors regardless of whether the increment
+	// would have been applied.
+	act, err := c.noteAbuse(AbuseWindowUpdateFlood)
+	if err != nil {
 		return err
-	} else if act >= AbuseIgnore {
-		return nil
 	}
+	drop := act >= AbuseIgnore
 	incr := uint32(fr.Payload[0]&0x7f)<<24 | uint32(fr.Payload[1])<<16 |
 		uint32(fr.Payload[2])<<8 | uint32(fr.Payload[3])
 	if incr == 0 {
@@ -575,6 +579,12 @@ func (c *conn) onWindowUpdate(fr Frame) error {
 		return streamError(fr.StreamID, ErrCodeProtocol, "WINDOW_UPDATE of 0")
 	}
 	if fr.StreamID == 0 {
+		if drop {
+			if c.connSend.wouldOverflow(int32(incr)) {
+				return connError(ErrCodeFlowControl, "connection window overflow")
+			}
+			return nil
+		}
 		if !c.connSend.add(int32(incr)) {
 			return connError(ErrCodeFlowControl, "connection window overflow")
 		}
@@ -583,6 +593,12 @@ func (c *conn) onWindowUpdate(fr Frame) error {
 	st := c.lookupStream(fr.StreamID)
 	if st == nil {
 		return nil // likely a recently closed stream; ignore
+	}
+	if drop {
+		if st.send.wouldOverflow(int32(incr)) {
+			return streamError(fr.StreamID, ErrCodeFlowControl, "stream window overflow")
+		}
+		return nil
 	}
 	if !st.send.add(int32(incr)) {
 		return streamError(fr.StreamID, ErrCodeFlowControl, "stream window overflow")

@@ -39,18 +39,34 @@ func (f *sendFlow) take(n int) (int, error) {
 }
 
 // add returns window. It reports false if the window would exceed
-// 2^31-1, which is a flow-control protocol violation.
+// 2^31-1, which is a flow-control protocol violation (RFC 9113
+// §6.9.1). The check happens before the mutation: a rejected stream
+// increment triggers RST_STREAM, after which the connection — and
+// this window, if the error is re-examined or the teardown races a
+// writer — lives on, so the window must stay at its last valid value
+// rather than a corrupted >2^31-1 one.
 func (f *sendFlow) add(n int32) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.window += int64(n)
-	if f.window > 1<<31-1 {
+	if f.window+int64(n) > 1<<31-1 {
 		return false
 	}
+	f.window += int64(n)
 	if f.window > 0 {
 		f.cond.Broadcast()
 	}
 	return true
+}
+
+// wouldOverflow reports whether add(n) would violate the 2^31-1
+// bound, without applying it. The abuse ledger's drop path uses it:
+// an over-budget WINDOW_UPDATE is not applied, but an overflowing
+// increment is still a protocol violation that must kill the stream
+// or connection rather than be masked by the drop.
+func (f *sendFlow) wouldOverflow(n int32) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.window+int64(n) > 1<<31-1
 }
 
 // available returns the current window, for diagnostics and tests.

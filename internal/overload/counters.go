@@ -1,58 +1,86 @@
 package overload
 
-import "sync/atomic"
+import "sww/internal/telemetry"
 
 // Counters is the Guard's observability surface: every rung of the
 // shed ladder and every admission mechanism increments exactly one
 // counter, so load-shed behaviour can be asserted and graphed instead
 // of inferred from latency tails. All fields are safe for concurrent
-// use.
+// use. The fields are telemetry.Counter so a Registry can adopt them
+// directly (see Register) — the accessor API (Add/Load/Snapshot) is
+// unchanged from the atomic.Uint64 days.
 type Counters struct {
 	// Admitted counts generation requests that acquired a worker.
-	Admitted atomic.Uint64
+	Admitted telemetry.Counter
 	// GenRuns counts actual backend generation executions (post
 	// singleflight coalescing).
-	GenRuns atomic.Uint64
+	GenRuns telemetry.Counter
 	// GenFailures counts backend generation errors.
-	GenFailures atomic.Uint64
+	GenFailures telemetry.Counter
 	// Coalesced counts requests served by another request's in-flight
 	// generation (the dogpile that no longer happens).
-	Coalesced atomic.Uint64
+	Coalesced telemetry.Counter
 
 	// CacheHits / CacheEvictions account the generated-traditional
 	// LRU.
-	CacheHits      atomic.Uint64
-	CacheEvictions atomic.Uint64
+	CacheHits      telemetry.Counter
+	CacheEvictions telemetry.Counter
 
 	// AdmitRejects counts token-bucket rejections, QueueTimeouts
 	// counts pool queue-deadline expiries, BreakerRejects counts
 	// fail-fast rejections while open.
-	AdmitRejects   atomic.Uint64
-	QueueTimeouts  atomic.Uint64
-	BreakerRejects atomic.Uint64
+	AdmitRejects   telemetry.Counter
+	QueueTimeouts  telemetry.Counter
+	BreakerRejects telemetry.Counter
 	// BreakerOpens counts closed/half-open → open transitions.
-	BreakerOpens atomic.Uint64
+	BreakerOpens telemetry.Counter
 
 	// Ladder rungs as served: ShedPolicyFlip counts capable clients
 	// switched to pre-rendered traditional content, Shed503 counts
 	// 503 + Retry-After replies. (Rung 1, prompts, is the normal
 	// serving path; rung 2, cached traditional, shows up in
 	// CacheHits.)
-	ShedPolicyFlip atomic.Uint64
-	Shed503        atomic.Uint64
+	ShedPolicyFlip telemetry.Counter
+	Shed503        telemetry.Counter
 
 	// StreamsRefused counts HTTP/2 streams rejected with
 	// REFUSED_STREAM at the concurrent-stream limit.
-	StreamsRefused atomic.Uint64
+	StreamsRefused telemetry.Counter
 
 	// Abuse-ledger escalations on served connections. AbuseEvents is
 	// every over-budget event (ignore stage and above), AbuseCalmed is
 	// every stream refused with ENHANCE_YOUR_CALM on a flagged
 	// connection (plus the flagging event itself), AbuseGoAways is
 	// connections killed with GOAWAY(ENHANCE_YOUR_CALM).
-	AbuseEvents  atomic.Uint64
-	AbuseCalmed  atomic.Uint64
-	AbuseGoAways atomic.Uint64
+	AbuseEvents  telemetry.Counter
+	AbuseCalmed  telemetry.Counter
+	AbuseGoAways telemetry.Counter
+}
+
+// Register adopts every counter into reg under the sww_overload_*
+// (and sww_abuse_*) families, so /metrics exports the very counters
+// the Guard increments — no copying, no second source of truth.
+func (c *Counters) Register(reg *telemetry.Registry) {
+	for name, ctr := range map[string]*telemetry.Counter{
+		"sww_overload_admitted_total":         &c.Admitted,
+		"sww_overload_gen_runs_total":         &c.GenRuns,
+		"sww_overload_gen_failures_total":     &c.GenFailures,
+		"sww_overload_coalesced_total":        &c.Coalesced,
+		"sww_overload_cache_hits_total":       &c.CacheHits,
+		"sww_overload_cache_evictions_total":  &c.CacheEvictions,
+		"sww_overload_admit_rejects_total":    &c.AdmitRejects,
+		"sww_overload_queue_timeouts_total":   &c.QueueTimeouts,
+		"sww_overload_breaker_rejects_total":  &c.BreakerRejects,
+		"sww_overload_breaker_opens_total":    &c.BreakerOpens,
+		"sww_overload_shed_policy_flip_total": &c.ShedPolicyFlip,
+		"sww_overload_shed_503_total":         &c.Shed503,
+		"sww_overload_streams_refused_total":  &c.StreamsRefused,
+		"sww_abuse_events_total":              &c.AbuseEvents,
+		"sww_abuse_calmed_total":              &c.AbuseCalmed,
+		"sww_abuse_goaways_total":             &c.AbuseGoAways,
+	} {
+		reg.Adopt(name, ctr)
+	}
 }
 
 // Stats is a plain-value snapshot of Counters.

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// An Event is one entry in the bounded event log: a kind (stable,
+// grep-able — "abuse", "degrade", "breaker") plus free-form detail.
+type Event struct {
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	Detail string    `json:"detail"`
+}
+
+// An EventLog is a fixed-capacity ring of recent events. Writers
+// never block and never allocate beyond the ring; old events are
+// overwritten, with Total preserving the true count.
+type EventLog struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewEventLog builds a log holding the most recent capacity events
+// (minimum 1).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{buf: make([]Event, 0, capacity)}
+}
+
+// Add records one event.
+func (l *EventLog) Add(kind, detail string) {
+	if l == nil {
+		return
+	}
+	ev := Event{Time: time.Now(), Kind: kind, Detail: detail}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, ev)
+		return
+	}
+	l.buf[l.next] = ev
+	l.next = (l.next + 1) % cap(l.buf)
+}
+
+// Addf is Add with Sprintf formatting of the detail.
+func (l *EventLog) Addf(kind, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Add(kind, fmt.Sprintf(format, args...))
+}
+
+// Snapshot returns the retained events, oldest first.
+func (l *EventLog) Snapshot() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Total reports how many events were ever added, including those the
+// ring has since overwritten.
+func (l *EventLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

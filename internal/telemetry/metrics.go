@@ -1,0 +1,209 @@
+// Package telemetry is the repo's dependency-free observability core:
+// atomic counters and gauges, fixed-bucket latency histograms with
+// quantile snapshots, a bounded ring-buffer event log, and per-request
+// trace spans — exported through a Registry as Prometheus text
+// exposition and JSON, and served on an opt-in ops listener (see
+// ops.go). Every serving layer (core.Server, ResilientClient, the
+// overload guard, the http2 abuse ledger, genai.ArtifactCache) records
+// into this package instead of keeping bespoke counter structs.
+//
+// All instruments are nil-safe: methods on a nil *Counter, *Gauge,
+// *Histogram, *Trace or *EventLog are no-ops, so instrumented code
+// paths need no "is telemetry enabled" branches.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// A Counter is a monotonically increasing uint64. Its method set is
+// deliberately the subset of atomic.Uint64 the rest of the repo uses
+// (Add/Load), so existing counter structs can retype their fields
+// without touching callers.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// A Gauge is an instantaneous int64 value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefBuckets are the default latency histogram bounds in seconds:
+// 100µs to 60s, roughly ×2.5 per step — wide enough to cover both a
+// cached asset fetch and a GenWallScale-held generation.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// A Histogram accumulates duration observations into fixed buckets.
+// Observation is lock-free (one atomic add per bucket plus sum/count);
+// quantiles are estimated at snapshot time by linear interpolation
+// within the bucket holding the target rank.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, seconds
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds in seconds; nil means DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// Bucket is one cumulative histogram bucket: the count of
+// observations ≤ Le seconds (math.Inf(1) for the overflow bucket).
+type Bucket struct {
+	Le    float64
+	Count uint64
+}
+
+// HistogramSnapshot is a point-in-time view of a Histogram, with
+// estimated quantiles.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	P50     time.Duration
+	P95     time.Duration
+	P99     time.Duration
+	Buckets []Bucket // cumulative, ending with +Inf
+}
+
+// Snapshot captures counts and estimates p50/p95/p99. Quantile
+// estimates interpolate linearly inside the winning bucket; ranks
+// landing in the +Inf bucket report the largest finite bound (the
+// estimate is then a lower bound, which is the honest direction for
+// an alerting tail).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	snap := HistogramSnapshot{
+		Sum:     time.Duration(h.sumNS.Load()),
+		Buckets: make([]Bucket, len(h.counts)),
+	}
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		snap.Buckets[i] = Bucket{Le: le, Count: cum}
+	}
+	snap.Count = cum
+	snap.P50 = h.quantile(snap.Buckets, cum, 0.50)
+	snap.P95 = h.quantile(snap.Buckets, cum, 0.95)
+	snap.P99 = h.quantile(snap.Buckets, cum, 0.99)
+	return snap
+}
+
+func (h *Histogram) quantile(buckets []Bucket, total uint64, q float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	prevCum := uint64(0)
+	for i, b := range buckets {
+		if float64(b.Count) < rank {
+			prevCum = b.Count
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = buckets[i-1].Le
+		}
+		hi := b.Le
+		if math.IsInf(hi, 1) {
+			// Off the top of the bounds: report the largest finite
+			// bound rather than inventing a tail shape.
+			return secondsToDuration(lo)
+		}
+		in := b.Count - prevCum
+		if in == 0 {
+			return secondsToDuration(hi)
+		}
+		frac := (rank - float64(prevCum)) / float64(in)
+		return secondsToDuration(lo + (hi-lo)*frac)
+	}
+	return secondsToDuration(buckets[len(buckets)-1].Le)
+}
+
+func secondsToDuration(s float64) time.Duration {
+	if math.IsInf(s, 1) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(s * float64(time.Second))
+}

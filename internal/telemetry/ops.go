@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+)
+
+// A Set bundles the three telemetry surfaces one process exports: the
+// metric registry, the trace ring, and the event log. The ops
+// listener serves all of them plus pprof.
+type Set struct {
+	Registry *Registry
+	Traces   *Tracer
+	Events   *EventLog
+	start    time.Time
+}
+
+// NewSet builds a Set with a fresh registry, a 256-trace ring and a
+// 512-event log.
+func NewSet() *Set {
+	return &Set{
+		Registry: NewRegistry(),
+		Traces:   NewTracer(256),
+		Events:   NewEventLog(512),
+		start:    time.Now(),
+	}
+}
+
+// Trace opens a request trace; nil-safe for a disabled Set.
+func (s *Set) Trace(proto, path string) *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.Traces.Start(proto, path)
+}
+
+// Eventf records one event; nil-safe for a disabled Set.
+func (s *Set) Eventf(kind, format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.Events.Addf(kind, format, args...)
+}
+
+// Handler serves the ops surface:
+//
+//	/metrics      Prometheus text exposition
+//	/statusz      JSON snapshot (uptime, metrics, recent events)
+//	/tracez       recent request traces, human-readable
+//	/debug/pprof  the standard runtime profiles
+func (s *Set) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(statusz{
+			UptimeSeconds: time.Since(s.start).Seconds(),
+			Metrics:       s.Registry.Snapshot(),
+			Events:        s.Events.Snapshot(),
+			EventsTotal:   s.Events.Total(),
+			TracesTotal:   s.Traces.Total(),
+		})
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeTracez(w, s.Traces.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve blocks serving the ops handler on l.
+func (s *Set) Serve(l net.Listener) error {
+	return http.Serve(l, s.Handler())
+}
+
+type statusz struct {
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Metrics       Snapshot `json:"metrics"`
+	Events        []Event  `json:"events"`
+	EventsTotal   uint64   `json:"events_total"`
+	TracesTotal   uint64   `json:"traces_total"`
+}
+
+// writeTracez renders traces newest-first, one block per trace with
+// indented spans.
+func writeTracez(w http.ResponseWriter, traces []TraceSnapshot) {
+	sort.Slice(traces, func(i, j int) bool { return traces[i].ID > traces[j].ID })
+	for _, tr := range traces {
+		state := tr.Outcome
+		if !tr.Done {
+			state = "in-flight"
+		}
+		fmt.Fprintf(w, "#%d %s %s outcome=%s total=%s\n",
+			tr.ID, tr.Proto, tr.Path, state, tr.Total.Round(time.Microsecond))
+		for _, sp := range tr.Spans {
+			note := ""
+			if sp.Note != "" {
+				note = " " + sp.Note
+			}
+			fmt.Fprintf(w, "  +%-12s %-12s %s%s\n",
+				sp.Start.Round(time.Microsecond),
+				sp.Dur.Round(time.Microsecond), sp.Stage, note)
+		}
+	}
+	if len(traces) == 0 {
+		fmt.Fprintln(w, "no traces recorded")
+	}
+}

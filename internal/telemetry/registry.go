@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// A Registry names and exports instruments. Metric names follow the
+// Prometheus convention (`sww_requests_total`); a name may carry a
+// label set in curly braces (`sww_requests_total{outcome="prompt"}`),
+// which the text exposition merges per family. Get-or-create methods
+// make registration idempotent, so several subsystems can share one
+// registry without coordination.
+//
+// All methods are safe for concurrent use and nil-safe: calls on a
+// nil *Registry return nil instruments, whose own methods no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]func() float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]func() float64{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Adopt registers an existing counter under name, so structs that
+// embed Counter fields (overload.Counters, the artifact cache) export
+// the very counters they already increment. Adopting a second counter
+// under a taken name replaces the export binding only.
+func (r *Registry) Adopt(name string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] = c
+}
+
+// GaugeFunc registers a gauge computed at scrape time — the right
+// shape for values another subsystem already tracks (cache bytes,
+// pool occupancy, overload level).
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with DefBuckets on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(nil)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// splitName separates a metric name from its optional {label} set.
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// WithLabel returns name carrying one more Prometheus label, merged
+// with any labels already present: WithLabel(`m{a="1"}`, "b", "2") is
+// `m{a="1",b="2"}`. Instruments registered under different label
+// values are distinct series of the same family.
+func WithLabel(name, key, value string) string {
+	base, labels := splitName(name)
+	return withLabel(base, labels, key+"="+strconv.Quote(value))
+}
+
+// withLabel renders base{labels,extra} with correct comma placement.
+func withLabel(base, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base
+	case labels == "":
+		return base + "{" + extra + "}"
+	case extra == "":
+		return base + "{" + labels + "}"
+	default:
+		return base + "{" + labels + "," + extra + "}"
+	}
+}
+
+func fmtLe(le float64) string {
+	if math.IsInf(le, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(le, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4), sorted by metric name for stable diffs.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]func() float64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	typed := map[string]bool{}
+	emitType := func(name, kind string) {
+		base, _ := splitName(name)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		}
+	}
+
+	for _, name := range sortedKeys(counters) {
+		emitType(name, "counter")
+		fmt.Fprintf(w, "%s %d\n", name, counters[name].Load())
+	}
+	for _, name := range sortedKeys(gauges) {
+		emitType(name, "gauge")
+		fmt.Fprintf(w, "%s %s\n", name,
+			strconv.FormatFloat(gauges[name](), 'g', -1, 64))
+	}
+	for _, name := range sortedKeys(hists) {
+		emitType(name, "histogram")
+		base, labels := splitName(name)
+		snap := hists[name].Snapshot()
+		for _, b := range snap.Buckets {
+			fmt.Fprintf(w, "%s %d\n",
+				withLabel(base+"_bucket", labels, `le="`+fmtLe(b.Le)+`"`), b.Count)
+		}
+		fmt.Fprintf(w, "%s %s\n", withLabel(base+"_sum", labels, ""),
+			strconv.FormatFloat(snap.Sum.Seconds(), 'g', -1, 64))
+		fmt.Fprintf(w, "%s %d\n", withLabel(base+"_count", labels, ""), snap.Count)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// HistogramJSON is the JSON shape of one histogram in a Snapshot:
+// count, sum, and quantiles in milliseconds (the unit experiment
+// reports use).
+type HistogramJSON struct {
+	Count      uint64  `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	P50ms      float64 `json:"p50_ms"`
+	P95ms      float64 `json:"p95_ms"`
+	P99ms      float64 `json:"p99_ms"`
+}
+
+// Snapshot is the JSON-able view of a Registry served at /statusz.
+type Snapshot struct {
+	Counters   map[string]uint64        `json:"counters"`
+	Gauges     map[string]float64       `json:"gauges"`
+	Histograms map[string]HistogramJSON `json:"histograms"`
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramJSON{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]func() float64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		snap.Counters[name] = c.Load()
+	}
+	for name, fn := range gauges {
+		snap.Gauges[name] = fn()
+	}
+	for name, h := range hists {
+		hs := h.Snapshot()
+		snap.Histograms[name] = HistogramJSON{
+			Count:      hs.Count,
+			SumSeconds: hs.Sum.Seconds(),
+			P50ms:      float64(hs.P50) / float64(time.Millisecond),
+			P95ms:      float64(hs.P95) / float64(time.Millisecond),
+			P99ms:      float64(hs.P99) / float64(time.Millisecond),
+		}
+	}
+	return snap
+}

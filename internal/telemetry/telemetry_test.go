@@ -1,0 +1,282 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeNilSafe(t *testing.T) {
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if c.Load() != 0 {
+		t.Fatal("nil counter should load 0")
+	}
+	var g *Gauge
+	g.Set(5)
+	g.Add(-2)
+	if g.Load() != 0 {
+		t.Fatal("nil gauge should load 0")
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram should snapshot empty")
+	}
+
+	real := new(Counter)
+	real.Add(2)
+	real.Inc()
+	if real.Load() != 3 {
+		t.Fatalf("counter = %d, want 3", real.Load())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(nil)
+	// 1000 uniform observations over (0, 100ms]: p50 ≈ 50ms,
+	// p95 ≈ 95ms, p99 ≈ 99ms. Bucket interpolation is coarse, so
+	// allow a wide band — the point is order-of-magnitude sanity,
+	// not exactness.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	check := func(name string, got time.Duration, lo, hi time.Duration) {
+		t.Helper()
+		if got < lo || got > hi {
+			t.Errorf("%s = %v, want in [%v, %v]", name, got, lo, hi)
+		}
+	}
+	check("p50", s.P50, 30*time.Millisecond, 70*time.Millisecond)
+	check("p95", s.P95, 80*time.Millisecond, 110*time.Millisecond)
+	check("p99", s.P99, 90*time.Millisecond, 120*time.Millisecond)
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Errorf("quantiles not monotone: %v %v %v", s.P50, s.P95, s.P99)
+	}
+	wantSum := time.Duration(1000*1001/2) * 100 * time.Microsecond
+	if s.Sum != wantSum {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01})
+	h.Observe(5 * time.Second) // beyond every bound
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// The +Inf bucket reports the largest finite bound as a lower
+	// bound, never +Inf.
+	if s.P99 != 10*time.Millisecond {
+		t.Errorf("p99 = %v, want 10ms (largest finite bound)", s.P99)
+	}
+}
+
+func TestRegistryPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`sww_requests_total{outcome="prompt"}`).Add(7)
+	r.Counter(`sww_requests_total{outcome="shed"}`).Add(2)
+	adopted := new(Counter)
+	adopted.Add(11)
+	r.Adopt("sww_overload_admitted_total", adopted)
+	r.GaugeFunc("sww_gen_cache_bytes", func() float64 { return 1234 })
+	r.Histogram(`sww_request_duration_seconds{outcome="prompt"}`).Observe(3 * time.Millisecond)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	text := sb.String()
+
+	for _, want := range []string{
+		"# TYPE sww_requests_total counter",
+		`sww_requests_total{outcome="prompt"} 7`,
+		`sww_requests_total{outcome="shed"} 2`,
+		"sww_overload_admitted_total 11",
+		"# TYPE sww_gen_cache_bytes gauge",
+		"sww_gen_cache_bytes 1234",
+		"# TYPE sww_request_duration_seconds histogram",
+		`sww_request_duration_seconds_bucket{outcome="prompt",le="0.005"} 1`,
+		`sww_request_duration_seconds_bucket{outcome="prompt",le="+Inf"} 1`,
+		`sww_request_duration_seconds_count{outcome="prompt"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	// One TYPE line per family, even with two labeled series.
+	if n := strings.Count(text, "# TYPE sww_requests_total counter"); n != 1 {
+		t.Errorf("TYPE emitted %d times, want 1", n)
+	}
+}
+
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 0; i < 5; i++ {
+		l.Addf("k", "event %d", i)
+	}
+	evs := l.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	if evs[0].Detail != "event 2" || evs[2].Detail != "event 4" {
+		t.Fatalf("wrong retention order: %+v", evs)
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total = %d, want 5", l.Total())
+	}
+}
+
+func TestTracerRingAndSpans(t *testing.T) {
+	tr := NewTracer(2)
+	a := tr.Start("h2", "/a")
+	sp := a.StartSpan("lookup")
+	sp.EndNote("page")
+	a.Note("negotiate", "gen=basic")
+	a.Finish("prompt")
+
+	b := tr.Start("h2", "/b")
+	b.Finish("shed")
+	c := tr.Start("h3", "/c") // evicts /a
+	c.Finish("cached")
+
+	snaps := tr.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("retained %d traces, want 2", len(snaps))
+	}
+	if snaps[0].Path != "/b" || snaps[1].Path != "/c" {
+		t.Fatalf("wrong traces retained: %+v", snaps)
+	}
+	if tr.Total() != 3 {
+		t.Fatalf("total = %d, want 3", tr.Total())
+	}
+	if a.Outcome() != "prompt" {
+		t.Fatalf("outcome = %q", a.Outcome())
+	}
+
+	// Nil tracer and nil trace no-op.
+	var nilT *Tracer
+	ntr := nilT.Start("h2", "/x")
+	ntr.StartSpan("s").End()
+	ntr.Note("n", "")
+	ntr.Finish("ok")
+	if ntr.Outcome() != "" || len(nilT.Snapshot()) != 0 {
+		t.Fatal("nil tracer should no-op")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTracer(8)
+	trace := tr.Start("h2", "/p")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := trace.StartSpan("generate")
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	trace.Finish("traditional")
+	snap := tr.Snapshot()[0]
+	if len(snap.Spans) != 16 {
+		t.Fatalf("spans = %d, want 16", len(snap.Spans))
+	}
+}
+
+func TestOpsHandlerEndpoints(t *testing.T) {
+	set := NewSet()
+	set.Registry.Counter("sww_requests_total").Add(1)
+	set.Registry.Histogram("sww_request_duration_seconds").Observe(time.Millisecond)
+	set.Eventf("abuse", "kind=%s act=%s", "ping-flood", "ignore")
+	tr := set.Trace("h2", "/wiki/landscape")
+	tr.StartSpan("lookup").End()
+	tr.Finish("prompt")
+
+	h := set.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "sww_requests_total 1") {
+		t.Errorf("/metrics missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/statusz", nil))
+	var st struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Metrics       struct {
+			Counters map[string]uint64 `json:"counters"`
+		} `json:"metrics"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("/statusz not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if st.Metrics.Counters["sww_requests_total"] != 1 || len(st.Events) != 1 {
+		t.Errorf("/statusz content wrong: %+v", st)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "/wiki/landscape") || !strings.Contains(body, "outcome=prompt") {
+		t.Errorf("/tracez missing trace:\n%s", body)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Errorf("/debug/pprof/ status %d", rec.Code)
+	}
+}
+
+// TestConcurrentInstruments is the -race exercise: many goroutines
+// hitting every instrument type at once.
+func TestConcurrentInstruments(t *testing.T) {
+	set := NewSet()
+	hist := set.Registry.Histogram("h")
+	ctr := set.Registry.Counter("c")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				ctr.Inc()
+				hist.Observe(time.Microsecond)
+				set.Eventf("k", "j=%d", j)
+				tr := set.Trace("h2", "/x")
+				tr.StartSpan("s").End()
+				tr.Finish("ok")
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			set.Registry.WritePrometheus(&sb)
+			set.Registry.Snapshot()
+			set.Traces.Snapshot()
+			set.Events.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if ctr.Load() != 8*200 {
+		t.Fatalf("counter = %d, want %d", ctr.Load(), 8*200)
+	}
+	if s := hist.Snapshot(); s.Count != 8*200 {
+		t.Fatalf("hist count = %d", s.Count)
+	}
+}
