@@ -5,7 +5,8 @@
 //
 //	sww-bench [-only t1|t2|fig2|steps|sizes|text|article|matrix|
 //	                 energy|carbon|traffic|cdn|video|storage|ablations|
-//	                 chaos|overload|abuse|fastpath|telemetry] [-quick]
+//	                 chaos|overload|abuse|fastpath|telemetry|edgetier]
+//	          [-quick]
 //
 // Without -only, all experiments run in order. -quick trims the
 // heavier sweeps for CI smoke runs.
@@ -60,6 +61,7 @@ func main() {
 		{"abuse", "E20 abuse-rate defense under attack", runAbuse},
 		{"fastpath", "E21 generation fast path & artifact cache", runFastpath},
 		{"telemetry", "E22 operational telemetry cross-check", runTelemetry},
+		{"edgetier", "E23 edge tier failover & serve-stale chaos", runEdgeTier},
 	}
 	failed := false
 	for _, e := range all {
@@ -498,6 +500,50 @@ func runFastpath() error {
 	}
 	if rep.ClientCache.Hits == 0 {
 		return fmt.Errorf("artifact cache recorded no hits across %d repeat fetches", rep.Fetches-1)
+	}
+	return nil
+}
+
+// runEdgeTier prints E23 as JSON (the acceptance numbers are the
+// deliverable) and fails if the edge tier missed its availability
+// bars: stale serving at >= 0.8x baseline goodput through an origin
+// blackhole, a sub-1% client error rate with one of three edges dead,
+// a reshard matching LookupN's prediction, and a partition-delayed
+// invalidation reconciled on reconnect.
+func runEdgeTier() error {
+	rep, err := experiments.EdgeTierSweep(quickMode)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", out)
+	fmt.Printf("goodput: baseline %.0f/s, origin blackholed %.0f/s (%.2fx, %d stale serves)\n",
+		rep.Baseline.GoodputRPS, rep.Blackhole.GoodputRPS, rep.StaleGoodputRatio, rep.StaleServes)
+	fmt.Printf("edge kill: error rate %.2f%% over %d fetches, %d failovers; "+
+		"reshard of %d keys correct: %v\n",
+		rep.KillErrorRate*100, rep.Kill.Fetches, rep.Failovers, rep.ReshardKeys, rep.ReshardCorrect)
+	fmt.Printf("partition: warm copy served %v, reconciled in %v, unpublished page gone %v\n",
+		rep.PartitionWarmServed, rep.ReconciledIn.Round(time.Millisecond), rep.InvalidatedGone)
+	if rep.StaleServes == 0 {
+		return fmt.Errorf("origin blackhole produced no stale serves")
+	}
+	if rep.StaleGoodputRatio < 0.8 {
+		return fmt.Errorf("stale goodput fell to %.2fx of baseline (want >= 0.8)", rep.StaleGoodputRatio)
+	}
+	if rep.KillErrorRate >= 0.01 {
+		return fmt.Errorf("error rate with one edge dead = %.2f%% (want < 1%%)", rep.KillErrorRate*100)
+	}
+	if !rep.ReshardCorrect {
+		return fmt.Errorf("reshard after edge death did not match LookupN's prediction")
+	}
+	if !rep.PartitionWarmServed {
+		return fmt.Errorf("partitioned edge dropped its warm copy")
+	}
+	if !rep.InvalidatedGone {
+		return fmt.Errorf("invalidation issued during the partition never landed")
 	}
 	return nil
 }

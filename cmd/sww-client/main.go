@@ -9,6 +9,12 @@
 //	sww-client [-addr localhost:8420] [-path /wiki/landscape]
 //	           [-device laptop|workstation|mobile] [-out ./rendered]
 //	           [-traditional] [-image-model ...] [-text-model ...]
+//	           [-peers edge1=localhost:8430,edge2=localhost:8431]
+//
+// -peers switches to ring routing through an edge fleet: the path's
+// consistent-hash owner is tried first, then its ring successors, so
+// a dead edge is failed over without any extra flags. -addr is
+// ignored in this mode.
 package main
 
 import (
@@ -19,7 +25,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"sww/internal/cdn"
 	"sww/internal/core"
 	"sww/internal/device"
 	"sww/internal/genai/imagegen"
@@ -35,6 +43,7 @@ func main() {
 	imageModel := flag.String("image-model", imagegen.SD3Medium, "local image model")
 	textModel := flag.String("text-model", textgen.DeepSeek8, "local text model")
 	useH3 := flag.Bool("h3", false, "connect with the HTTP/3 mapping instead of HTTP/2")
+	peers := flag.String("peers", "", "ring-route through an edge fleet: comma-separated name=addr list")
 	flag.Parse()
 
 	profile, err := profileByName(*dev)
@@ -47,6 +56,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("building pipeline: %v", err)
 		}
+	}
+
+	if *peers != "" {
+		fetchThroughEdges(*peers, *path, *out, profile, proc)
+		return
 	}
 
 	nc, err := net.Dial("tcp", *addr)
@@ -87,6 +101,43 @@ func main() {
 		log.Fatalf("writing output: %v", err)
 	}
 	fmt.Printf("rendered to %s\n", *out)
+}
+
+// fetchThroughEdges ring-routes one fetch through the edge fleet in
+// spec ("name=addr,name=addr"), printing which edge served it.
+func fetchThroughEdges(spec, path, out string, profile device.Profile, proc *core.PageProcessor) {
+	dials := map[string]core.DialFunc{}
+	for _, pair := range strings.Split(spec, ",") {
+		name, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			log.Fatalf("bad -peers entry %q (want name=addr)", pair)
+		}
+		target := addr
+		dials[name] = func() (net.Conn, error) {
+			return net.DialTimeout("tcp", target, 5*time.Second)
+		}
+	}
+	ec := cdn.NewEdgeClient(cdn.EdgeClientConfig{
+		Device: profile,
+		Proc:   proc,
+		Retry:  core.RetryPolicy{MaxAttempts: 2, AttemptTimeout: 10 * time.Second},
+	}, dials)
+	defer ec.Close()
+
+	fmt.Printf("ring owner for %s: %s (failover order %v)\n",
+		path, ec.Ring().Lookup(path), ec.Ring().LookupN(path, len(dials)))
+	res, served, err := ec.Fetch(path)
+	if err != nil {
+		log.Fatalf("fetch %s: %v", path, err)
+	}
+	fmt.Printf("served by:   %s\n", served)
+	fmt.Printf("mode:        %s\n", res.Mode)
+	fmt.Printf("wire bytes:  %d\n", res.WireBytes)
+	fmt.Printf("assets:      %d\n", len(res.Assets))
+	if err := writeRendered(out, path, res); err != nil {
+		log.Fatalf("writing output: %v", err)
+	}
+	fmt.Printf("rendered to %s\n", out)
 }
 
 func profileByName(name string) (device.Profile, error) {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sww-server [-addr :8420] [-image-model sd3-medium]
+//	sww-server [-role origin|edge] [-addr :8420] [-image-model sd3-medium]
 //	           [-text-model deepseek-r1-8b] [-policy generative|traditional]
 //	           [-max-gen-workers 4] [-gen-queue-deadline 500ms]
 //	           [-admit-rps 0] [-admit-burst 0]
@@ -17,6 +17,23 @@
 //	           [-abuse-ping-budget 100] [-abuse-settings-budget 20]
 //	           [-abuse-window-update-budget 4000] [-abuse-empty-data-budget 100]
 //	           [-ops-addr 127.0.0.1:8421]
+//	           [-inval-log 1024]
+//	sww-server -role edge -origin-addr localhost:8420
+//	           [-addr :8430] [-edge-name edge1] [-peers edge1,edge2]
+//	           [-edge-cache-bytes 8388608] [-edge-ttl 30s]
+//	           [-edge-max-stale 10m] [-edge-poll 250ms]
+//	           [-origin-attempts 3] [-origin-attempt-timeout 2s]
+//	           [-origin-breaker-failures 3] [-origin-probe-cooldown 500ms]
+//	           [-ops-addr 127.0.0.1:8431]
+//
+// -role origin (the default) runs the generative server with the CDN
+// control surface attached: the /sww-cdn/ invalidation feed that edge
+// replicas poll, fed by unpublishes and cache evictions. -role edge
+// runs an edge replica instead: it terminates SWW HTTP/2 from
+// terminal clients, serves from a local cache shard, pulls misses
+// from -origin-addr, and keeps serving warm entries (age-stamped
+// stale) when the origin is unreachable. -peers names the whole edge
+// fleet so the edge can recognise ring-failover traffic.
 //
 // -ops-addr starts an operations listener (off by default): Prometheus
 // metrics at /metrics, a JSON snapshot at /statusz, recent request
@@ -43,8 +60,10 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"strings"
 	"time"
 
+	"sww/internal/cdn"
 	"sww/internal/core"
 	"sww/internal/genai/imagegen"
 	"sww/internal/genai/textgen"
@@ -55,6 +74,7 @@ import (
 )
 
 func main() {
+	role := flag.String("role", "origin", "process role: origin|edge")
 	addr := flag.String("addr", ":8420", "listen address")
 	imageModel := flag.String("image-model", imagegen.SD3Medium, "server-side image model")
 	textModel := flag.String("text-model", textgen.DeepSeek8, "server-side text model")
@@ -79,7 +99,41 @@ func main() {
 	abuseWUBudget := flag.Int("abuse-window-update-budget", 4000, "WINDOW_UPDATEs tolerated per window")
 	abuseEmptyDataBudget := flag.Int("abuse-empty-data-budget", 100, "empty DATA frames tolerated per window")
 	opsAddr := flag.String("ops-addr", "", "operations listener address for /metrics, /statusz, /tracez, /debug/pprof (empty disables)")
+	invalLog := flag.Int("inval-log", cdn.DefaultInvalidationLog, "origin invalidation log depth")
+	originAddr := flag.String("origin-addr", "", "edge role: origin address to pull misses from")
+	edgeName := flag.String("edge-name", "edge1", "edge role: this edge's ring name")
+	peerNames := flag.String("peers", "", "edge role: comma-separated fleet names for the placement ring")
+	edgeCacheBytes := flag.Int64("edge-cache-bytes", 8<<20, "edge role: byte cap on the local cache shard")
+	edgeTTL := flag.Duration("edge-ttl", 30*time.Second, "edge role: cached entry freshness")
+	edgeMaxStale := flag.Duration("edge-max-stale", 10*time.Minute, "edge role: how far past TTL an entry may be served when the origin is down")
+	edgePoll := flag.Duration("edge-poll", 250*time.Millisecond, "edge role: invalidation poll interval")
+	originAttempts := flag.Int("origin-attempts", 3, "edge role: upstream attempts per pull")
+	originAttemptTimeout := flag.Duration("origin-attempt-timeout", 2*time.Second, "edge role: per-attempt upstream timeout")
+	originBreakerFailures := flag.Int("origin-breaker-failures", 3, "edge role: consecutive upstream failures that open the origin breaker")
+	originProbeCooldown := flag.Duration("origin-probe-cooldown", 500*time.Millisecond, "edge role: open-breaker cooldown before a probe")
 	flag.Parse()
+
+	if *role == "edge" {
+		runEdge(edgeOpts{
+			addr:            *addr,
+			originAddr:      *originAddr,
+			name:            *edgeName,
+			peers:           *peerNames,
+			cacheBytes:      *edgeCacheBytes,
+			ttl:             *edgeTTL,
+			maxStale:        *edgeMaxStale,
+			poll:            *edgePoll,
+			attempts:        *originAttempts,
+			attemptTimeout:  *originAttemptTimeout,
+			breakerFailures: *originBreakerFailures,
+			probeCooldown:   *originProbeCooldown,
+			opsAddr:         *opsAddr,
+		})
+		return
+	}
+	if *role != "origin" {
+		log.Fatalf("unknown role %q (want origin|edge)", *role)
+	}
 
 	srv, err := core.NewServer(*imageModel, *textModel)
 	if err != nil {
@@ -128,11 +182,17 @@ func main() {
 		fmt.Printf("serving %s (%d placeholders, media ratio %.1fx)\n",
 			p.Path, len(p.Placeholders()), p.MediaCompressionRatio())
 	}
+	// The CDN control surface: edge replicas poll /sww-cdn/ for the
+	// sequenced invalidation feed, fed by unpublishes and evictions.
+	origin := cdn.NewOrigin(srv, *invalLog)
+	fmt.Printf("cdn: invalidation feed on %s (log depth %d)\n", cdn.ControlPrefix, *invalLog)
+
 	// Telemetry attaches after the overload/cache flags above so the
 	// adopted counters are the ones actually serving.
 	if *opsAddr != "" {
 		set := telemetry.NewSet()
 		srv.EnableTelemetry(set)
+		origin.Register(set.Registry)
 		ol, err := net.Listen("tcp", *opsAddr)
 		if err != nil {
 			log.Fatalf("ops listen: %v", err)
@@ -169,4 +229,74 @@ func main() {
 		}
 	}
 	log.Fatal(srv.Serve(l))
+}
+
+type edgeOpts struct {
+	addr, originAddr, name, peers string
+	cacheBytes                    int64
+	ttl, maxStale, poll           time.Duration
+	attempts                      int
+	attemptTimeout                time.Duration
+	breakerFailures               int
+	probeCooldown                 time.Duration
+	opsAddr                       string
+}
+
+// runEdge runs one edge replica: a local cache shard in front of the
+// origin, serving terminal clients and polling the invalidation feed.
+func runEdge(o edgeOpts) {
+	if o.originAddr == "" {
+		log.Fatal("-role edge requires -origin-addr")
+	}
+	peers := []string{o.name}
+	if o.peers != "" {
+		peers = strings.Split(o.peers, ",")
+	}
+	origins := core.NewEndpointSet(core.EndpointHealthConfig{
+		FailureThreshold: o.breakerFailures,
+		ProbeCooldown:    o.probeCooldown,
+	})
+	origins.Add("origin", func() (net.Conn, error) {
+		return net.DialTimeout("tcp", o.originAddr, 5*time.Second)
+	})
+	e := cdn.NewEdge(cdn.EdgeConfig{
+		Name:         o.name,
+		CacheBytes:   o.cacheBytes,
+		TTL:          o.ttl,
+		MaxStale:     o.maxStale,
+		PollInterval: o.poll,
+		Retry: core.RetryPolicy{
+			MaxAttempts:    o.attempts,
+			AttemptTimeout: o.attemptTimeout,
+		},
+		Peers: peers,
+	}, origins)
+	if o.opsAddr != "" {
+		set := telemetry.NewSet()
+		e.Register(set.Registry)
+		ol, err := net.Listen("tcp", o.opsAddr)
+		if err != nil {
+			log.Fatalf("ops listen: %v", err)
+		}
+		go func() { log.Fatalf("ops listener: %v", set.Serve(ol)) }()
+		fmt.Printf("ops: metrics/statusz/tracez/pprof on http://%s\n", ol.Addr())
+	}
+	e.Start()
+	defer e.Close()
+
+	l, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("sww-edge %q listening on %s, origin %s, fleet %v\n",
+		o.name, l.Addr(), o.originAddr, peers)
+	fmt.Printf("edge: cache %d B, ttl %v, max-stale %v, poll %v\n",
+		o.cacheBytes, o.ttl, o.maxStale, o.poll)
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		e.StartConn(nc)
+	}
 }

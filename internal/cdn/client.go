@@ -1,0 +1,172 @@
+package cdn
+
+// The terminal-client side of the edge tier: an EdgeClient routes
+// each path to the edge the ring places it on, and fails over down
+// the ring's successor list when that edge is dead. Each edge is
+// backed by its own ResilientClient wrapping a one-endpoint health
+// set, so transport outcomes feed a per-edge breaker the router can
+// consult without burning a connection attempt: a dead edge is
+// skipped outright until its probe cooldown passes, which is what
+// keeps the error rate near zero when a replica is killed mid-run.
+
+import (
+	"context"
+	"fmt"
+
+	"sww/internal/core"
+	"sww/internal/device"
+	"sww/internal/telemetry"
+)
+
+// EdgeClientConfig shapes the router and its per-edge clients.
+type EdgeClientConfig struct {
+	// Device and Proc configure local generation, as on a plain
+	// core.Client. Proc nil means an always-traditional client.
+	Device device.Profile
+	Proc   *core.PageProcessor
+
+	// Retry shapes each per-edge retry ladder. Keep MaxAttempts low:
+	// failing over to the next edge beats hammering a dead one.
+	Retry core.RetryPolicy
+
+	// Health shapes each edge's breaker (zero value = defaults).
+	Health core.EndpointHealthConfig
+
+	// Factory builds the per-connection client; nil means HTTP/2.
+	Factory core.ClientFactory
+
+	// RingReplicas overrides the virtual-node count (0 = default).
+	RingReplicas int
+}
+
+type edgePeer struct {
+	name string
+	ep   *core.Endpoint
+	rc   *core.ResilientClient
+}
+
+// An EdgeClient fetches through an edge fleet with ring placement and
+// client-side failover.
+type EdgeClient struct {
+	cfg   EdgeClientConfig
+	ring  *Ring
+	peers map[string]*edgePeer
+
+	rerouted  telemetry.Counter // fetches served by a non-owner edge
+	exhausted telemetry.Counter // fetches that failed on every edge
+}
+
+// NewEdgeClient builds a router over the named edges. Each edge's
+// dial opens a transport to that edge.
+func NewEdgeClient(cfg EdgeClientConfig, dials map[string]core.DialFunc) *EdgeClient {
+	c := &EdgeClient{
+		cfg:   cfg,
+		ring:  NewRing(cfg.RingReplicas),
+		peers: map[string]*edgePeer{},
+	}
+	for name, dial := range dials {
+		c.addPeer(name, dial)
+	}
+	return c
+}
+
+func (c *EdgeClient) addPeer(name string, dial core.DialFunc) {
+	set := core.NewEndpointSet(c.cfg.Health)
+	ep := set.Add(name, dial)
+	rc := core.NewResilientClientEndpoints(set, c.cfg.Device, c.cfg.Proc, c.cfg.Retry, c.cfg.Factory)
+	c.peers[name] = &edgePeer{name: name, ep: ep, rc: rc}
+	c.ring.Add(name)
+}
+
+// Ring returns the client's placement ring.
+func (c *EdgeClient) Ring() *Ring { return c.ring }
+
+// RemovePeer drops an edge from the ring (its keys reshard onto the
+// survivors) and closes its connection. Use when an edge is known
+// dead rather than transiently failing — transient failures are
+// handled by the breaker without ring surgery.
+func (c *EdgeClient) RemovePeer(name string) {
+	p, ok := c.peers[name]
+	if !ok {
+		return
+	}
+	delete(c.peers, name)
+	c.ring.Remove(name)
+	p.rc.Close()
+}
+
+// Health reports each edge's breaker state, keyed by edge name.
+func (c *EdgeClient) Health() map[string]core.EndpointHealth {
+	out := make(map[string]core.EndpointHealth, len(c.peers))
+	for name, p := range c.peers {
+		out[name] = p.ep.Health()
+	}
+	return out
+}
+
+// FetchContext fetches path through the fleet: ring owner first, then
+// its successors. Edges whose breaker is open are skipped on the
+// first pass (no connection attempt wasted) and only probed on the
+// second pass if every healthy candidate failed. Returns the result
+// and the name of the edge that served it.
+func (c *EdgeClient) FetchContext(ctx context.Context, path string) (*core.FetchResult, string, error) {
+	order := c.ring.LookupN(path, c.ring.Len())
+	if len(order) == 0 {
+		return nil, "", fmt.Errorf("cdn: no edges configured")
+	}
+	var lastErr error
+	tried := make(map[string]bool, len(order))
+	for pass := 0; pass < 2; pass++ {
+		for _, name := range order {
+			p, ok := c.peers[name]
+			if !ok || tried[name] {
+				continue
+			}
+			if pass == 0 && !p.ep.Healthy() {
+				continue // breaker open: skip without an attempt
+			}
+			tried[name] = true
+			res, err := p.rc.FetchContext(ctx, path)
+			if err == nil {
+				if name != order[0] {
+					c.rerouted.Add(1)
+				}
+				return res, name, nil
+			}
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, "", ctx.Err()
+			}
+		}
+	}
+	c.exhausted.Add(1)
+	return nil, "", fmt.Errorf("cdn: all %d edges failed for %s: %w", len(order), path, lastErr)
+}
+
+// Fetch is FetchContext without a deadline.
+func (c *EdgeClient) Fetch(path string) (*core.FetchResult, string, error) {
+	return c.FetchContext(context.Background(), path)
+}
+
+// Close drops every per-edge connection.
+func (c *EdgeClient) Close() error {
+	var first error
+	for _, p := range c.peers {
+		if err := p.rc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Register exports the router counters and every per-edge breaker.
+func (c *EdgeClient) Register(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Adopt("sww_edgeclient_rerouted_total", &c.rerouted)
+	reg.Adopt("sww_edgeclient_exhausted_total", &c.exhausted)
+	for _, p := range c.peers {
+		p.rc.Endpoints().Register(reg)
+	}
+}

@@ -1,0 +1,556 @@
+package cdn
+
+// The live edge replica: terminates SWW HTTP/2 from terminal clients
+// and serves prompt pages and assets from a local byte-capped cache
+// shard, pulling misses from the origin over a health-tracked
+// ResilientClient. The edge's whole job is staying useful while
+// something is broken:
+//
+//   - Origin dead or blackholed: warm entries keep being served past
+//     their TTL, up to MaxStale, with the staleness stamped on the
+//     response (x-sww-stale-age) so clients know what they got. Once
+//     the origin's breaker is open the edge fails static — requests
+//     are answered from the shard immediately and revalidation moves
+//     to the background, so a dead origin costs terminal clients one
+//     retry ladder total, not one per request.
+//   - A peer edge dead: clients fail over here; requests for keys the
+//     ring assigns to someone else are counted as failovers and served
+//     anyway (consistent hashing is placement advice, not an ACL).
+//   - Origin unpublished content meanwhile: the invalidation poller
+//     catches up from its last applied sequence on reconnect, so a
+//     partition delays invalidations but never loses them; a feed
+//     reset (log truncated past our position) flushes the whole shard.
+//
+// Cache entries are keyed by path plus the terminal client's
+// negotiated ability, because the same path serves different bytes to
+// a generative client (prompt page) and a traditional one (rendered
+// page). The upstream fetch is raw — transit bytes in, the same
+// transit bytes out — so prompt pages cross the backbone exactly once
+// and stay prompts.
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sww/internal/core"
+	"sww/internal/device"
+	"sww/internal/hpack"
+	"sww/internal/http2"
+	"sww/internal/overload"
+	"sww/internal/telemetry"
+)
+
+// EdgeConfig shapes one edge replica.
+type EdgeConfig struct {
+	// Name identifies this edge on the ring, in the x-sww-edge
+	// response header, and in peer lists.
+	Name string
+
+	// CacheBytes caps the local cache shard. <= 0 means 8 MiB.
+	CacheBytes int64
+
+	// TTL is how long a cached entry is fresh. <= 0 means 30s.
+	TTL time.Duration
+
+	// MaxStale is how far past its TTL an entry may still be served
+	// when the origin is unreachable. Zero means 10m; stale serving
+	// never happens while the origin answers. It bounds how long a
+	// fully partitioned edge can keep serving old content even if the
+	// invalidation poller never reconnects.
+	MaxStale time.Duration
+
+	// PollInterval paces the invalidation poller. <= 0 means 250ms.
+	PollInterval time.Duration
+
+	// Retry shapes the upstream (edge → origin) retry ladder. Keep
+	// MaxAttempts low and AttemptTimeout tight: a dead origin should
+	// fail fast into stale serving, not stack client timeouts.
+	Retry core.RetryPolicy
+
+	// Peers names every edge in the fleet, this one included; it seeds
+	// the ring this edge uses to recognise failover traffic. Empty
+	// means a single-edge ring of just Name.
+	Peers []string
+
+	// Ability is what this edge advertises to terminal clients in its
+	// own SETTINGS. Zero means GenFull — the edge itself never
+	// generates, it relays the client's ability upstream.
+	Ability http2.GenAbility
+}
+
+func (c EdgeConfig) cacheBytes() int64 {
+	if c.CacheBytes <= 0 {
+		return 8 << 20
+	}
+	return c.CacheBytes
+}
+
+func (c EdgeConfig) ttl() time.Duration {
+	if c.TTL <= 0 {
+		return 30 * time.Second
+	}
+	return c.TTL
+}
+
+func (c EdgeConfig) maxStale() time.Duration {
+	if c.MaxStale <= 0 {
+		return 10 * time.Minute
+	}
+	return c.MaxStale
+}
+
+func (c EdgeConfig) pollInterval() time.Duration {
+	if c.PollInterval <= 0 {
+		return 250 * time.Millisecond
+	}
+	return c.PollInterval
+}
+
+// edgeEntry is one cached raw reply with its freshness clock.
+type edgeEntry struct {
+	raw   *core.RawReply
+	path  string // bare path, for the invalidation index
+	added time.Time
+}
+
+// An Edge is one live edge replica.
+type Edge struct {
+	cfg      EdgeConfig
+	ring     *Ring
+	upstream *core.ResilientClient
+	h2       *http2.Server
+
+	cache *overload.ByteLRU
+	sf    overload.Group
+
+	mu     sync.Mutex
+	byPath map[string]map[string]struct{} // path → cache keys (one per ability)
+
+	lastSeq atomic.Uint64 // newest invalidation sequence applied
+
+	// pollerOn gates request-path revalidation: the edge wants exactly
+	// one background prober, and when the invalidation poller runs it
+	// is that prober — the serve path then stays allocation-free.
+	pollerOn atomic.Bool
+
+	// baseCtx scopes background revalidations; Close cancels it.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	pollCtx    context.Context
+	pollCancel context.CancelFunc
+	pollDone   chan struct{}
+
+	now func() time.Time
+
+	requests       telemetry.Counter
+	hits           telemetry.Counter
+	misses         telemetry.Counter
+	staleServes    telemetry.Counter
+	failovers      telemetry.Counter
+	upstreamErrors telemetry.Counter
+	errors         telemetry.Counter // 5xx answers to terminal clients
+	invalApplied   telemetry.Counter
+	invalResets    telemetry.Counter
+	pollErrors     telemetry.Counter
+}
+
+// NewEdge builds an edge pulling from the origins in the endpoint set
+// (usually one origin; more means origin failover too). Call Start to
+// run the invalidation poller, StartConn to serve terminal clients.
+func NewEdge(cfg EdgeConfig, origins *core.EndpointSet) *Edge {
+	if cfg.Ability == 0 {
+		cfg.Ability = http2.GenFull
+	}
+	peers := cfg.Peers
+	if len(peers) == 0 {
+		peers = []string{cfg.Name}
+	}
+	e := &Edge{
+		cfg:      cfg,
+		ring:     NewRing(0, peers...),
+		upstream: core.NewResilientClientEndpoints(origins, device.Workstation, nil, cfg.Retry, nil),
+		cache:    overload.NewByteLRU(cfg.cacheBytes()),
+		byPath:   map[string]map[string]struct{}{},
+		now:      time.Now,
+	}
+	e.baseCtx, e.baseCancel = context.WithCancel(context.Background())
+	e.cache.SetOnEvict(func(key string, value any, _ int64) {
+		e.unindex(value.(*edgeEntry).path, key)
+	})
+	e.h2 = &http2.Server{
+		Handler: http2.HandlerFunc(e.serve),
+		Config:  http2.Config{GenAbility: cfg.Ability},
+	}
+	return e
+}
+
+// Name returns the edge's ring name.
+func (e *Edge) Name() string { return e.cfg.Name }
+
+// Ring returns the edge's view of the fleet placement ring.
+func (e *Edge) Ring() *Ring { return e.ring }
+
+// Upstream returns the origin-facing resilient client (its endpoint
+// set carries the health/breaker state).
+func (e *Edge) Upstream() *core.ResilientClient { return e.upstream }
+
+// LastSeq returns the newest invalidation sequence applied.
+func (e *Edge) LastSeq() uint64 { return e.lastSeq.Load() }
+
+// StartConn serves one terminal-client connection in the background.
+func (e *Edge) StartConn(c net.Conn) *http2.ServerConn { return e.h2.StartConn(c) }
+
+// serve answers one terminal-client request: local cache first,
+// origin pull on miss, stale fallback when the origin is unreachable.
+func (e *Edge) serve(w *http2.ResponseWriter, r *http2.Request) {
+	e.requests.Add(1)
+	path := r.Path
+	if path == healthPath {
+		writeControl(w, 200, "text/plain; charset=utf-8", []byte("ok\n"))
+		return
+	}
+	if r.Method != "GET" {
+		e.errors.Add(1)
+		writeControl(w, 405, "text/plain; charset=utf-8", []byte("method not allowed\n"))
+		return
+	}
+	// Ring check: a request for a key the ring places on another edge
+	// means the client's picker failed over to us (or the ring
+	// resharded after an edge death). Count it and serve anyway.
+	if owner := e.ring.Lookup(path); owner != "" && owner != e.cfg.Name {
+		e.failovers.Add(1)
+	}
+
+	key := cacheKey(path, r.PeerGen)
+	now := e.now()
+
+	if v, ok := e.cache.Get(key); ok {
+		ent := v.(*edgeEntry)
+		if age := now.Sub(ent.added); age <= e.cfg.ttl() {
+			e.hits.Add(1)
+			e.reply(w, ent.raw, "hit", 0)
+			return
+		}
+	}
+
+	// Miss (or expired). While some origin endpoint is still believed
+	// healthy, pull synchronously, coalescing concurrent misses for
+	// the same key into one upstream fetch. Once the breaker says the
+	// whole set is down, fail static instead: no terminal client is
+	// parked on a retry ladder that is overwhelmingly likely to time
+	// out — the stale copy goes out now, and a background revalidation
+	// (which doubles as the endpoint probe) notices the heal.
+	if e.upstream.Endpoints().AnyHealthy() {
+		v, err, _ := e.sf.Do(key, func() (any, error) {
+			ctx := r.Stream().Context()
+			return e.upstream.FetchRawContext(ctx, path, hpack.HeaderField{
+				Name:  core.EdgeGenHeader,
+				Value: strconv.FormatUint(uint64(r.PeerGen), 10),
+			})
+		})
+		if err == nil {
+			raw := v.(*core.RawReply)
+			if raw.Status == 200 {
+				e.store(key, path, raw)
+			}
+			e.misses.Add(1)
+			e.reply(w, raw, "miss", 0)
+			return
+		}
+		e.upstreamErrors.Add(1)
+	} else {
+		e.upstreamErrors.Add(1)
+		// With no poller running, the serve path must kick the probe
+		// itself or the breaker would never see a heal.
+		if !e.pollerOn.Load() {
+			e.revalidate(key, path, r.PeerGen)
+		}
+	}
+
+	// Upstream failed or written off. Serve the warm entry if one
+	// exists and is not too stale; that is the edge tier's
+	// availability promise during an origin outage.
+	if v, ok := e.cache.Get(key); ok {
+		ent := v.(*edgeEntry)
+		age := now.Sub(ent.added)
+		if age <= e.cfg.ttl()+e.cfg.maxStale() {
+			staleFor := age - e.cfg.ttl()
+			if staleFor < 0 {
+				staleFor = 0
+			}
+			e.staleServes.Add(1)
+			e.reply(w, ent.raw, "stale", staleFor)
+			return
+		}
+	}
+	e.errors.Add(1)
+	writeControl(w, 502, "text/plain; charset=utf-8", []byte("origin unreachable and no warm copy\n"))
+}
+
+// reply writes a raw reply back to the terminal client, stamped with
+// the edge observability headers.
+func (e *Edge) reply(w *http2.ResponseWriter, raw *core.RawReply, cache string, staleFor time.Duration) {
+	fields := []hpack.HeaderField{
+		{Name: "content-type", Value: raw.ContentType},
+		{Name: "content-length", Value: strconv.Itoa(len(raw.Body))},
+		{Name: core.EdgeHeader, Value: e.cfg.Name},
+		{Name: core.EdgeCacheHeader, Value: cache},
+	}
+	if raw.Mode != "" {
+		fields = append(fields, hpack.HeaderField{Name: core.ModeHeader, Value: raw.Mode})
+	}
+	if staleFor > 0 {
+		secs := int(staleFor / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		fields = append(fields, hpack.HeaderField{Name: core.EdgeStaleHeader, Value: strconv.Itoa(secs)})
+	}
+	w.WriteHeaders(raw.Status, fields...)
+	w.Write(raw.Body)
+}
+
+func cacheKey(path string, gen http2.GenAbility) string {
+	return path + "|" + strconv.FormatUint(uint64(gen), 10)
+}
+
+// store caches one raw reply and indexes its key under the bare path
+// so invalidations (which speak paths, not keys) can find it.
+func (e *Edge) store(key, path string, raw *core.RawReply) {
+	ent := &edgeEntry{raw: raw, path: path, added: e.now()}
+	e.mu.Lock()
+	keys := e.byPath[path]
+	if keys == nil {
+		keys = map[string]struct{}{}
+		e.byPath[path] = keys
+	}
+	keys[key] = struct{}{}
+	e.mu.Unlock()
+	e.cache.Add(key, ent, int64(len(raw.Body))+int64(len(key))+64)
+}
+
+// revalidate refreshes key in the background. The singleflight keeps
+// one in-flight refresh per key, and the upstream fetch claims the
+// origin's probe slot when one is due — so the request path never
+// does. A success stores the fresh entry and flips the endpoint
+// healthy again, putting the next request back on the synchronous
+// pull path.
+func (e *Edge) revalidate(key, path string, gen http2.GenAbility) {
+	go e.sf.Do("reval|"+key, func() (any, error) {
+		ctx, cancel := context.WithTimeout(e.baseCtx, e.revalBudget())
+		defer cancel()
+		raw, err := e.upstream.FetchRawContext(ctx, path, hpack.HeaderField{
+			Name:  core.EdgeGenHeader,
+			Value: strconv.FormatUint(uint64(gen), 10),
+		})
+		if err == nil && raw.Status == 200 {
+			e.store(key, path, raw)
+		}
+		return nil, err
+	})
+}
+
+// revalBudget bounds one background revalidation: a full upstream
+// retry ladder plus backoff slack.
+func (e *Edge) revalBudget() time.Duration {
+	attempts := e.cfg.Retry.MaxAttempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	per := e.cfg.Retry.AttemptTimeout
+	if per <= 0 {
+		per = 2 * time.Second
+	}
+	return time.Duration(attempts)*per + time.Second
+}
+
+// unindex drops one key from the path index (eviction callback).
+func (e *Edge) unindex(path, key string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if keys := e.byPath[path]; keys != nil {
+		delete(keys, key)
+		if len(keys) == 0 {
+			delete(e.byPath, path)
+		}
+	}
+}
+
+// InvalidatePath drops every cached form of path.
+func (e *Edge) InvalidatePath(path string) int {
+	e.mu.Lock()
+	keys := make([]string, 0, len(e.byPath[path]))
+	for k := range e.byPath[path] {
+		keys = append(keys, k)
+	}
+	delete(e.byPath, path)
+	e.mu.Unlock()
+	for _, k := range keys {
+		e.cache.Remove(k)
+	}
+	return len(keys)
+}
+
+// Flush drops the whole shard — the response to a feed reset, where
+// the origin can no longer say what exactly was unpublished.
+func (e *Edge) Flush() {
+	e.mu.Lock()
+	all := make([]string, 0, len(e.byPath))
+	for _, keys := range e.byPath {
+		for k := range keys {
+			all = append(all, k)
+		}
+	}
+	e.byPath = map[string]map[string]struct{}{}
+	e.mu.Unlock()
+	for _, k := range all {
+		e.cache.Remove(k)
+	}
+}
+
+// Start runs the invalidation poller until Close. The poller doubles
+// as the origin health prober: its fetches feed the endpoint breaker,
+// so a failed-static edge notices the heal without terminal requests
+// ever probing.
+func (e *Edge) Start() {
+	e.pollCtx, e.pollCancel = context.WithCancel(context.Background())
+	e.pollDone = make(chan struct{})
+	e.pollerOn.Store(true)
+	go e.pollLoop()
+}
+
+// Close stops the poller, cancels in-flight background
+// revalidations, and drops the upstream connection.
+func (e *Edge) Close() error {
+	if e.pollCancel != nil {
+		e.pollerOn.Store(false)
+		e.pollCancel()
+		<-e.pollDone
+	}
+	e.baseCancel()
+	return e.upstream.Close()
+}
+
+// PollOnce polls the origin invalidation feed once and applies the
+// result: targeted removals normally, a full flush on reset. This is
+// also where a partitioned edge reconciles — its first successful poll
+// after the heal resumes from the last applied sequence, so every
+// invalidation issued during the partition lands before the edge goes
+// back to trusting its shard.
+func (e *Edge) PollOnce(ctx context.Context) error {
+	path := invalidationsPath + "?since=" + strconv.FormatUint(e.lastSeq.Load(), 10)
+	raw, err := e.upstream.FetchRawContext(ctx, path)
+	if err != nil {
+		e.pollErrors.Add(1)
+		return err
+	}
+	var feed InvalidationFeed
+	if err := json.Unmarshal(raw.Body, &feed); err != nil {
+		e.pollErrors.Add(1)
+		return err
+	}
+	if feed.Reset {
+		e.invalResets.Add(1)
+		e.Flush()
+	} else {
+		for _, p := range feed.Paths {
+			e.invalApplied.Add(uint64(e.InvalidatePath(p)))
+		}
+	}
+	e.lastSeq.Store(feed.Seq)
+	return nil
+}
+
+// pollLoop paces PollOnce, backing off up to 8× the base interval
+// while the origin is unreachable so a partitioned edge does not
+// hammer its side of the partition.
+func (e *Edge) pollLoop() {
+	defer close(e.pollDone)
+	base := e.cfg.pollInterval()
+	interval := base
+	t := time.NewTimer(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.pollCtx.Done():
+			return
+		case <-t.C:
+		}
+		ctx, cancel := context.WithTimeout(e.pollCtx, 4*base)
+		err := e.PollOnce(ctx)
+		cancel()
+		if err != nil && e.pollCtx.Err() == nil {
+			interval *= 2
+			if interval > 8*base {
+				interval = 8 * base
+			}
+		} else {
+			interval = base
+		}
+		t.Reset(interval)
+	}
+}
+
+// EdgeStats is a snapshot of the edge's counters.
+type EdgeStats struct {
+	Requests       uint64
+	Hits           uint64
+	Misses         uint64
+	StaleServes    uint64
+	Failovers      uint64
+	UpstreamErrors uint64
+	Errors         uint64
+	InvalApplied   uint64
+	InvalResets    uint64
+	PollErrors     uint64
+	LastSeq        uint64
+	CacheEntries   int
+	CacheBytes     int64
+}
+
+// Stats snapshots the edge counters — the same atomics Register
+// exports, for tests and experiment harnesses.
+func (e *Edge) Stats() EdgeStats {
+	return EdgeStats{
+		Requests:       e.requests.Load(),
+		Hits:           e.hits.Load(),
+		Misses:         e.misses.Load(),
+		StaleServes:    e.staleServes.Load(),
+		Failovers:      e.failovers.Load(),
+		UpstreamErrors: e.upstreamErrors.Load(),
+		Errors:         e.errors.Load(),
+		InvalApplied:   e.invalApplied.Load(),
+		InvalResets:    e.invalResets.Load(),
+		PollErrors:     e.pollErrors.Load(),
+		LastSeq:        e.lastSeq.Load(),
+		CacheEntries:   e.cache.Len(),
+		CacheBytes:     e.cache.Bytes(),
+	}
+}
+
+// Register exports the edge's counters and gauges onto reg.
+func (e *Edge) Register(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Adopt("sww_edge_requests_total", &e.requests)
+	reg.Adopt("sww_edge_cache_hits_total", &e.hits)
+	reg.Adopt("sww_edge_cache_misses_total", &e.misses)
+	reg.Adopt("sww_edge_stale_serves_total", &e.staleServes)
+	reg.Adopt("sww_edge_failover_total", &e.failovers)
+	reg.Adopt("sww_edge_upstream_errors_total", &e.upstreamErrors)
+	reg.Adopt("sww_edge_errors_total", &e.errors)
+	reg.Adopt("sww_edge_invalidations_applied_total", &e.invalApplied)
+	reg.Adopt("sww_edge_invalidation_resets_total", &e.invalResets)
+	reg.Adopt("sww_edge_poll_errors_total", &e.pollErrors)
+	reg.GaugeFunc("sww_edge_invalidation_seq", func() float64 { return float64(e.lastSeq.Load()) })
+	reg.GaugeFunc("sww_edge_cache_bytes", func() float64 { return float64(e.cache.Bytes()) })
+	reg.GaugeFunc("sww_edge_cache_entries", func() float64 { return float64(e.cache.Len()) })
+	e.upstream.Endpoints().Register(reg)
+}

@@ -1,0 +1,182 @@
+package cdn
+
+// The live origin: a core.Server plus the origin half of the edge
+// invalidation protocol. Unpublishes (explicit page removals and
+// LRU evictions of generated content) append to a bounded, sequenced
+// invalidation log, which edges poll over a control endpoint mounted
+// on the site's own listener. Pull beats push here: a partitioned
+// edge misses nothing, because on reconnect its next poll resumes
+// from the last sequence it applied — reconciliation is the protocol's
+// steady state, not a special case. If the log has been truncated past
+// an edge's position, the feed says so (reset=true) and the edge
+// flushes its whole cache rather than risk serving unpublished
+// content forever.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"sww/internal/core"
+	"sww/internal/hpack"
+	"sww/internal/http2"
+	"sww/internal/telemetry"
+)
+
+// ControlPrefix is the path prefix the origin intercepts for CDN
+// control traffic; everything else resolves as normal site traffic.
+const ControlPrefix = "/sww-cdn/"
+
+// Control endpoints under ControlPrefix.
+const (
+	invalidationsPath = ControlPrefix + "invalidations"
+	healthPath        = ControlPrefix + "health"
+)
+
+// DefaultInvalidationLog bounds the retained invalidation entries.
+// 1024 entries is hours of churn at realistic eviction rates; an edge
+// further behind than that flushes and refills, which is always safe.
+const DefaultInvalidationLog = 1024
+
+// An InvalidationFeed is one poll's answer, in wire form.
+type InvalidationFeed struct {
+	// Seq is the newest sequence number; the edge stores it and sends
+	// it back as ?since= on its next poll.
+	Seq uint64 `json:"seq"`
+	// Reset reports that the log no longer reaches back to the edge's
+	// position: the paths list is not exhaustive and the edge must
+	// flush its entire cache.
+	Reset bool `json:"reset"`
+	// Paths lists every path invalidated after the edge's position.
+	Paths []string `json:"paths,omitempty"`
+}
+
+type invalEntry struct {
+	seq   uint64
+	paths []string
+}
+
+// An Origin is a site server with the CDN control surface attached.
+type Origin struct {
+	srv *core.Server
+
+	mu     sync.Mutex
+	seq    uint64 // last assigned sequence number
+	floor  uint64 // entries <= floor have been truncated away
+	log    []invalEntry
+	maxLog int
+
+	invalidations telemetry.Counter // paths invalidated
+	feedRequests  telemetry.Counter // invalidation polls answered
+	feedResets    telemetry.Counter // polls answered with reset=true
+}
+
+// NewOrigin attaches the CDN control surface to srv: unpublish events
+// feed the invalidation log, and /sww-cdn/* is served on the site's
+// listener. maxLog <= 0 means DefaultInvalidationLog.
+func NewOrigin(srv *core.Server, maxLog int) *Origin {
+	if maxLog <= 0 {
+		maxLog = DefaultInvalidationLog
+	}
+	o := &Origin{srv: srv, maxLog: maxLog}
+	srv.SetOnUnpublish(o.Invalidate)
+	srv.SetControl(ControlPrefix, o.control)
+	return o
+}
+
+// Server returns the wrapped site server.
+func (o *Origin) Server() *core.Server { return o.srv }
+
+// Invalidate appends one invalidation entry covering paths and
+// returns its sequence number. Called automatically for unpublish
+// events; exported for tests and manual cache busting.
+func (o *Origin) Invalidate(paths []string) {
+	if len(paths) == 0 {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.seq++
+	o.log = append(o.log, invalEntry{seq: o.seq, paths: append([]string(nil), paths...)})
+	o.invalidations.Add(uint64(len(paths)))
+	if over := len(o.log) - o.maxLog; over > 0 {
+		o.floor = o.log[over-1].seq
+		o.log = append(o.log[:0], o.log[over:]...)
+	}
+}
+
+// Seq returns the newest invalidation sequence number.
+func (o *Origin) Seq() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.seq
+}
+
+// Feed answers one poll: everything invalidated after since, or a
+// reset when the log no longer reaches back that far.
+func (o *Origin) Feed(since uint64) InvalidationFeed {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.feedRequests.Add(1)
+	feed := InvalidationFeed{Seq: o.seq}
+	if since < o.floor {
+		// The edge's position fell off the log: anything might have
+		// been invalidated in the gap, so the only safe answer is
+		// "flush everything".
+		feed.Reset = true
+		o.feedResets.Add(1)
+		return feed
+	}
+	for _, e := range o.log {
+		if e.seq > since {
+			feed.Paths = append(feed.Paths, e.paths...)
+		}
+	}
+	return feed
+}
+
+// control serves the CDN endpoints on the site listener.
+func (o *Origin) control(w *http2.ResponseWriter, r *http2.Request) {
+	path, query, _ := strings.Cut(r.Path, "?")
+	switch path {
+	case healthPath:
+		writeControl(w, 200, "text/plain; charset=utf-8", []byte("ok\n"))
+	case invalidationsPath:
+		var since uint64
+		for _, kv := range strings.Split(query, "&") {
+			if v, ok := strings.CutPrefix(kv, "since="); ok {
+				since, _ = strconv.ParseUint(v, 10, 64)
+			}
+		}
+		body, err := json.Marshal(o.Feed(since))
+		if err != nil {
+			writeControl(w, 500, "text/plain; charset=utf-8", []byte(fmt.Sprintf("encode: %v\n", err)))
+			return
+		}
+		writeControl(w, 200, "application/json", body)
+	default:
+		writeControl(w, 404, "text/plain; charset=utf-8", []byte("unknown control endpoint\n"))
+	}
+}
+
+func writeControl(w *http2.ResponseWriter, status int, contentType string, body []byte) {
+	w.WriteHeaders(status,
+		hpack.HeaderField{Name: "content-type", Value: contentType},
+		hpack.HeaderField{Name: "content-length", Value: strconv.Itoa(len(body))},
+	)
+	w.Write(body)
+}
+
+// Register exports the origin-side protocol counters and the current
+// sequence number onto reg.
+func (o *Origin) Register(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Adopt("sww_cdn_origin_invalidations_total", &o.invalidations)
+	reg.Adopt("sww_cdn_origin_feed_requests_total", &o.feedRequests)
+	reg.Adopt("sww_cdn_origin_feed_resets_total", &o.feedResets)
+	reg.GaugeFunc("sww_cdn_origin_seq", func() float64 { return float64(o.Seq()) })
+}

@@ -84,6 +84,92 @@ func TestPlacementStorageConsolidation(t *testing.T) {
 	}
 }
 
+// TestPlacementZeroSites: a degenerate placement with no sites (and
+// zero RTT) must analyze without dividing by zero or claiming a
+// latency share out of thin air.
+func TestPlacementZeroSites(t *testing.T) {
+	p := Placement{Name: "nowhere", UserRTT: 0, Sites: 0}
+	load := DefaultPlacementLoad()
+	trad := AnalyzePlacement(p, load, false)
+	if trad.StorageSites != 0 {
+		t.Errorf("sites = %d", trad.StorageSites)
+	}
+	// Traditional at zero RTT: page latency is 0, and the share must
+	// stay 0 (not NaN) by the guard in AnalyzePlacement.
+	if trad.PageLatency != 0 {
+		t.Errorf("zero-RTT traditional latency = %v", trad.PageLatency)
+	}
+	if trad.LatencyShare != 0 {
+		t.Errorf("latency share = %v, want 0 (division guard)", trad.LatencyShare)
+	}
+	// SWW still pays generation time even from a zero-latency cache.
+	sww := AnalyzePlacement(p, load, true)
+	if sww.PageLatency != load.GenerationTime {
+		t.Errorf("SWW latency = %v, want pure generation time %v", sww.PageLatency, load.GenerationTime)
+	}
+	if sww.LatencyShare != 0 {
+		t.Errorf("SWW zero-RTT share = %v", sww.LatencyShare)
+	}
+}
+
+// TestPlacementZeroCapacityBackbone: with no backbone at all, any
+// positive miss traffic is infeasible in both modes, and only a
+// perfect hit rate (zero miss traffic) restores feasibility.
+func TestPlacementZeroCapacityBackbone(t *testing.T) {
+	load := DefaultPlacementLoad()
+	load.BackboneCapacityGbps = 0
+	for _, sww := range []bool{false, true} {
+		r := AnalyzePlacement(PlacementCore, load, sww)
+		if r.Feasible {
+			t.Errorf("sww=%v: feasible over a zero-capacity backbone at %.3f Gbps", sww, r.BackboneGbps)
+		}
+	}
+	load.HitRate = 1.0 // no misses → no backbone traffic → 0 <= 0 holds
+	r := AnalyzePlacement(PlacementCore, load, true)
+	if !r.Feasible || r.BackboneGbps != 0 {
+		t.Errorf("perfect hit rate: feasible=%v traffic=%.3f", r.Feasible, r.BackboneGbps)
+	}
+}
+
+// TestPlacementCrossover walks the load up until traditional delivery
+// breaches the backbone and checks SWW is still far from its own
+// breach at that point — the crossover band where prompts are the
+// only feasible delivery mode. The band's width is the media/prompt
+// byte ratio, so both modes must flip at loads ~147× apart.
+func TestPlacementCrossover(t *testing.T) {
+	load := DefaultPlacementLoad()
+	findBreach := func(sww bool) float64 {
+		l := load
+		for rps := 1000.0; rps <= 1e10; rps *= 2 {
+			l.RequestsPerSecond = rps
+			if !AnalyzePlacement(PlacementCore, l, sww).Feasible {
+				return rps
+			}
+		}
+		t.Fatalf("sww=%v never breached", sww)
+		return 0
+	}
+	mediaBreach := findBreach(false)
+	swwBreach := findBreach(true)
+	if swwBreach <= mediaBreach {
+		t.Fatalf("SWW breached at %.0f req/s, media at %.0f — wrong order", swwBreach, mediaBreach)
+	}
+	// Byte ratio ≈147× but the doubling search quantizes to powers of
+	// two; demand at least 64× separation.
+	if swwBreach/mediaBreach < 64 {
+		t.Errorf("crossover band = %.0fx, want ≥64x (byte ratio ~147x)", swwBreach/mediaBreach)
+	}
+	// Inside the band: media infeasible, SWW feasible.
+	l := load
+	l.RequestsPerSecond = mediaBreach * 4
+	if AnalyzePlacement(PlacementCore, l, false).Feasible {
+		t.Error("media feasible inside the crossover band")
+	}
+	if !AnalyzePlacement(PlacementCore, l, true).Feasible {
+		t.Error("SWW infeasible inside the crossover band")
+	}
+}
+
 func BenchmarkPlacementSweep(b *testing.B) {
 	load := DefaultPlacementLoad()
 	for i := 0; i < b.N; i++ {

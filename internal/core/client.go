@@ -12,6 +12,7 @@ import (
 
 	"sww/internal/device"
 	"sww/internal/genai"
+	"sww/internal/hpack"
 	"sww/internal/html"
 	"sww/internal/http2"
 	"sww/internal/http3"
@@ -23,10 +24,12 @@ func htmlRender(n *html.Node) string { return html.RenderString(n) }
 // fetchReply is one transport-agnostic response: status, the SWW
 // headers the client logic reads, and the full body.
 type fetchReply struct {
-	status     int
-	mode       string // x-sww-mode
-	retryAfter string // retry-after, 503 only
-	body       []byte
+	status      int
+	mode        string // x-sww-mode
+	contentType string // content-type, for raw re-serving at an edge
+	retryAfter  string // retry-after, 503 only
+	stale       string // x-sww-stale-age, set by an edge serving stale
+	body        []byte
 }
 
 // clientConn abstracts the transport beneath the generative client,
@@ -34,8 +37,10 @@ type fetchReply struct {
 type clientConn interface {
 	Negotiated() http2.GenAbility
 	ServerModelIDs() (image, text uint32)
-	// fetch GETs one path under ctx.
-	fetch(ctx context.Context, path string) (fetchReply, error)
+	// fetch GETs one path under ctx. extra request headers ride along
+	// on HTTP/2 (the edge tier's peer-ability forwarding); the HTTP/3
+	// adapter ignores them.
+	fetch(ctx context.Context, path string, extra ...hpack.HeaderField) (fetchReply, error)
 	Close() error
 }
 
@@ -45,8 +50,8 @@ type h2conn struct{ cc *http2.ClientConn }
 func (c h2conn) Negotiated() http2.GenAbility     { return c.cc.Negotiated() }
 func (c h2conn) ServerModelIDs() (uint32, uint32) { return c.cc.ServerModelIDs() }
 func (c h2conn) Close() error                     { return c.cc.Close() }
-func (c h2conn) fetch(ctx context.Context, path string) (fetchReply, error) {
-	resp, err := c.cc.GetContext(ctx, path)
+func (c h2conn) fetch(ctx context.Context, path string, extra ...hpack.HeaderField) (fetchReply, error) {
+	resp, err := c.cc.GetContext(ctx, path, extra...)
 	if err != nil {
 		return fetchReply{}, err
 	}
@@ -55,10 +60,12 @@ func (c h2conn) fetch(ctx context.Context, path string) (fetchReply, error) {
 		return fetchReply{}, err
 	}
 	return fetchReply{
-		status:     resp.Status,
-		mode:       resp.HeaderValue(ModeHeader),
-		retryAfter: resp.HeaderValue(RetryAfterHeader),
-		body:       body,
+		status:      resp.Status,
+		mode:        resp.HeaderValue(ModeHeader),
+		contentType: resp.HeaderValue("content-type"),
+		retryAfter:  resp.HeaderValue(RetryAfterHeader),
+		stale:       resp.HeaderValue(EdgeStaleHeader),
+		body:        body,
 	}, nil
 }
 
@@ -68,16 +75,18 @@ type h3conn struct{ cc *http3.ClientConn }
 func (c h3conn) Negotiated() http2.GenAbility     { return c.cc.Negotiated() }
 func (c h3conn) ServerModelIDs() (uint32, uint32) { return c.cc.ServerModelIDs() }
 func (c h3conn) Close() error                     { return c.cc.Close() }
-func (c h3conn) fetch(ctx context.Context, path string) (fetchReply, error) {
+func (c h3conn) fetch(ctx context.Context, path string, _ ...hpack.HeaderField) (fetchReply, error) {
 	resp, err := c.cc.GetContext(ctx, path)
 	if err != nil {
 		return fetchReply{}, err
 	}
 	return fetchReply{
-		status:     resp.Status,
-		mode:       resp.HeaderValue(ModeHeader),
-		retryAfter: resp.HeaderValue(RetryAfterHeader),
-		body:       resp.Body,
+		status:      resp.Status,
+		mode:        resp.HeaderValue(ModeHeader),
+		contentType: resp.HeaderValue("content-type"),
+		retryAfter:  resp.HeaderValue(RetryAfterHeader),
+		stale:       resp.HeaderValue(EdgeStaleHeader),
+		body:        resp.Body,
 	}, nil
 }
 
@@ -415,6 +424,50 @@ func (c *Client) FetchContext(ctx context.Context, path string) (*FetchResult, e
 	res.TransmitEnergyWh = device.TransmitEnergyWh(int64(res.WireBytes))
 	res.TransmitTime = c.dev.TransmitTime(int64(res.WireBytes))
 	return res, nil
+}
+
+// A RawReply is one response in transit form: exactly what the server
+// sent, unparsed and unprocessed. It is the currency of the edge
+// tier — an edge fetches pages and assets from the origin as raw
+// replies and re-serves the same bytes to its own clients, so prompt
+// pages cross the backbone once and stay prompts.
+type RawReply struct {
+	Status      int
+	Mode        string // x-sww-mode, "" for assets
+	ContentType string
+	Body        []byte
+	// StaleAge is the x-sww-stale-age header parsed as seconds (zero
+	// when the reply was fresh) — set when an upstream edge served
+	// this from a stale cache entry during an origin outage.
+	StaleAge time.Duration
+}
+
+// FetchRaw GETs path and returns the raw reply without any SWW page
+// processing: no prompt resolution, no asset walking, no generation.
+// A 503 surfaces as *ServerBusyError so the retry ladder can honour
+// Retry-After; every other status is returned as-is for the caller to
+// judge. extra request headers ride along (HTTP/2 only).
+func (c *Client) FetchRaw(ctx context.Context, path string, extra ...hpack.HeaderField) (*RawReply, error) {
+	reply, err := c.conn.fetch(ctx, path, extra...)
+	if err != nil {
+		return nil, err
+	}
+	if reply.status == 503 {
+		ra, _ := parseRetryAfter(reply.retryAfter, time.Now())
+		return nil, &ServerBusyError{Path: path, RetryAfter: ra}
+	}
+	raw := &RawReply{
+		Status:      reply.status,
+		Mode:        reply.mode,
+		ContentType: reply.contentType,
+		Body:        reply.body,
+	}
+	if reply.stale != "" {
+		if secs, err := strconv.Atoi(reply.stale); err == nil && secs >= 0 {
+			raw.StaleAge = time.Duration(secs) * time.Second
+		}
+	}
+	return raw, nil
 }
 
 // getAsset GETs one same-site asset over the connection.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sww/internal/device"
+	"sww/internal/hpack"
 	"sww/internal/http2"
 	"sww/internal/telemetry"
 )
@@ -143,10 +144,20 @@ type ResilientClient struct {
 	proc    *PageProcessor
 	policy  RetryPolicy
 
+	// endpoints, when set, replaces the single dial with a health-
+	// tracked fleet: each reconnect picks a usable endpoint (sticky to
+	// the last one used), transport outcomes feed its breaker, and a
+	// down endpoint is skipped until its probe cooldown passes. This
+	// is how an edge fails over between origins, and a terminal client
+	// between edges.
+	endpoints *EndpointSet
+
 	mu       sync.Mutex
 	rng      *rand.Rand
 	client   *Client
-	degraded bool // current cached client is a traditional one
+	degraded bool      // current cached client is a traditional one
+	curEp    *Endpoint // endpoint that dialed the cached client
+	prefer   string    // sticky endpoint preference across reconnects
 
 	// tel/met: optional ops telemetry (SetTelemetry in telemetry.go).
 	// The zero-value met no-ops, so the fetch path records blindly.
@@ -175,6 +186,30 @@ func NewResilientClient(dial DialFunc, dev device.Profile, proc *PageProcessor, 
 	}
 }
 
+// NewResilientClientEndpoints builds a resilient client over a fleet
+// of endpoints instead of a single dial: reconnects pick a usable
+// endpoint from the set (failing over away from broken ones), and
+// every attempt's transport outcome feeds that endpoint's breaker.
+func NewResilientClientEndpoints(eps *EndpointSet, dev device.Profile, proc *PageProcessor, policy RetryPolicy, factory ClientFactory) *ResilientClient {
+	rc := NewResilientClient(nil, dev, proc, policy, factory)
+	rc.endpoints = eps
+	return rc
+}
+
+// Endpoints returns the endpoint set, nil for a single-dial client.
+func (rc *ResilientClient) Endpoints() *EndpointSet { return rc.endpoints }
+
+// CurrentEndpoint returns the name of the endpoint that dialed the
+// live cached connection, "" when none.
+func (rc *ResilientClient) CurrentEndpoint() string {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.curEp == nil {
+		return ""
+	}
+	return rc.curEp.Name
+}
+
 // Close drops the cached connection, if any.
 func (rc *ResilientClient) Close() error {
 	rc.mu.Lock()
@@ -183,6 +218,7 @@ func (rc *ResilientClient) Close() error {
 }
 
 func (rc *ResilientClient) dropLocked() error {
+	rc.curEp = nil
 	if rc.client == nil {
 		return nil
 	}
@@ -194,32 +230,117 @@ func (rc *ResilientClient) dropLocked() error {
 // getClient returns a cached connection matching the wanted mode, or
 // dials a fresh one. A degraded fetch needs a GenNone connection
 // because SETTINGS_GEN_ABILITY is fixed at the handshake in this
-// implementation.
-func (rc *ResilientClient) getClient(degraded bool) (*Client, error) {
+// implementation. ctx bounds the connect phase (dial + handshake):
+// without it a blackholed peer would pin the attempt on the http2
+// layer's own handshake timeout (10s), blowing far past the policy's
+// AttemptTimeout.
+func (rc *ResilientClient) getClient(ctx context.Context, degraded bool) (*Client, error) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if rc.client != nil && rc.degraded == degraded {
 		return rc.client, nil
 	}
 	rc.dropLocked()
-	nc, err := rc.dial()
-	if err != nil {
-		return nil, &http2.TransportError{Op: "dial", Err: err}
+	dial := rc.dial
+	var ep *Endpoint
+	if rc.endpoints != nil {
+		var err error
+		ep, err = rc.endpoints.Pick(rc.prefer)
+		if err != nil {
+			// Everything down and resting: a retryable condition — a
+			// backoff later some endpoint's probe cooldown may be over.
+			return nil, &http2.TransportError{Op: "pick", Err: err}
+		}
+		rc.prefer = ep.Name
+		dial = ep.Dial
 	}
+	cl, err := rc.connect(ctx, dial, degraded)
+	if err != nil {
+		if ep != nil {
+			ep.ReportFailure()
+		}
+		// Setup failures are connect-phase faults (nothing was
+		// requested yet), so a fresh dial is always safe.
+		return nil, err
+	}
+	rc.client = cl
+	rc.degraded = degraded
+	rc.curEp = ep
+	return cl, nil
+}
+
+// connect runs dial + handshake raced against ctx. On loss it closes
+// the half-open conn so the abandoned handshake goroutine unblocks
+// and cleans up after itself; the stale-serve path depends on this
+// bound — an edge must learn its origin is gone within one attempt,
+// not one http2 handshake timeout. The context error is flattened
+// with %v on purpose: Retryable classifies wrapped context errors as
+// fatal, and this deadline was the attempt's, not the caller's.
+func (rc *ResilientClient) connect(ctx context.Context, dial DialFunc, degraded bool) (*Client, error) {
 	proc := rc.proc
 	if degraded {
 		proc = nil
 	}
-	cl, err := rc.factory(nc, rc.dev, proc)
-	if err != nil {
-		nc.Close()
-		// Setup failures are connect-phase faults (nothing was
-		// requested yet), so a fresh dial is always safe.
-		return nil, &http2.TransportError{Op: "handshake", Err: err}
+	type result struct {
+		cl  *Client
+		err error
 	}
-	rc.client = cl
-	rc.degraded = degraded
-	return cl, nil
+	done := make(chan result, 1)
+	dialed := make(chan net.Conn, 1)
+	go func() {
+		nc, err := dial()
+		if err != nil {
+			done <- result{nil, &http2.TransportError{Op: "dial", Err: err}}
+			return
+		}
+		dialed <- nc
+		cl, err := rc.factory(nc, rc.dev, proc)
+		if err != nil {
+			nc.Close()
+			done <- result{nil, &http2.TransportError{Op: "handshake", Err: err}}
+			return
+		}
+		done <- result{cl, nil}
+	}()
+	select {
+	case r := <-done:
+		return r.cl, r.err
+	case <-ctx.Done():
+		select {
+		case nc := <-dialed:
+			nc.Close()
+		default:
+			// Still dialing: the goroutine will notice the dial result
+			// is unwanted only via its own completion; both channels are
+			// buffered, so it never leaks past the http2 handshake bound.
+		}
+		return nil, &http2.TransportError{Op: "connect",
+			Err: fmt.Errorf("connect aborted: %v", ctx.Err())}
+	}
+}
+
+// endpointSuccess / endpointFailure feed the live connection's
+// endpoint breaker. A "success" is any proof the peer is alive and
+// talking — including a 503 busy reply — while a failure is a
+// transport-level fault. Both no-op for single-dial clients and when
+// no endpoint-dialed connection is live (a dial failure was already
+// reported inside getClient).
+func (rc *ResilientClient) endpointSuccess() {
+	rc.mu.Lock()
+	ep := rc.curEp
+	rc.mu.Unlock()
+	if ep != nil {
+		ep.ReportSuccess()
+	}
+}
+
+func (rc *ResilientClient) endpointFailure() {
+	rc.mu.Lock()
+	ep := rc.curEp
+	rc.mu.Unlock()
+	if ep != nil {
+		ep.ReportFailure()
+	}
 }
 
 // drop discards the cached connection after a failure.
@@ -251,6 +372,7 @@ func (rc *ResilientClient) FetchContext(ctx context.Context, path string) (*Fetc
 		}
 		res, err := rc.fetchOnce(ctx, path, degraded)
 		if err == nil {
+			rc.endpointSuccess()
 			res.Attempts = attempt
 			res.Degraded = degraded
 			res.DegradeReason = degradeReason
@@ -262,6 +384,7 @@ func (rc *ResilientClient) FetchContext(ctx context.Context, path string) (*Fetc
 		var busy *ServerBusyError
 		switch {
 		case errors.As(err, &busy):
+			rc.endpointSuccess()
 			// The server shed this request (503 + Retry-After): the
 			// connection is healthy — the server answered — so keep it
 			// and wait out max(backoff, Retry-After) before retrying.
@@ -299,8 +422,10 @@ func (rc *ResilientClient) FetchContext(ctx context.Context, path string) (*Fetc
 			}
 			rc.met.degrades.Inc()
 			rc.tel.Eventf("degrade", "%s: %s", path, degradeReason)
-			rc.drop() // need a GenNone handshake
+			rc.endpointSuccess() // the transport held; generation failed
+			rc.drop()            // need a GenNone handshake
 		case http2.Retryable(err):
+			rc.endpointFailure()
 			rc.drop()
 			if attempt < maxAttempts {
 				d := rc.nextDelay(attempt)
@@ -316,6 +441,101 @@ func (rc *ResilientClient) FetchContext(ctx context.Context, path string) (*Fetc
 	return nil, fmt.Errorf("core: fetch %s: %d attempts exhausted: %w", path, maxAttempts, lastErr)
 }
 
+// FetchRawContext fetches path in transit form (no page processing,
+// no local generation) through the same retry ladder minus the
+// degrade step, which cannot apply to a raw fetch. This is the edge
+// tier's origin-pull path: the reply's prompt page or asset bytes are
+// re-served verbatim, so content crosses the backbone exactly once
+// and prompt pages stay prompts. extra headers ride on the request —
+// the edge forwards the terminal client's ability there.
+func (rc *ResilientClient) FetchRawContext(ctx context.Context, path string, extra ...hpack.HeaderField) (*RawReply, error) {
+	var lastErr error
+	maxAttempts := rc.policy.maxAttempts()
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rc.met.attempts.Inc()
+		if attempt > 1 {
+			rc.met.retries.Inc()
+		}
+		raw, err := rc.fetchRawOnce(ctx, path, extra)
+		if err == nil {
+			rc.endpointSuccess()
+			return raw, nil
+		}
+		lastErr = err
+
+		var busy *ServerBusyError
+		switch {
+		case errors.As(err, &busy):
+			// Same reasoning as FetchContext: the peer answered, so the
+			// endpoint is healthy and the connection stays.
+			rc.endpointSuccess()
+			rc.met.busy.Inc()
+			if attempt < maxAttempts {
+				d := rc.nextDelay(attempt)
+				if busy.RetryAfter > d {
+					d = busy.RetryAfter
+				}
+				if dl, ok := ctx.Deadline(); ok {
+					if remain := time.Until(dl); d > remain {
+						return nil, fmt.Errorf("core: raw fetch %s: retry wait %v exceeds deadline: %w", path, d, lastErr)
+					}
+				}
+				rc.met.backoff.Observe(d)
+				if err := rc.sleep(ctx, d); err != nil {
+					return nil, err
+				}
+			}
+		case http2.Retryable(err):
+			rc.endpointFailure()
+			rc.drop()
+			if attempt < maxAttempts {
+				d := rc.nextDelay(attempt)
+				rc.met.backoff.Observe(d)
+				if err := rc.sleep(ctx, d); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("core: raw fetch %s: %d attempts exhausted: %w", path, maxAttempts, lastErr)
+}
+
+func (rc *ResilientClient) fetchRawOnce(ctx context.Context, path string, extra []hpack.HeaderField) (*RawReply, error) {
+	actx := ctx
+	if t := rc.policy.AttemptTimeout; t > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	var raw *RawReply
+	cl, err := rc.getClient(actx, rc.rawDegraded())
+	if err == nil {
+		raw, err = cl.FetchRaw(actx, path, extra...)
+	}
+	if err != nil && actx.Err() != nil && ctx.Err() == nil {
+		// Per-attempt deadline only: wedged connection, caller still
+		// has budget — retryable (same classification as fetchOnce).
+		return nil, &http2.TransportError{Op: "attempt",
+			Err: fmt.Errorf("deadline %v exceeded: %v", rc.policy.AttemptTimeout, err)}
+	}
+	return raw, err
+}
+
+// rawDegraded picks which handshake flavor a raw fetch reuses. Raw
+// fetches don't care about the connection's advertised ability (the
+// forwarded-ability header does that work), so reuse whatever mode
+// the cached connection is already in rather than forcing a redial.
+func (rc *ResilientClient) rawDegraded() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.client != nil && rc.degraded
+}
+
 func (rc *ResilientClient) fetchOnce(ctx context.Context, path string, degraded bool) (*FetchResult, error) {
 	actx := ctx
 	if t := rc.policy.AttemptTimeout; t > 0 {
@@ -323,11 +543,11 @@ func (rc *ResilientClient) fetchOnce(ctx context.Context, path string, degraded 
 		actx, cancel = context.WithTimeout(ctx, t)
 		defer cancel()
 	}
-	cl, err := rc.getClient(degraded)
-	if err != nil {
-		return nil, err
+	var res *FetchResult
+	cl, err := rc.getClient(actx, degraded)
+	if err == nil {
+		res, err = cl.FetchContext(actx, path)
 	}
-	res, err := cl.FetchContext(actx, path)
 	if err != nil && actx.Err() != nil && ctx.Err() == nil {
 		// Only the per-attempt deadline fired: the connection is
 		// wedged (blackholed peer, stalled window) but the caller

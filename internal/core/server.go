@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -48,6 +49,23 @@ const (
 	ShedHeader       = "x-sww-shed"
 	RetryAfterHeader = "retry-after"
 	shedPolicyFlip   = "policy-flip"
+)
+
+// Edge-tier headers. EdgeGenHeader is a *request* header carrying the
+// terminal client's negotiated SETTINGS_GEN_ABILITY as a decimal
+// uint32: an edge terminates h2 from its own clients and re-requests
+// on a long-lived upstream connection whose handshake ability cannot
+// change per request, so it forwards the ability explicitly and the
+// origin resolves as if that client had connected directly. (Honoring
+// it unconditionally grants nothing a client could not already claim
+// in its own SETTINGS.) The response headers are the edge tier's
+// observability surface: which edge served, whether its cache hit,
+// and — during an origin outage — how stale the served entry is.
+const (
+	EdgeGenHeader   = "x-sww-peer-gen"
+	EdgeHeader      = "x-sww-edge"      // responding edge's name
+	EdgeCacheHeader = "x-sww-cache"     // hit | miss | stale
+	EdgeStaleHeader = "x-sww-stale-age" // integer seconds of staleness
 )
 
 // A Server is the §5.1 generative server: it negotiates generative
@@ -96,6 +114,18 @@ type Server struct {
 	// tel is the attached ops telemetry set (nil = telemetry off);
 	// see EnableTelemetry in telemetry.go.
 	tel *telemetry.Set
+
+	// onUnpublish, when set, receives every path that stops being
+	// servable — evicted generated pages plus their generated assets,
+	// and explicitly removed pages. The live CDN origin turns these
+	// into invalidation protocol messages for its edges.
+	onUnpublish func(paths []string)
+
+	// control, when set, intercepts request paths with the given
+	// prefix before SWW resolution — the seam the CDN origin uses to
+	// serve its invalidation feed on the same listener as the site.
+	controlPrefix  string
+	controlHandler func(w *http2.ResponseWriter, r *http2.Request)
 
 	h2 *http2.Server
 }
@@ -159,18 +189,75 @@ func (s *Server) SetOverload(cfg overload.Config) {
 // being served too, so cache bytes and asset-map bytes shrink
 // together.
 func (s *Server) installGuard(g *overload.Guard) {
-	g.Cache().SetOnEvict(func(_ string, value any, _ int64) {
+	g.Cache().SetOnEvict(func(key string, value any, _ int64) {
 		st := value.(*servedTraditional)
 		s.mu.Lock()
 		for _, p := range st.assetPaths {
 			delete(s.assets, p)
 		}
+		unpub := s.onUnpublish
 		s.mu.Unlock()
 		g.Counters().CacheEvictions.Add(1)
+		if unpub != nil {
+			unpub(append([]string{key}, st.assetPaths...))
+		}
 	})
 	s.mu.Lock()
 	s.guard = g
 	s.mu.Unlock()
+}
+
+// SetOnUnpublish installs the unpublish hook: fn receives every path
+// that stops being servable (LRU-evicted generated pages and their
+// generated assets, explicitly removed pages). Call before serving
+// traffic. This is the origin half of the edge invalidation protocol.
+func (s *Server) SetOnUnpublish(fn func(paths []string)) {
+	s.mu.Lock()
+	s.onUnpublish = fn
+	s.mu.Unlock()
+}
+
+// SetControl intercepts requests whose path starts with prefix and
+// hands them to h instead of SWW resolution (HTTP/2 only). The CDN
+// origin mounts its invalidation feed here so edges and site traffic
+// share one listener.
+func (s *Server) SetControl(prefix string, h func(w *http2.ResponseWriter, r *http2.Request)) {
+	s.mu.Lock()
+	s.controlPrefix, s.controlHandler = prefix, h
+	s.mu.Unlock()
+}
+
+// RemovePage unpublishes a page: it stops being servable, its unique
+// and original assets leave the asset map, any cached generated form
+// is dropped (which also unpublishes generated assets via the
+// eviction hook), and the unpublish hook fires so edges are told.
+func (s *Server) RemovePage(path string) {
+	s.mu.Lock()
+	p, ok := s.pages[path]
+	var gone []string
+	if ok {
+		delete(s.pages, path)
+		gone = append(gone, path)
+		for _, a := range p.Unique {
+			delete(s.assets, a.Path)
+			gone = append(gone, a.Path)
+		}
+		for _, a := range p.Originals {
+			delete(s.assets, a.Path)
+			gone = append(gone, a.Path)
+		}
+	}
+	unpub := s.onUnpublish
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	// Dropping the cached generated form fires the eviction hook,
+	// which unpublishes the generated assets itself.
+	s.Overload().Cache().Remove(path)
+	if unpub != nil {
+		unpub(gone)
+	}
 }
 
 // ArtifactCache returns the generation pipeline's content-addressed
@@ -466,8 +553,25 @@ func (s *Server) resolveTraditional(ctx context.Context, p *Page) payload {
 // effective: a canceled request stops waiting for (or holding) a
 // generation worker.
 func (s *Server) serve(w *http2.ResponseWriter, r *http2.Request) {
-	ctx, tr, start := s.beginRequest(r.Stream().Context(), "h2", r.Path, r.PeerGen)
-	pl := s.resolve(ctx, r.Method, r.Path, r.PeerGen)
+	s.mu.RLock()
+	ctlPrefix, ctl := s.controlPrefix, s.controlHandler
+	s.mu.RUnlock()
+	if ctl != nil && ctlPrefix != "" && strings.HasPrefix(r.Path, ctlPrefix) {
+		ctl(w, r)
+		return
+	}
+	peerGen := r.PeerGen
+	if v := r.HeaderValue(EdgeGenHeader); v != "" {
+		// An edge is relaying and stamps its terminal client's ability
+		// on the request. Honoring the header unconditionally is safe:
+		// a direct client could claim any ability in SETTINGS anyway,
+		// so this grants nothing new.
+		if g, err := strconv.ParseUint(v, 10, 32); err == nil {
+			peerGen = http2.GenAbility(g)
+		}
+	}
+	ctx, tr, start := s.beginRequest(r.Stream().Context(), "h2", r.Path, peerGen)
+	pl := s.resolve(ctx, r.Method, r.Path, peerGen)
 	sp := tr.StartSpan("serve")
 	fields := []hpack.HeaderField{
 		{Name: "content-type", Value: pl.contentType},

@@ -12,14 +12,14 @@ import (
 // sww_requests_total / sww_request_duration_seconds and as the final
 // outcome on /tracez traces. One request gets exactly one outcome.
 const (
-	OutcomePrompt      = "prompt"       // generative: prompts served
-	OutcomePolicyFlip  = "policy-flip"  // shed rung 3: capable client, pre-rendered bytes
-	OutcomeTraditional = "traditional"  // rendered content (originals or fresh generation)
-	OutcomeCached      = "cached"       // rendered content from the generated-content LRU
-	OutcomeShed        = "shed"         // shed rung 4: 503 + Retry-After
-	OutcomeAsset       = "asset"        // a media asset, not a page
-	OutcomeNotFound    = "not-found"    // 404
-	OutcomeError       = "error"        // 405 / 500
+	OutcomePrompt      = "prompt"        // generative: prompts served
+	OutcomePolicyFlip  = "policy-flip"   // shed rung 3: capable client, pre-rendered bytes
+	OutcomeTraditional = "traditional"   // rendered content (originals or fresh generation)
+	OutcomeCached      = "cached"        // rendered content from the generated-content LRU
+	OutcomeShed        = "shed"          // shed rung 4: 503 + Retry-After
+	OutcomeAsset       = "asset"         // a media asset, not a page
+	OutcomeNotFound    = "not-found"     // 404
+	OutcomeError       = "error"         // 405 / 500
 	OutcomeRefused     = "abuse-refused" // stream refused before reaching the handler
 )
 
@@ -119,10 +119,10 @@ func (s *Server) observeDuration(name string, d time.Duration) {
 // clientMetrics is the ResilientClient's instrument set. The zero
 // value (all nil) no-ops, so the fetch path records unconditionally.
 type clientMetrics struct {
-	attempts *telemetry.Counter // fetch attempts, first try included
-	retries  *telemetry.Counter // attempts beyond the first
-	degrades *telemetry.Counter // generative → traditional ladder steps
-	busy     *telemetry.Counter // 503 busy replies waited out
+	attempts *telemetry.Counter   // fetch attempts, first try included
+	retries  *telemetry.Counter   // attempts beyond the first
+	degrades *telemetry.Counter   // generative → traditional ladder steps
+	busy     *telemetry.Counter   // 503 busy replies waited out
 	backoff  *telemetry.Histogram // sleeps between attempts
 }
 
@@ -145,5 +145,10 @@ func (rc *ResilientClient) SetTelemetry(set *telemetry.Set) {
 		degrades: reg.Counter("sww_client_degrades_total"),
 		busy:     reg.Counter("sww_client_busy_total"),
 		backoff:  reg.Histogram("sww_client_backoff_seconds"),
+	}
+	if rc.endpoints != nil {
+		// Per-endpoint breaker state: sww_endpoint_healthy and friends,
+		// so /statusz shows which peers this instance considers dead.
+		rc.endpoints.Register(reg)
 	}
 }

@@ -1,0 +1,398 @@
+package experiments
+
+// E23: the fault-tolerant edge tier under chaos. A live origin plus a
+// three-edge fleet serve a small page corpus over in-memory pipes
+// while the sweep breaks things in sequence:
+//
+//  1. Baseline — ring-routed fetches through the healthy fleet.
+//  2. Origin blackhole — every redial lands in a silent sink; warm
+//     entries must keep being served (stamped stale) at >= 0.8x the
+//     baseline goodput.
+//  3. Edge kill — one of three edges dies mid-run; terminal clients
+//     must route around it with an error rate under 1%, and removing
+//     the corpse must reshard every key it owned onto exactly the
+//     successor LookupN predicted.
+//  4. Partition + reconcile — one edge is partitioned from the origin
+//     while content is unpublished; the edge keeps serving its warm
+//     copy through the partition, then applies the missed
+//     invalidation on reconnect.
+//
+// Goodput here is served requests per wall-second. Over in-memory
+// pipes the absolute numbers mean little — what the ratio measures is
+// whether the breaker fails the dead origin fast enough that stale
+// serving stays in the same regime as fresh serving, instead of every
+// request eating a full upstream retry ladder.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sww/internal/cdn"
+	"sww/internal/core"
+	"sww/internal/faultnet"
+	"sww/internal/genai/imagegen"
+	"sww/internal/genai/textgen"
+	"sww/internal/workload"
+)
+
+// EdgePhase is one sweep phase's fetch outcome.
+type EdgePhase struct {
+	Fetches    int           `json:"fetches"`
+	OK         int           `json:"ok"`
+	Wall       time.Duration `json:"wall_ns"`
+	GoodputRPS float64       `json:"goodput_rps"`
+}
+
+// EdgeTierReport is E23's deliverable: the acceptance numbers for the
+// edge tier's availability promises.
+type EdgeTierReport struct {
+	Pages int `json:"pages"`
+	Edges int `json:"edges"`
+
+	Baseline  EdgePhase `json:"baseline"`
+	Blackhole EdgePhase `json:"blackhole"`
+	Kill      EdgePhase `json:"kill"`
+
+	// StaleGoodputRatio compares blackhole-phase goodput to baseline;
+	// StaleServes must be positive for the ratio to mean anything.
+	StaleGoodputRatio float64 `json:"stale_goodput_ratio"`
+	StaleServes       uint64  `json:"stale_serves"`
+
+	// KillErrorRate is the client-visible failure fraction with one of
+	// three edges dead; Failovers counts the survivor-side evidence.
+	KillErrorRate  float64 `json:"kill_error_rate"`
+	Failovers      uint64  `json:"failovers"`
+	ReshardCorrect bool    `json:"reshard_correct"`
+	ReshardKeys    int     `json:"reshard_keys"`
+
+	// Partition phase: the warm copy held through the partition, the
+	// missed invalidation landed on reconnect, and the unpublished page
+	// stopped being served.
+	PartitionWarmServed bool          `json:"partition_warm_served"`
+	ReconciledIn        time.Duration `json:"reconciled_in_ns"`
+	InvalidatedGone     bool          `json:"invalidated_gone"`
+}
+
+const edgeTierPages = 8
+
+// edgeFleet is the live harness: one origin server, N edges pulling
+// from it, switches to blackhole the origin, cut one edge's upstream,
+// or kill an edge.
+type edgeFleet struct {
+	srv    *core.Server
+	origin *cdn.Origin
+
+	originDown  atomic.Bool
+	upstreamCut map[string]*atomic.Bool
+
+	mu          sync.Mutex
+	originConns []net.Conn
+	edgeConns   map[string][]net.Conn
+
+	edges    map[string]*cdn.Edge
+	edgeDead map[string]*atomic.Bool
+	names    []string
+}
+
+func newEdgeFleet(names []string) (*edgeFleet, error) {
+	srv, err := core.NewServer(imagegen.SD3Medium, textgen.DeepSeek8)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < edgeTierPages; i++ {
+		srv.AddPage(workload.CDNPage(i))
+	}
+	f := &edgeFleet{
+		srv:         srv,
+		origin:      cdn.NewOrigin(srv, 0),
+		upstreamCut: map[string]*atomic.Bool{},
+		edgeConns:   map[string][]net.Conn{},
+		edges:       map[string]*cdn.Edge{},
+		edgeDead:    map[string]*atomic.Bool{},
+		names:       names,
+	}
+	health := core.EndpointHealthConfig{FailureThreshold: 2, ProbeCooldown: 25 * time.Millisecond}
+	for _, name := range names {
+		name := name
+		f.upstreamCut[name] = &atomic.Bool{}
+		f.edgeDead[name] = &atomic.Bool{}
+		origins := core.NewEndpointSet(health)
+		origins.Add("origin", func() (net.Conn, error) {
+			if f.originDown.Load() || f.upstreamCut[name].Load() {
+				return faultnet.Blackhole(), nil
+			}
+			cEnd, sEnd := net.Pipe()
+			f.srv.StartConn(sEnd)
+			f.mu.Lock()
+			f.originConns = append(f.originConns, sEnd)
+			f.mu.Unlock()
+			return cEnd, nil
+		})
+		f.edges[name] = cdn.NewEdge(cdn.EdgeConfig{
+			Name:     name,
+			TTL:      40 * time.Millisecond,
+			MaxStale: time.Hour,
+			// The edge ladder must fail a dead origin well inside one
+			// terminal-client attempt, or stale serving is unreachable.
+			PollInterval: 15 * time.Millisecond,
+			Retry: core.RetryPolicy{
+				MaxAttempts:    2,
+				AttemptTimeout: 40 * time.Millisecond,
+				BaseDelay:      2 * time.Millisecond,
+				MaxDelay:       10 * time.Millisecond,
+				Jitter:         0.2,
+				Seed:           17,
+			},
+			Peers: names,
+		}, origins)
+		f.edges[name].Start()
+	}
+	return f, nil
+}
+
+func (f *edgeFleet) close() {
+	for _, e := range f.edges {
+		e.Close()
+	}
+}
+
+func (f *edgeFleet) client() *cdn.EdgeClient {
+	dials := map[string]core.DialFunc{}
+	for name := range f.edges {
+		name := name
+		dials[name] = func() (net.Conn, error) {
+			if f.edgeDead[name].Load() {
+				return nil, errors.New("edge down")
+			}
+			cEnd, sEnd := net.Pipe()
+			f.edges[name].StartConn(sEnd)
+			f.mu.Lock()
+			f.edgeConns[name] = append(f.edgeConns[name], cEnd)
+			f.mu.Unlock()
+			return cEnd, nil
+		}
+	}
+	return cdn.NewEdgeClient(cdn.EdgeClientConfig{
+		Retry: core.RetryPolicy{
+			MaxAttempts:    2,
+			AttemptTimeout: 2 * time.Second,
+			BaseDelay:      2 * time.Millisecond,
+			MaxDelay:       10 * time.Millisecond,
+			Jitter:         0.2,
+			Seed:           23,
+		},
+		Health: core.EndpointHealthConfig{FailureThreshold: 2, ProbeCooldown: 25 * time.Millisecond},
+	}, dials)
+}
+
+func (f *edgeFleet) severOriginConns() {
+	f.mu.Lock()
+	conns := f.originConns
+	f.originConns = nil
+	f.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (f *edgeFleet) blackholeOrigin() {
+	f.originDown.Store(true)
+	f.severOriginConns()
+}
+
+func (f *edgeFleet) healOrigin() { f.originDown.Store(false) }
+
+func (f *edgeFleet) cutUpstream(edge string) {
+	f.upstreamCut[edge].Store(true)
+	f.severOriginConns()
+}
+
+func (f *edgeFleet) healUpstream(edge string) { f.upstreamCut[edge].Store(false) }
+
+func (f *edgeFleet) killEdge(name string) {
+	f.edgeDead[name].Store(true)
+	f.mu.Lock()
+	conns := f.edgeConns[name]
+	delete(f.edgeConns, name)
+	f.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	f.edges[name].Close()
+}
+
+func (f *edgeFleet) stats() cdn.EdgeStats {
+	var sum cdn.EdgeStats
+	for _, e := range f.edges {
+		s := e.Stats()
+		sum.StaleServes += s.StaleServes
+		sum.Failovers += s.Failovers
+		sum.UpstreamErrors += s.UpstreamErrors
+		sum.Errors += s.Errors
+	}
+	return sum
+}
+
+// runRounds fetches every page rounds times through ec and returns the
+// phase outcome plus the per-path serving edge of the last round.
+func runRounds(ctx context.Context, ec *cdn.EdgeClient, rounds int, check func(html string, page int) bool) EdgePhase {
+	var ph EdgePhase
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < edgeTierPages; i++ {
+			ph.Fetches++
+			res, _, err := ec.FetchContext(ctx, workload.CDNPagePath(i))
+			if err != nil {
+				continue
+			}
+			if check != nil && !check(res.HTML, i) {
+				continue
+			}
+			ph.OK++
+		}
+	}
+	ph.Wall = time.Since(start)
+	if s := ph.Wall.Seconds(); s > 0 {
+		ph.GoodputRPS = float64(ph.OK) / s
+	}
+	return ph
+}
+
+func pageOK(html string, page int) bool {
+	return strings.Contains(html, fmt.Sprintf("edge tier page %03d payload", page))
+}
+
+// EdgeTierSweep runs E23. quick trims the per-phase round count.
+func EdgeTierSweep(quick bool) (*EdgeTierReport, error) {
+	rounds := 6
+	if quick {
+		rounds = 3
+	}
+	names := []string{"edge1", "edge2", "edge3"}
+	fleet, err := newEdgeFleet(names)
+	if err != nil {
+		return nil, err
+	}
+	defer fleet.close()
+	ec := fleet.client()
+	defer ec.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	rep := &EdgeTierReport{Pages: edgeTierPages, Edges: len(names)}
+
+	// Phase 1: baseline through the healthy fleet. One unmeasured
+	// round warms every edge shard; the measured rounds are the
+	// steady state the blackhole phase is compared against.
+	runRounds(ctx, ec, 1, nil)
+	rep.Baseline = runRounds(ctx, ec, rounds, pageOK)
+	if rep.Baseline.OK != rep.Baseline.Fetches {
+		return rep, fmt.Errorf("baseline lost %d/%d fetches",
+			rep.Baseline.Fetches-rep.Baseline.OK, rep.Baseline.Fetches)
+	}
+
+	// Phase 2: blackhole the origin. Established upstream conns die
+	// and every redial hangs. The unmeasured round pays the one retry
+	// ladder that trips the endpoint breakers; from then on the edges
+	// fail static, and the measured steady state is stale serving at
+	// near-baseline goodput.
+	fleet.blackholeOrigin()
+	time.Sleep(60 * time.Millisecond) // let every warm entry expire
+	runRounds(ctx, ec, 1, nil)
+	before := fleet.stats()
+	rep.Blackhole = runRounds(ctx, ec, rounds, pageOK)
+	rep.StaleServes = fleet.stats().StaleServes - before.StaleServes
+	if rep.Baseline.GoodputRPS > 0 {
+		rep.StaleGoodputRatio = rep.Blackhole.GoodputRPS / rep.Baseline.GoodputRPS
+	}
+
+	// Phase 3: heal the origin and wait for every edge's poller probe
+	// to notice (the phases are separate scenarios — the kill phase
+	// should not also be measuring blackhole recovery), then kill one
+	// of the three edges while clients keep fetching. The picker must
+	// route around the corpse.
+	fleet.healOrigin()
+	healDeadline := time.Now().Add(10 * time.Second)
+	for _, e := range fleet.edges {
+		for !e.Upstream().Endpoints().AnyHealthy() {
+			if time.Now().After(healDeadline) {
+				return rep, fmt.Errorf("edge %s never saw the origin heal", e.Name())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	victim := "edge2"
+	successor := map[string]string{}
+	for i := 0; i < edgeTierPages; i++ {
+		path := workload.CDNPagePath(i)
+		if order := ec.Ring().LookupN(path, 3); order[0] == victim {
+			successor[path] = order[1]
+		}
+	}
+	fleet.killEdge(victim)
+	rep.Kill = runRounds(ctx, ec, rounds, pageOK)
+	rep.KillErrorRate = float64(rep.Kill.Fetches-rep.Kill.OK) / float64(rep.Kill.Fetches)
+	rep.Failovers = fleet.stats().Failovers
+
+	// Declare the victim dead: the ring reshards, and every key it
+	// owned must land exactly on the successor LookupN predicted.
+	ec.RemovePeer(victim)
+	rep.ReshardKeys = len(successor)
+	rep.ReshardCorrect = len(successor) > 0
+	for path, want := range successor {
+		if ec.Ring().Lookup(path) != want {
+			rep.ReshardCorrect = false
+		}
+	}
+
+	// Phase 4: partition one survivor from the origin, unpublish a page
+	// it holds warm, and verify bounded staleness then reconciliation.
+	part, path := "", ""
+	for i := 0; i < edgeTierPages; i++ {
+		p := workload.CDNPagePath(i)
+		if owner := ec.Ring().Lookup(p); owner != "" {
+			part, path = owner, p
+			break
+		}
+	}
+	if part == "" {
+		return rep, fmt.Errorf("no ring owner found for the partition phase")
+	}
+	if _, _, err := ec.FetchContext(ctx, path); err != nil {
+		return rep, fmt.Errorf("pre-partition warm fetch: %w", err)
+	}
+	fleet.cutUpstream(part)
+	fleet.srv.RemovePage(path) // unpublished while the edge cannot hear
+	time.Sleep(60 * time.Millisecond)
+	if res, _, err := ec.FetchContext(ctx, path); err == nil && pageOK(res.HTML, pageIndex(path)) {
+		rep.PartitionWarmServed = true
+	}
+
+	fleet.healUpstream(part)
+	healed := time.Now()
+	deadline := healed.Add(10 * time.Second)
+	for fleet.edges[part].LastSeq() < fleet.origin.Seq() {
+		if time.Now().After(deadline) {
+			return rep, fmt.Errorf("edge %s never reconciled: seq %d < %d",
+				part, fleet.edges[part].LastSeq(), fleet.origin.Seq())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rep.ReconciledIn = time.Since(healed)
+	if _, _, err := ec.FetchContext(ctx, path); err != nil {
+		rep.InvalidatedGone = true
+	}
+	return rep, nil
+}
+
+func pageIndex(path string) int {
+	var i int
+	fmt.Sscanf(path, "/cdn/page-%03d", &i)
+	return i
+}

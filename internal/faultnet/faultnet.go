@@ -34,6 +34,11 @@ var (
 	// ErrReset is returned once the ResetAfter budget is exhausted:
 	// the transport dies abruptly, as on a TCP RST.
 	ErrReset = errors.New("faultnet: connection reset by fault injection")
+
+	// ErrReadBlackholed is returned from a blackholed read direction
+	// once the connection is closed; until then the read simply hangs,
+	// exactly like packets lost to an asymmetric partition.
+	ErrReadBlackholed = errors.New("faultnet: read direction blackholed")
 )
 
 // Config selects the faults to inject. The zero value injects
@@ -76,6 +81,15 @@ type Config struct {
 	// peer — the classic dead-peer hang that keepalives must catch.
 	BlackholeAfter int64
 
+	// ReadBlackholeAfter blackholes the *read* direction after this
+	// many bytes have been read: later reads block until the conn is
+	// closed (then return ErrReadBlackholed), while writes keep
+	// flowing. Combined with BlackholeAfter this models asymmetric
+	// partitions — a node that can still be heard but no longer
+	// hears, or vice versa — the split-brain ingredient the E23
+	// cross-node chaos sweep injects.
+	ReadBlackholeAfter int64
+
 	// ResetAfter kills the transport abruptly after this many written
 	// bytes, returning ErrReset without writing the current chunk.
 	ResetAfter int64
@@ -86,14 +100,15 @@ type Config struct {
 
 // Stats counts what was actually injected on one conn.
 type Stats struct {
-	BytesRead    int64
-	BytesWritten int64 // bytes that genuinely reached the transport
-	Corrupted    int   // chunks with a flipped byte
-	Chunks       int   // underlying writes issued
-	Stalled      bool
-	Truncated    bool
-	Blackholed   bool
-	Reset        bool
+	BytesRead      int64
+	BytesWritten   int64 // bytes that genuinely reached the transport
+	Corrupted      int   // chunks with a flipped byte
+	Chunks         int   // underlying writes issued
+	Stalled        bool
+	Truncated      bool
+	Blackholed     bool
+	ReadBlackholed bool
+	Reset          bool
 }
 
 // A Conn is a fault-injecting wrapper around an underlying net.Conn.
@@ -105,12 +120,19 @@ type Conn struct {
 	rng     *rand.Rand
 	written int64
 	stats   Stats
-	dead    error // sticky terminal fault (truncation/reset)
+	dead    error         // sticky terminal fault (truncation/reset)
+	closed  chan struct{} // closed by Close; unblocks blackholed reads
+	closeMu sync.Once
 }
 
 // Wrap decorates nc with the faults in cfg.
 func Wrap(nc net.Conn, cfg Config) *Conn {
-	return &Conn{nc: nc, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &Conn{
+		nc:     nc,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		closed: make(chan struct{}),
+	}
 }
 
 // Pipe returns an in-memory connection pair whose srv end injects the
@@ -134,10 +156,32 @@ func (c *Conn) logf(format string, args ...any) {
 	}
 }
 
-// Read passes through, adding ReadLatency.
+// Read passes through, adding ReadLatency. Once ReadBlackholeAfter
+// bytes have been read, further reads block until the conn closes —
+// the inbound half of an asymmetric partition.
 func (c *Conn) Read(p []byte) (int, error) {
 	if c.cfg.ReadLatency > 0 {
 		time.Sleep(c.cfg.ReadLatency)
+	}
+	if c.cfg.ReadBlackholeAfter > 0 {
+		c.mu.Lock()
+		if c.stats.BytesRead >= c.cfg.ReadBlackholeAfter {
+			if !c.stats.ReadBlackholed {
+				c.stats.ReadBlackholed = true
+				c.mu.Unlock()
+				c.logf("read blackhole after %d bytes", c.cfg.ReadBlackholeAfter)
+			} else {
+				c.mu.Unlock()
+			}
+			<-c.closed
+			return 0, ErrReadBlackholed
+		}
+		// Cap the read at the threshold so it trips exactly even when
+		// the peer hands over one large burst.
+		if room := c.cfg.ReadBlackholeAfter - c.stats.BytesRead; int64(len(p)) > room {
+			p = p[:room]
+		}
+		c.mu.Unlock()
 	}
 	n, err := c.nc.Read(p)
 	c.mu.Lock()
@@ -168,7 +212,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 			c.stats.Reset = true
 			c.mu.Unlock()
 			c.logf("reset after %d bytes", c.cfg.ResetAfter)
-			c.nc.Close()
+			c.Close()
 			return written, ErrReset
 		}
 
@@ -179,7 +223,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 			c.stats.Truncated = true
 			c.mu.Unlock()
 			c.logf("truncated after %d bytes", c.cfg.TruncateAfter)
-			c.nc.Close()
+			c.Close()
 			return written, ErrTruncated
 		}
 
@@ -248,8 +292,12 @@ func (c *Conn) Write(p []byte) (int, error) {
 	return written, nil
 }
 
-// Close closes the underlying conn.
-func (c *Conn) Close() error { return c.nc.Close() }
+// Close closes the underlying conn and releases any reads parked in
+// a blackholed read direction.
+func (c *Conn) Close() error {
+	c.closeMu.Do(func() { close(c.closed) })
+	return c.nc.Close()
+}
 
 // LocalAddr returns the underlying local address.
 func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
@@ -265,6 +313,53 @@ func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(
 
 // SetWriteDeadline passes through.
 func (c *Conn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }
+
+// blackholeAddr is the fake address of a fully blackholed conn.
+type blackholeAddr struct{}
+
+func (blackholeAddr) Network() string { return "blackhole" }
+func (blackholeAddr) String() string  { return "blackhole" }
+
+// A blackholeConn is unreachable from byte zero: writes "succeed"
+// into the void and reads hang until Close.
+type blackholeConn struct {
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (b *blackholeConn) Read(p []byte) (int, error) {
+	<-b.closed
+	return 0, ErrReadBlackholed
+}
+
+func (b *blackholeConn) Write(p []byte) (int, error) {
+	select {
+	case <-b.closed:
+		return 0, net.ErrClosed
+	default:
+		return len(p), nil
+	}
+}
+
+func (b *blackholeConn) Close() error {
+	b.once.Do(func() { close(b.closed) })
+	return nil
+}
+
+func (b *blackholeConn) LocalAddr() net.Addr              { return blackholeAddr{} }
+func (b *blackholeConn) RemoteAddr() net.Addr             { return blackholeAddr{} }
+func (b *blackholeConn) SetDeadline(time.Time) error      { return nil }
+func (b *blackholeConn) SetReadDeadline(time.Time) error  { return nil }
+func (b *blackholeConn) SetWriteDeadline(time.Time) error { return nil }
+
+// Blackhole returns a connection to nowhere: every write is silently
+// swallowed and every read hangs until Close. It models dialing a
+// peer the network has completely swallowed — the dial "succeeds"
+// (SYN-ACKs still flow in many real partitions) but nothing ever
+// comes back, so only attempt timeouts can unstick the caller.
+func Blackhole() net.Conn {
+	return &blackholeConn{closed: make(chan struct{})}
+}
 
 // A Plan sequences fault configs across successive connections: the
 // n-th dial gets the n-th config, and dials past the end get the

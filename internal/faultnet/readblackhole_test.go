@@ -1,0 +1,91 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestReadBlackhole: after the byte threshold, reads hang (like an
+// inbound partition) while the write direction keeps flowing — the
+// asymmetric fault — and Close releases the parked reader with
+// ErrReadBlackholed.
+func TestReadBlackhole(t *testing.T) {
+	peer, raw := net.Pipe()
+	c := Wrap(raw, Config{ReadBlackholeAfter: 4})
+	defer peer.Close()
+
+	go func() {
+		peer.Write([]byte("abcdefgh"))
+	}()
+
+	// Reads up to the threshold pass, capped so the threshold trips
+	// exactly even on one large read.
+	buf := make([]byte, 16)
+	got := 0
+	for got < 4 {
+		n, err := c.Read(buf[got:])
+		if err != nil {
+			t.Fatalf("read before threshold: %v", err)
+		}
+		got += n
+	}
+	if got != 4 {
+		t.Fatalf("read %d bytes, want exactly the 4-byte threshold", got)
+	}
+
+	// The write direction must still work: asymmetric, not a full cut.
+	go func() {
+		io := make([]byte, 8)
+		peer.Read(io)
+	}()
+	if _, err := c.Write([]byte("pong")); err != nil {
+		t.Fatalf("write through a read-blackholed conn: %v", err)
+	}
+
+	// The next read parks until Close, then reports the injected fault.
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := c.Read(buf)
+		readErr <- err
+	}()
+	select {
+	case err := <-readErr:
+		t.Fatalf("blackholed read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	c.Close()
+	select {
+	case err := <-readErr:
+		if !errors.Is(err, ErrReadBlackholed) {
+			t.Fatalf("parked read err = %v, want ErrReadBlackholed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not release the parked read")
+	}
+	if st := c.Stats(); !st.ReadBlackholed || st.BytesRead != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestReadBlackholeDisabled: the zero config leaves reads untouched.
+func TestReadBlackholeDisabled(t *testing.T) {
+	peer, raw := net.Pipe()
+	c := Wrap(raw, Config{})
+	defer c.Close()
+	defer peer.Close()
+	go peer.Write([]byte("0123456789"))
+	buf := make([]byte, 10)
+	got := 0
+	for got < 10 {
+		n, err := c.Read(buf[got:])
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		got += n
+	}
+	if st := c.Stats(); st.ReadBlackholed {
+		t.Fatal("ReadBlackholed set with fault disabled")
+	}
+}

@@ -21,18 +21,20 @@ import (
 // All methods are safe for concurrent use and nil-safe: calls on a
 // nil *Registry return nil instruments, whose own methods no-op.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]func() float64
-	hists    map[string]*Histogram
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]func() float64
+	gaugeVars map[string]*Gauge
+	hists     map[string]*Histogram
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]func() float64{},
-		hists:    map[string]*Histogram{},
+		counters:  map[string]*Counter{},
+		gauges:    map[string]func() float64{},
+		gaugeVars: map[string]*Gauge{},
+		hists:     map[string]*Histogram{},
 	}
 }
 
@@ -63,6 +65,25 @@ func (r *Registry) Adopt(name string, c *Counter) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.counters[name] = c
+}
+
+// Gauge returns the settable gauge registered under name, creating it
+// on first use — the right shape for values the owner pushes (an
+// endpoint's health bit, a replication sequence number) rather than
+// values computed at scrape time (use GaugeFunc for those).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gaugeVars[name]
+	if !ok {
+		g = new(Gauge)
+		r.gaugeVars[name] = g
+		r.gauges[name] = func() float64 { return float64(g.Load()) }
+	}
+	return g
 }
 
 // GaugeFunc registers a gauge computed at scrape time — the right

@@ -352,6 +352,22 @@ func LoadPage(i int) *core.Page {
 	return &core.Page{Path: LoadPagePath(i), Doc: doc}
 }
 
+// CDNPagePath returns the path of the i-th edge-tier page.
+func CDNPagePath(i int) string { return fmt.Sprintf("/cdn/page-%03d", i) }
+
+// CDNPage builds the i-th page of the E23 edge-tier corpus: a small
+// static page with no placeholders and no assets, so a fetch through
+// the edge tier measures cache and failover behaviour, not generation
+// cost. The body carries a deterministic filler paragraph so pages
+// have distinct, verifiable content and a realistic few-kB size.
+func CDNPage(i int) *core.Page {
+	filler := strings.Repeat(fmt.Sprintf("edge tier page %03d payload ", i), 40)
+	doc := html.Parse(fmt.Sprintf(
+		`<!DOCTYPE html><html><head><title>CDN page %03d</title></head><body><h1>CDN page %03d</h1><p>%s</p></body></html>`,
+		i, i, filler))
+	return &core.Page{Path: CDNPagePath(i), Doc: doc}
+}
+
 // AbusePagePath addresses the i-th page of the E20 abuse corpus.
 func AbusePagePath(i int) string { return fmt.Sprintf("/abuse/page-%04d", i) }
 
