@@ -5,7 +5,8 @@
 //
 //	sww-bench [-only t1|t2|fig2|steps|sizes|text|article|matrix|
 //	                 energy|carbon|traffic|cdn|video|storage|ablations|
-//	                 chaos|overload|abuse|fastpath|telemetry|edgetier]
+//	                 chaos|overload|abuse|fastpath|telemetry|edgetier|
+//	                 selfheal]
 //	          [-quick]
 //
 // Without -only, all experiments run in order. -quick trims the
@@ -62,6 +63,7 @@ func main() {
 		{"fastpath", "E21 generation fast path & artifact cache", runFastpath},
 		{"telemetry", "E22 operational telemetry cross-check", runTelemetry},
 		{"edgetier", "E23 edge tier failover & serve-stale chaos", runEdgeTier},
+		{"selfheal", "E24 self-healing mesh: restart, push loss, peer-fill", runSelfHeal},
 	}
 	failed := false
 	for _, e := range all {
@@ -544,6 +546,61 @@ func runEdgeTier() error {
 	}
 	if !rep.InvalidatedGone {
 		return fmt.Errorf("invalidation issued during the partition never landed")
+	}
+	return nil
+}
+
+// runSelfHeal prints E24 as JSON and fails if the mesh missed its
+// self-healing bars: a killed edge restarts warm from its snapshot
+// with zero origin pulls and reconciles the invalidations it missed;
+// pushes lost to a partition are repaired by the anti-entropy poller
+// shortly after the heal; and a cold edge fills from its ring peer at
+// >= 0.9x the warm edge's serve-stale goodput with the origin down.
+func runSelfHeal() error {
+	rep, err := experiments.SelfHealSweep(quickMode)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", out)
+	fmt.Printf("warm restart: %d snapshot entries, %d warm hits, %d origin pulls; "+
+		"seq reconciled %v, stale entry dropped %v\n",
+		rep.SnapshotEntries, rep.WarmHits, rep.RestartPulls,
+		rep.SeqReconciled, rep.RestartInvalGone)
+	fmt.Printf("push loss: healthy push in %v; %d invalidations lost to the partition, "+
+		"reconciled %v after heal (%.1f repair intervals of %v)\n",
+		rep.PushLatency.Round(time.Microsecond), rep.LostInvals,
+		rep.ReconcileAfter.Round(time.Millisecond), rep.ReconcileBounds, rep.PollInterval)
+	fmt.Printf("peer-fill: baseline %.0f/s, cold edge %.0f/s (%.2fx); "+
+		"%d fills, %d peer serves\n",
+		rep.Baseline.GoodputRPS, rep.PeerFill.GoodputRPS, rep.FillGoodputRatio,
+		rep.PeerFills, rep.PeerServes)
+	if rep.RestartPulls != 0 {
+		return fmt.Errorf("warm restart pulled the origin %d times (want 0)", rep.RestartPulls)
+	}
+	if !rep.SeqReconciled {
+		return fmt.Errorf("restarted edge never caught up with the invalidation feed")
+	}
+	if !rep.RestartInvalGone {
+		return fmt.Errorf("invalidation issued during the outage was served stale after restart")
+	}
+	if rep.PushApplied == 0 {
+		return fmt.Errorf("healthy-path push was never applied")
+	}
+	// "Shortly after the heal": one jittered poll tick plus the error
+	// backoff the partition built up — comfortably inside 10 intervals.
+	if rep.ReconcileBounds > 10 {
+		return fmt.Errorf("anti-entropy took %.1f repair intervals (want <= 10)", rep.ReconcileBounds)
+	}
+	if rep.PeerFills == 0 {
+		return fmt.Errorf("cold edge never peer-filled")
+	}
+	if rep.FillGoodputRatio < 0.9 {
+		return fmt.Errorf("peer-fill goodput fell to %.2fx of serve-stale baseline (want >= 0.9)",
+			rep.FillGoodputRatio)
 	}
 	return nil
 }

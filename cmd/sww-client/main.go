@@ -10,20 +10,27 @@
 //	           [-device laptop|workstation|mobile] [-out ./rendered]
 //	           [-traditional] [-image-model ...] [-text-model ...]
 //	           [-peers edge1=localhost:8430,edge2=localhost:8431]
+//	           [-probe-peers]
 //
 // -peers switches to ring routing through an edge fleet: the path's
 // consistent-hash owner is tried first, then its ring successors, so
 // a dead edge is failed over without any extra flags. -addr is
-// ignored in this mode.
+// ignored in this mode. -probe-peers additionally health-probes the
+// fleet before routing and removes unresponsive edges from the
+// placement ring — the ring then reflects live membership rather than
+// the flag's boot-time list, so no fetch is spent discovering a dead
+// owner the probe already found.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -44,6 +51,7 @@ func main() {
 	textModel := flag.String("text-model", textgen.DeepSeek8, "local text model")
 	useH3 := flag.Bool("h3", false, "connect with the HTTP/3 mapping instead of HTTP/2")
 	peers := flag.String("peers", "", "ring-route through an edge fleet: comma-separated name=addr list")
+	probePeers := flag.Bool("probe-peers", false, "health-probe the fleet first and drop dead edges from the ring")
 	flag.Parse()
 
 	profile, err := profileByName(*dev)
@@ -59,7 +67,7 @@ func main() {
 	}
 
 	if *peers != "" {
-		fetchThroughEdges(*peers, *path, *out, profile, proc)
+		fetchThroughEdges(*peers, *path, *out, *probePeers, profile, proc)
 		return
 	}
 
@@ -104,8 +112,10 @@ func main() {
 }
 
 // fetchThroughEdges ring-routes one fetch through the edge fleet in
-// spec ("name=addr,name=addr"), printing which edge served it.
-func fetchThroughEdges(spec, path, out string, profile device.Profile, proc *core.PageProcessor) {
+// spec ("name=addr,name=addr"), printing which edge served it. With
+// probe set, a synchronous membership round runs first: unresponsive
+// edges are declared dead and removed from the ring before routing.
+func fetchThroughEdges(spec, path, out string, probe bool, profile device.Profile, proc *core.PageProcessor) {
 	dials := map[string]core.DialFunc{}
 	for _, pair := range strings.Split(spec, ",") {
 		name, addr, ok := strings.Cut(pair, "=")
@@ -124,8 +134,31 @@ func fetchThroughEdges(spec, path, out string, profile device.Profile, proc *cor
 	}, dials)
 	defer ec.Close()
 
+	if probe {
+		// One-shot client: a single failed probe is all the evidence
+		// we will ever gather, so the suspect/dead ladder collapses to
+		// "answered the probe or not" via nanosecond thresholds.
+		m := ec.EnableMembership(cdn.MemberConfig{
+			ProbeTimeout: 2 * time.Second,
+			SuspectAfter: time.Nanosecond,
+			DeadAfter:    time.Nanosecond,
+		})
+		m.Tick(context.Background())
+		states := m.States()
+		names := make([]string, 0, len(states))
+		for n := range states {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, n := range names {
+			parts = append(parts, fmt.Sprintf("%s=%s", n, states[n]))
+		}
+		fmt.Printf("peer states: %s (dead peers removed from ring)\n", strings.Join(parts, " "))
+	}
+
 	fmt.Printf("ring owner for %s: %s (failover order %v)\n",
-		path, ec.Ring().Lookup(path), ec.Ring().LookupN(path, len(dials)))
+		path, ec.Ring().Lookup(path), ec.Ring().LookupN(path, ec.Ring().Len()))
 	res, served, err := ec.Fetch(path)
 	if err != nil {
 		log.Fatalf("fetch %s: %v", path, err)

@@ -17,23 +17,45 @@
 //	           [-abuse-ping-budget 100] [-abuse-settings-budget 20]
 //	           [-abuse-window-update-budget 4000] [-abuse-empty-data-budget 100]
 //	           [-ops-addr 127.0.0.1:8421]
-//	           [-inval-log 1024]
+//	           [-inval-log 1024] [-drain-timeout 5s]
 //	sww-server -role edge -origin-addr localhost:8420
-//	           [-addr :8430] [-edge-name edge1] [-peers edge1,edge2]
+//	           [-addr :8430] [-edge-name edge1]
+//	           [-peers edge1=127.0.0.1:8430,edge2=127.0.0.1:8440]
+//	           [-edge-advertise 127.0.0.1:8430]
 //	           [-edge-cache-bytes 8388608] [-edge-ttl 30s]
 //	           [-edge-max-stale 10m] [-edge-poll 250ms]
+//	           [-edge-heartbeat 500ms] [-edge-suspect-after 1.5s]
+//	           [-edge-dead-after 3s] [-edge-peer-fill 2]
+//	           [-edge-snapshot /var/lib/sww/edge1.snap]
+//	           [-edge-snapshot-interval 5s]
 //	           [-origin-attempts 3] [-origin-attempt-timeout 2s]
 //	           [-origin-breaker-failures 3] [-origin-probe-cooldown 500ms]
-//	           [-ops-addr 127.0.0.1:8431]
+//	           [-ops-addr 127.0.0.1:8431] [-drain-timeout 5s]
 //
 // -role origin (the default) runs the generative server with the CDN
 // control surface attached: the /sww-cdn/ invalidation feed that edge
-// replicas poll, fed by unpublishes and cache evictions. -role edge
-// runs an edge replica instead: it terminates SWW HTTP/2 from
-// terminal clients, serves from a local cache shard, pulls misses
-// from -origin-addr, and keeps serving warm entries (age-stamped
-// stale) when the origin is unreachable. -peers names the whole edge
-// fleet so the edge can recognise ring-failover traffic.
+// replicas poll, fed by unpublishes and cache evictions, plus push
+// fan-out to any edge that advertises a push address. -role edge runs
+// an edge replica instead: it terminates SWW HTTP/2 from terminal
+// clients, serves from a local cache shard, pulls misses from
+// -origin-addr, and keeps serving warm entries (age-stamped stale)
+// when the origin is unreachable.
+//
+// -peers names the edge fleet, either as bare names (placement ring
+// only, the pre-mesh behaviour) or as name=addr pairs, which
+// additionally join the self-healing mesh: the edge heartbeats every
+// addressable peer, walks silent ones alive→suspect→dead, removes
+// dead peers from the placement ring (re-admitting them on recovery),
+// and consults alive ring-successors for peer-fill when the origin's
+// breaker is open. -edge-advertise subscribes the edge to origin push
+// invalidation. -edge-snapshot enables crash-safe warm restart: the
+// shard and invalidation position are snapshotted there periodically
+// and on shutdown, and reloaded on boot.
+//
+// Both roles drain gracefully on SIGTERM/SIGINT: the listener closes,
+// in-flight streams get -drain-timeout to finish (GOAWAY first, so
+// clients stop sending new streams), and an edge flushes its
+// persistence snapshot before exiting.
 //
 // -ops-addr starts an operations listener (off by default): Prometheus
 // metrics at /metrics, a JSON snapshot at /statusz, recent request
@@ -56,11 +78,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"sww/internal/cdn"
@@ -100,13 +127,21 @@ func main() {
 	abuseEmptyDataBudget := flag.Int("abuse-empty-data-budget", 100, "empty DATA frames tolerated per window")
 	opsAddr := flag.String("ops-addr", "", "operations listener address for /metrics, /statusz, /tracez, /debug/pprof (empty disables)")
 	invalLog := flag.Int("inval-log", cdn.DefaultInvalidationLog, "origin invalidation log depth")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "grace for in-flight streams on SIGTERM/SIGINT")
 	originAddr := flag.String("origin-addr", "", "edge role: origin address to pull misses from")
 	edgeName := flag.String("edge-name", "edge1", "edge role: this edge's ring name")
-	peerNames := flag.String("peers", "", "edge role: comma-separated fleet names for the placement ring")
+	peerNames := flag.String("peers", "", "edge role: comma-separated fleet, name or name=addr (addr joins the health/peer-fill mesh)")
+	edgeAdvertise := flag.String("edge-advertise", "", "edge role: address advertised to the origin for push invalidation (empty = pull only)")
 	edgeCacheBytes := flag.Int64("edge-cache-bytes", 8<<20, "edge role: byte cap on the local cache shard")
 	edgeTTL := flag.Duration("edge-ttl", 30*time.Second, "edge role: cached entry freshness")
 	edgeMaxStale := flag.Duration("edge-max-stale", 10*time.Minute, "edge role: how far past TTL an entry may be served when the origin is down")
-	edgePoll := flag.Duration("edge-poll", 250*time.Millisecond, "edge role: invalidation poll interval")
+	edgePoll := flag.Duration("edge-poll", 250*time.Millisecond, "edge role: invalidation poll interval (±20% jitter per tick)")
+	edgeHeartbeat := flag.Duration("edge-heartbeat", 500*time.Millisecond, "edge role: peer heartbeat interval")
+	edgeSuspectAfter := flag.Duration("edge-suspect-after", 0, "edge role: silence before a peer is suspected (0 = 3x heartbeat)")
+	edgeDeadAfter := flag.Duration("edge-dead-after", 0, "edge role: silence before a peer is declared dead and removed from the ring (0 = 2x suspect)")
+	edgePeerFill := flag.Int("edge-peer-fill", 0, "edge role: ring successors consulted on a breaker-open miss (0 = 2, negative disables)")
+	edgeSnapshot := flag.String("edge-snapshot", "", "edge role: shard snapshot path for crash-safe warm restart (empty disables)")
+	edgeSnapshotInterval := flag.Duration("edge-snapshot-interval", 5*time.Second, "edge role: background snapshot interval")
 	originAttempts := flag.Int("origin-attempts", 3, "edge role: upstream attempts per pull")
 	originAttemptTimeout := flag.Duration("origin-attempt-timeout", 2*time.Second, "edge role: per-attempt upstream timeout")
 	originBreakerFailures := flag.Int("origin-breaker-failures", 3, "edge role: consecutive upstream failures that open the origin breaker")
@@ -115,19 +150,27 @@ func main() {
 
 	if *role == "edge" {
 		runEdge(edgeOpts{
-			addr:            *addr,
-			originAddr:      *originAddr,
-			name:            *edgeName,
-			peers:           *peerNames,
-			cacheBytes:      *edgeCacheBytes,
-			ttl:             *edgeTTL,
-			maxStale:        *edgeMaxStale,
-			poll:            *edgePoll,
-			attempts:        *originAttempts,
-			attemptTimeout:  *originAttemptTimeout,
-			breakerFailures: *originBreakerFailures,
-			probeCooldown:   *originProbeCooldown,
-			opsAddr:         *opsAddr,
+			addr:             *addr,
+			originAddr:       *originAddr,
+			name:             *edgeName,
+			peers:            *peerNames,
+			advertise:        *edgeAdvertise,
+			cacheBytes:       *edgeCacheBytes,
+			ttl:              *edgeTTL,
+			maxStale:         *edgeMaxStale,
+			poll:             *edgePoll,
+			heartbeat:        *edgeHeartbeat,
+			suspectAfter:     *edgeSuspectAfter,
+			deadAfter:        *edgeDeadAfter,
+			peerFill:         *edgePeerFill,
+			snapshot:         *edgeSnapshot,
+			snapshotInterval: *edgeSnapshotInterval,
+			attempts:         *originAttempts,
+			attemptTimeout:   *originAttemptTimeout,
+			breakerFailures:  *originBreakerFailures,
+			probeCooldown:    *originProbeCooldown,
+			opsAddr:          *opsAddr,
+			drainTimeout:     *drainTimeout,
 		})
 		return
 	}
@@ -183,7 +226,8 @@ func main() {
 			p.Path, len(p.Placeholders()), p.MediaCompressionRatio())
 	}
 	// The CDN control surface: edge replicas poll /sww-cdn/ for the
-	// sequenced invalidation feed, fed by unpublishes and evictions.
+	// sequenced invalidation feed (fed by unpublishes and evictions)
+	// and are pushed new entries when they advertise a push address.
 	origin := cdn.NewOrigin(srv, *invalLog)
 	fmt.Printf("cdn: invalidation feed on %s (log depth %d)\n", cdn.ControlPrefix, *invalLog)
 
@@ -219,6 +263,16 @@ func main() {
 	}
 	fmt.Printf("sww-server listening on %s (%s, policy=%s)\n", l.Addr(), proto, *policy)
 	if *useH3 {
+		// The h3 mapping has no graceful GOAWAY drain yet; a signal
+		// closes the listener and exits after the grace period.
+		stop := notifyShutdown()
+		go func() {
+			<-stop
+			fmt.Println("shutdown: closing listener")
+			l.Close()
+			time.Sleep(*drainTimeout)
+			os.Exit(0)
+		}()
 		h3 := srv.H3Server()
 		for {
 			nc, err := l.Accept()
@@ -228,30 +282,140 @@ func main() {
 			go h3.ServeConn(nc)
 		}
 	}
-	log.Fatal(srv.Serve(l))
+	serveDraining(l, srv.StartConn, *drainTimeout, func() { origin.Close() })
+}
+
+// notifyShutdown returns a channel that fires on SIGTERM/SIGINT.
+func notifyShutdown() <-chan os.Signal {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	return stop
+}
+
+// connTable tracks live server connections so a drain can walk them.
+// Entries remove themselves when their connection dies, so the table
+// stays proportional to live connections, not connection history.
+type connTable struct {
+	mu    sync.Mutex
+	conns map[*http2.ServerConn]struct{}
+}
+
+func newConnTable() *connTable {
+	return &connTable{conns: map[*http2.ServerConn]struct{}{}}
+}
+
+func (t *connTable) add(sc *http2.ServerConn) {
+	t.mu.Lock()
+	t.conns[sc] = struct{}{}
+	t.mu.Unlock()
+	go func() {
+		<-sc.Done()
+		t.mu.Lock()
+		delete(t.conns, sc)
+		t.mu.Unlock()
+	}()
+}
+
+func (t *connTable) snapshot() []*http2.ServerConn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*http2.ServerConn, 0, len(t.conns))
+	for sc := range t.conns {
+		out = append(out, sc)
+	}
+	return out
+}
+
+// serveDraining accepts connections through start until SIGTERM or
+// SIGINT, then drains: the listener closes (no new connections), every
+// live connection gets a GOAWAY and up to timeout for its in-flight
+// streams to finish, then onDrained runs and the process exits 0.
+func serveDraining(l net.Listener, start func(net.Conn) *http2.ServerConn, timeout time.Duration, onDrained func()) {
+	table := newConnTable()
+	stop := notifyShutdown()
+	done := make(chan struct{})
+	go func() {
+		for {
+			nc, err := l.Accept()
+			if err != nil {
+				close(done)
+				return
+			}
+			table.add(start(nc))
+		}
+	}()
+	<-stop
+	fmt.Println("shutdown: draining in-flight streams")
+	l.Close()
+	<-done
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, sc := range table.snapshot() {
+		wg.Add(1)
+		go func(sc *http2.ServerConn) {
+			defer wg.Done()
+			sc.CloseContext(ctx)
+		}(sc)
+	}
+	wg.Wait()
+	if onDrained != nil {
+		onDrained()
+	}
+	fmt.Println("shutdown: drained")
 }
 
 type edgeOpts struct {
 	addr, originAddr, name, peers string
+	advertise                     string
 	cacheBytes                    int64
 	ttl, maxStale, poll           time.Duration
+	heartbeat                     time.Duration
+	suspectAfter, deadAfter       time.Duration
+	peerFill                      int
+	snapshot                      string
+	snapshotInterval              time.Duration
 	attempts                      int
 	attemptTimeout                time.Duration
 	breakerFailures               int
 	probeCooldown                 time.Duration
 	opsAddr                       string
+	drainTimeout                  time.Duration
+}
+
+// parsePeers splits the -peers flag into ring names and the dialable
+// subset. Each entry is "name" (placement only) or "name=addr"
+// (placement plus mesh membership, heartbeats and peer-fill).
+func parsePeers(spec, self string) (names []string, dials map[string]core.DialFunc) {
+	dials = map[string]core.DialFunc{}
+	if spec == "" {
+		return []string{self}, dials
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, addr, hasAddr := strings.Cut(entry, "=")
+		names = append(names, name)
+		if hasAddr && name != self {
+			addr := addr
+			dials[name] = func() (net.Conn, error) {
+				return net.DialTimeout("tcp", addr, 5*time.Second)
+			}
+		}
+	}
+	return names, dials
 }
 
 // runEdge runs one edge replica: a local cache shard in front of the
-// origin, serving terminal clients and polling the invalidation feed.
+// origin, serving terminal clients, heartbeating its mesh peers, and
+// reconciling the invalidation feed by push and anti-entropy poll.
 func runEdge(o edgeOpts) {
 	if o.originAddr == "" {
 		log.Fatal("-role edge requires -origin-addr")
 	}
-	peers := []string{o.name}
-	if o.peers != "" {
-		peers = strings.Split(o.peers, ",")
-	}
+	peers, peerDials := parsePeers(o.peers, o.name)
 	origins := core.NewEndpointSet(core.EndpointHealthConfig{
 		FailureThreshold: o.breakerFailures,
 		ProbeCooldown:    o.probeCooldown,
@@ -269,7 +433,15 @@ func runEdge(o edgeOpts) {
 			MaxAttempts:    o.attempts,
 			AttemptTimeout: o.attemptTimeout,
 		},
-		Peers: peers,
+		Peers:            peers,
+		PeerDials:        peerDials,
+		AdvertiseAddr:    o.advertise,
+		Heartbeat:        o.heartbeat,
+		SuspectAfter:     o.suspectAfter,
+		DeadAfter:        o.deadAfter,
+		PeerFillFanout:   o.peerFill,
+		SnapshotPath:     o.snapshot,
+		SnapshotInterval: o.snapshotInterval,
 	}, origins)
 	if o.opsAddr != "" {
 		set := telemetry.NewSet()
@@ -281,22 +453,25 @@ func runEdge(o edgeOpts) {
 		go func() { log.Fatalf("ops listener: %v", set.Serve(ol)) }()
 		fmt.Printf("ops: metrics/statusz/tracez/pprof on http://%s\n", ol.Addr())
 	}
+	if s := e.Stats(); s.SnapshotLoaded > 0 {
+		fmt.Printf("edge: restored %d entries from %s (seq %d)\n",
+			s.SnapshotLoaded, o.snapshot, s.LastSeq)
+	}
 	e.Start()
-	defer e.Close()
 
 	l, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	fmt.Printf("sww-edge %q listening on %s, origin %s, fleet %v\n",
-		o.name, l.Addr(), o.originAddr, peers)
-	fmt.Printf("edge: cache %d B, ttl %v, max-stale %v, poll %v\n",
-		o.cacheBytes, o.ttl, o.maxStale, o.poll)
-	for {
-		nc, err := l.Accept()
-		if err != nil {
-			log.Fatal(err)
+	fmt.Printf("sww-edge %q listening on %s, origin %s, fleet %v (%d mesh peers)\n",
+		o.name, l.Addr(), o.originAddr, peers, len(peerDials))
+	fmt.Printf("edge: cache %d B, ttl %v, max-stale %v, poll %v, snapshot %q\n",
+		o.cacheBytes, o.ttl, o.maxStale, o.poll, o.snapshot)
+	// Close flushes the final snapshot after the drain, so entries
+	// cached by the very last in-flight streams survive the restart.
+	serveDraining(l, e.StartConn, o.drainTimeout, func() {
+		if err := e.Close(); err != nil {
+			log.Printf("edge close: %v", err)
 		}
-		e.StartConn(nc)
-	}
+	})
 }

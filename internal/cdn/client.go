@@ -52,6 +52,10 @@ type EdgeClient struct {
 	ring  *Ring
 	peers map[string]*edgePeer
 
+	// mesh, when enabled, keeps the ring synced to live membership
+	// instead of the boot-time peer list (see EnableMembership).
+	mesh *Membership
+
 	rerouted  telemetry.Counter // fetches served by a non-owner edge
 	exhausted telemetry.Counter // fetches that failed on every edge
 }
@@ -65,18 +69,72 @@ func NewEdgeClient(cfg EdgeClientConfig, dials map[string]core.DialFunc) *EdgeCl
 		peers: map[string]*edgePeer{},
 	}
 	for name, dial := range dials {
-		c.addPeer(name, dial)
+		c.AddPeer(name, dial)
 	}
 	return c
 }
 
-func (c *EdgeClient) addPeer(name string, dial core.DialFunc) {
+// AddPeer registers one more edge on the ring with its own transport
+// and breaker. Not safe to call concurrently with fetches; build the
+// fleet before serving (membership handles liveness churn after that).
+func (c *EdgeClient) AddPeer(name string, dial core.DialFunc) {
 	set := core.NewEndpointSet(c.cfg.Health)
 	ep := set.Add(name, dial)
 	rc := core.NewResilientClientEndpoints(set, c.cfg.Device, c.cfg.Proc, c.cfg.Retry, c.cfg.Factory)
 	c.peers[name] = &edgePeer{name: name, ep: ep, rc: rc}
 	c.ring.Add(name)
 }
+
+// EnableMembership replaces "the boot-time peer list is the fleet"
+// with live membership: every peer is heartbeated through its own
+// transport, walked alive→suspect→dead on silence, removed from the
+// placement ring when declared dead, and re-admitted on recovery.
+// Unlike RemovePeer, ring surgery here keeps the peer's client — the
+// probes need it to notice the edge coming back. Transport outcomes
+// from regular fetches feed the same ladder via the endpoint breaker,
+// so a dead edge starts being suspected by the very request that
+// found it dead, not a heartbeat round later. Returns the membership
+// (started; Close stops it with the client) so callers can inspect
+// states. Call once, after the fleet is built.
+func (c *EdgeClient) EnableMembership(cfg MemberConfig) *Membership {
+	onAlive, onDead := cfg.OnAlive, cfg.OnDead
+	cfg.OnDead = func(name string) {
+		c.ring.Remove(name)
+		if onDead != nil {
+			onDead(name)
+		}
+	}
+	cfg.OnAlive = func(name string) {
+		c.ring.Add(name)
+		if onAlive != nil {
+			onAlive(name)
+		}
+	}
+	m := NewMembership(cfg)
+	for name, p := range c.peers {
+		name, rc := name, p.rc
+		m.AddPeer(name, func(ctx context.Context) error {
+			raw, err := rc.FetchRawContext(ctx, healthPath)
+			if err == nil && raw.Status != 200 {
+				return errStatus(raw.Status)
+			}
+			return err
+		})
+		p.ep.SetOnStateChange(func(healthy bool) {
+			if healthy {
+				m.ReportSuccess(name)
+			} else {
+				m.ReportFailure(name)
+			}
+		})
+	}
+	c.mesh = m
+	m.Start()
+	return m
+}
+
+// Membership returns the live membership, nil unless enabled.
+func (c *EdgeClient) Membership() *Membership { return c.mesh }
 
 // Ring returns the client's placement ring.
 func (c *EdgeClient) Ring() *Ring { return c.ring }
@@ -148,8 +206,12 @@ func (c *EdgeClient) Fetch(path string) (*core.FetchResult, string, error) {
 	return c.FetchContext(context.Background(), path)
 }
 
-// Close drops every per-edge connection.
+// Close drops every per-edge connection and stops the membership
+// sweep when one is running.
 func (c *EdgeClient) Close() error {
+	if c.mesh != nil {
+		c.mesh.Close()
+	}
 	var first error
 	for _, p := range c.peers {
 		if err := p.rc.Close(); err != nil && first == nil {
@@ -168,5 +230,8 @@ func (c *EdgeClient) Register(reg *telemetry.Registry) {
 	reg.Adopt("sww_edgeclient_exhausted_total", &c.exhausted)
 	for _, p := range c.peers {
 		p.rc.Endpoints().Register(reg)
+	}
+	if c.mesh != nil {
+		c.mesh.Register(reg)
 	}
 }

@@ -13,13 +13,32 @@ package cdn
 //     are answered from the shard immediately and revalidation moves
 //     to the background, so a dead origin costs terminal clients one
 //     retry ladder total, not one per request.
-//   - A peer edge dead: clients fail over here; requests for keys the
-//     ring assigns to someone else are counted as failovers and served
-//     anyway (consistent hashing is placement advice, not an ACL).
-//   - Origin unpublished content meanwhile: the invalidation poller
-//     catches up from its last applied sequence on reconnect, so a
-//     partition delays invalidations but never loses them; a feed
-//     reset (log truncated past our position) flushes the whole shard.
+//   - Origin down AND the shard cold for a key: peer-fill. Before
+//     giving up to serve-stale/502, the edge consults the key's
+//     ring-successor peers (hedged, gated on membership saying they
+//     are alive) with a no-recurse marker; a warm peer turns N
+//     independent caches into one mesh. Peer-served staleness is
+//     preserved, not laundered: the filled entry is backdated by the
+//     peer's stale age so x-sww-stale-age keeps telling the truth.
+//   - A peer edge dead: the membership sweep walks it through
+//     suspect → dead, removes it from the placement ring (resharding
+//     its keys onto the survivors) and re-admits it when heartbeats
+//     return. Requests for keys the ring assigns to someone else are
+//     counted as failovers and served anyway (consistent hashing is
+//     placement advice, not an ACL).
+//   - Origin unpublished content meanwhile: invalidations arrive
+//     twice — pushed by the origin to subscribed edges (acked, with
+//     per-edge sequence tracking) for low latency, and reconciled by
+//     the jittered anti-entropy poller, which catches up from the
+//     last applied sequence on reconnect. A partition delays
+//     invalidations but never loses them; a feed reset (log truncated
+//     past our position) flushes the whole shard; a push that would
+//     skip sequence numbers is refused and repaired by the poller.
+//   - The process itself dying: with SnapshotPath set, the shard
+//     index and lastSeq are periodically snapshotted to disk and
+//     reloaded on boot, then re-validated against the invalidation
+//     log — a restarted edge serves warm instead of stampeding the
+//     origin with a cold shard's worth of misses.
 //
 // Cache entries are keyed by path plus the terminal client's
 // negotiated ability, because the same path serves different bytes to
@@ -32,7 +51,9 @@ import (
 	"context"
 	"encoding/json"
 	"net"
+	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,7 +85,10 @@ type EdgeConfig struct {
 	// invalidation poller never reconnects.
 	MaxStale time.Duration
 
-	// PollInterval paces the invalidation poller. <= 0 means 250ms.
+	// PollInterval paces the invalidation poller (the anti-entropy
+	// repair loop behind push delivery). <= 0 means 250ms. Each tick
+	// is jittered ±20% so a fleet booted together does not poll the
+	// origin in lockstep.
 	PollInterval time.Duration
 
 	// Retry shapes the upstream (edge → origin) retry ladder. Keep
@@ -76,6 +100,47 @@ type EdgeConfig struct {
 	// the ring this edge uses to recognise failover traffic. Empty
 	// means a single-edge ring of just Name.
 	Peers []string
+
+	// PeerDials maps peer names to dials for the edge-to-edge mesh
+	// transport (heartbeats and peer-fill). Peers without a dial stay
+	// placement-only: on the ring, but never probed or filled from.
+	// An entry for Name itself is ignored.
+	PeerDials map[string]core.DialFunc
+
+	// AdvertiseAddr, when set, rides on every invalidation poll so
+	// the origin can subscribe this edge for push fan-out (and knows
+	// where to dial). Empty means pull-only invalidation.
+	AdvertiseAddr string
+
+	// Heartbeat, ProbeTimeout, SuspectAfter and DeadAfter shape the
+	// membership sweep over PeerDials (zeros mean the MemberConfig
+	// defaults: 500ms / heartbeat / 3x heartbeat / 2x suspect).
+	Heartbeat    time.Duration
+	ProbeTimeout time.Duration
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+
+	// PeerFillFanout is how many ring-successor peers a breaker-open
+	// miss consults. 0 means 2; negative disables peer-fill.
+	PeerFillFanout int
+
+	// PeerFillTimeout bounds the whole hedged consultation (<= 0
+	// means 250ms); HedgeDelay staggers the candidates so the second
+	// peer is only asked when the first is slow (<= 0 means 50ms).
+	PeerFillTimeout time.Duration
+	HedgeDelay      time.Duration
+
+	// SnapshotPath, when set, enables crash-safe warm restart: the
+	// shard index and lastSeq are snapshotted there periodically and
+	// on Close, and reloaded by NewEdge.
+	SnapshotPath string
+
+	// SnapshotInterval paces background snapshots. <= 0 means 5s.
+	SnapshotInterval time.Duration
+
+	// Seed drives the poll/membership jitter; 0 derives one from
+	// Name, so a fleet desynchronizes by default.
+	Seed int64
 
 	// Ability is what this edge advertises to terminal clients in its
 	// own SETTINGS. Zero means GenFull — the edge itself never
@@ -111,11 +176,67 @@ func (c EdgeConfig) pollInterval() time.Duration {
 	return c.PollInterval
 }
 
+func (c EdgeConfig) peerFillFanout() int {
+	if c.PeerFillFanout < 0 {
+		return 0
+	}
+	if c.PeerFillFanout == 0 {
+		return 2
+	}
+	return c.PeerFillFanout
+}
+
+func (c EdgeConfig) peerFillTimeout() time.Duration {
+	if c.PeerFillTimeout <= 0 {
+		return 250 * time.Millisecond
+	}
+	return c.PeerFillTimeout
+}
+
+func (c EdgeConfig) hedgeDelay() time.Duration {
+	if c.HedgeDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.HedgeDelay
+}
+
+func (c EdgeConfig) snapshotInterval() time.Duration {
+	if c.SnapshotInterval <= 0 {
+		return 5 * time.Second
+	}
+	return c.SnapshotInterval
+}
+
+func (c EdgeConfig) seed() int64 {
+	if c.Seed != 0 {
+		return c.Seed
+	}
+	// Derive from the name so two edges configured identically still
+	// jitter apart; mask to keep it positive and non-zero.
+	s := int64(ringHash("jitter|"+c.Name) & 0x7fffffffffffffff)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// peerFillHeader marks an edge-to-edge fill request: the receiving
+// peer answers from its shard only — no origin pull, no recursive
+// peer-fill — so a mesh-wide cold key costs one hop, not a storm.
+const peerFillHeader = "x-sww-peer-fill"
+
 // edgeEntry is one cached raw reply with its freshness clock.
 type edgeEntry struct {
 	raw   *core.RawReply
 	path  string // bare path, for the invalidation index
 	added time.Time
+}
+
+// meshPeer is one dialable fleet peer: the transport behind both the
+// membership heartbeat and peer-fill.
+type meshPeer struct {
+	name string
+	rc   *core.ResilientClient
 }
 
 // An Edge is one live edge replica.
@@ -130,8 +251,21 @@ type Edge struct {
 
 	mu     sync.Mutex
 	byPath map[string]map[string]struct{} // path → cache keys (one per ability)
+	// storeEpoch is bumped by Flush and InvalidatePath; store
+	// re-checks it after inserting into the cache and withdraws the
+	// entry when a removal pass raced it (see store).
+	storeEpoch uint64
 
+	// feedMu serializes invalidation application between the
+	// anti-entropy poller and the push endpoint, so lastSeq moves
+	// monotonically and a flush cannot interleave with a push apply.
+	feedMu  sync.Mutex
 	lastSeq atomic.Uint64 // newest invalidation sequence applied
+
+	// mesh is the live membership over PeerDials; nil when the edge
+	// has no dialable peers.
+	mesh      *Membership
+	meshPeers map[string]*meshPeer
 
 	// pollerOn gates request-path revalidation: the edge wants exactly
 	// one background prober, and when the invalidation poller runs it
@@ -145,6 +279,7 @@ type Edge struct {
 	pollCtx    context.Context
 	pollCancel context.CancelFunc
 	pollDone   chan struct{}
+	snapDone   chan struct{}
 
 	now func() time.Time
 
@@ -158,11 +293,21 @@ type Edge struct {
 	invalApplied   telemetry.Counter
 	invalResets    telemetry.Counter
 	pollErrors     telemetry.Counter
+	pushApplied    telemetry.Counter // invalidation paths applied via push
+	pushGaps       telemetry.Counter // pushes refused for skipping sequences
+	peerFills      telemetry.Counter // misses answered by a peer shard
+	peerFillFails  telemetry.Counter // consultations that came back empty
+	peerServes     telemetry.Counter // fill requests answered for peers
+	snapSaves      telemetry.Counter
+	snapErrors     telemetry.Counter
+	snapRestored   atomic.Int64 // entries reloaded by the last boot
 }
 
 // NewEdge builds an edge pulling from the origins in the endpoint set
-// (usually one origin; more means origin failover too). Call Start to
-// run the invalidation poller, StartConn to serve terminal clients.
+// (usually one origin; more means origin failover too). If the config
+// names a snapshot, the shard is reloaded from it before the edge
+// serves. Call Start to run the invalidation poller, membership sweep
+// and snapshot loop; StartConn to serve terminal clients.
 func NewEdge(cfg EdgeConfig, origins *core.EndpointSet) *Edge {
 	if cfg.Ability == 0 {
 		cfg.Ability = http2.GenFull
@@ -172,12 +317,13 @@ func NewEdge(cfg EdgeConfig, origins *core.EndpointSet) *Edge {
 		peers = []string{cfg.Name}
 	}
 	e := &Edge{
-		cfg:      cfg,
-		ring:     NewRing(0, peers...),
-		upstream: core.NewResilientClientEndpoints(origins, device.Workstation, nil, cfg.Retry, nil),
-		cache:    overload.NewByteLRU(cfg.cacheBytes()),
-		byPath:   map[string]map[string]struct{}{},
-		now:      time.Now,
+		cfg:       cfg,
+		ring:      NewRing(0, peers...),
+		upstream:  core.NewResilientClientEndpoints(origins, device.Workstation, nil, cfg.Retry, nil),
+		cache:     overload.NewByteLRU(cfg.cacheBytes()),
+		byPath:    map[string]map[string]struct{}{},
+		meshPeers: map[string]*meshPeer{},
+		now:       time.Now,
 	}
 	e.baseCtx, e.baseCancel = context.WithCancel(context.Background())
 	e.cache.SetOnEvict(func(key string, value any, _ int64) {
@@ -187,14 +333,64 @@ func NewEdge(cfg EdgeConfig, origins *core.EndpointSet) *Edge {
 		Handler: http2.HandlerFunc(e.serve),
 		Config:  http2.Config{GenAbility: cfg.Ability},
 	}
+	e.buildMesh()
+	if cfg.SnapshotPath != "" {
+		e.loadSnapshot()
+	}
 	return e
 }
+
+// buildMesh wires the peer transports and the membership sweep over
+// every dialable peer. Membership drives the ring: a peer declared
+// dead is removed (its keys reshard onto survivors) and re-admitted
+// the moment a heartbeat lands again.
+func (e *Edge) buildMesh() {
+	for name, dial := range e.cfg.PeerDials {
+		if name == e.cfg.Name || dial == nil {
+			continue
+		}
+		rc := core.NewResilientClient(dial, device.Workstation, nil,
+			core.RetryPolicy{MaxAttempts: 1}, nil)
+		e.meshPeers[name] = &meshPeer{name: name, rc: rc}
+		e.ring.Add(name)
+	}
+	if len(e.meshPeers) == 0 {
+		return
+	}
+	e.mesh = NewMembership(MemberConfig{
+		Heartbeat:    e.cfg.Heartbeat,
+		ProbeTimeout: e.cfg.ProbeTimeout,
+		SuspectAfter: e.cfg.SuspectAfter,
+		DeadAfter:    e.cfg.DeadAfter,
+		Seed:         e.cfg.seed(),
+		OnDead:       func(name string) { e.ring.Remove(name) },
+		OnAlive:      func(name string) { e.ring.Add(name) },
+	})
+	for name, p := range e.meshPeers {
+		rc := p.rc
+		e.mesh.AddPeer(name, func(ctx context.Context) error {
+			raw, err := rc.FetchRawContext(ctx, healthPath)
+			if err == nil && raw.Status != 200 {
+				return errStatus(raw.Status)
+			}
+			return err
+		})
+	}
+}
+
+type errStatus int
+
+func (e errStatus) Error() string { return "unexpected status " + strconv.Itoa(int(e)) }
 
 // Name returns the edge's ring name.
 func (e *Edge) Name() string { return e.cfg.Name }
 
 // Ring returns the edge's view of the fleet placement ring.
 func (e *Edge) Ring() *Ring { return e.ring }
+
+// Membership returns the live peer membership, nil when the edge has
+// no dialable peers.
+func (e *Edge) Membership() *Membership { return e.mesh }
 
 // Upstream returns the origin-facing resilient client (its endpoint
 // set carries the health/breaker state).
@@ -207,28 +403,46 @@ func (e *Edge) LastSeq() uint64 { return e.lastSeq.Load() }
 func (e *Edge) StartConn(c net.Conn) *http2.ServerConn { return e.h2.StartConn(c) }
 
 // serve answers one terminal-client request: local cache first,
-// origin pull on miss, stale fallback when the origin is unreachable.
+// origin pull on miss, peer-fill when the origin is written off, then
+// stale fallback.
 func (e *Edge) serve(w *http2.ResponseWriter, r *http2.Request) {
-	e.requests.Add(1)
 	path := r.Path
-	if path == healthPath {
-		writeControl(w, 200, "text/plain; charset=utf-8", []byte("ok\n"))
+	if strings.HasPrefix(path, ControlPrefix) {
+		e.serveControl(w, r)
 		return
 	}
+	e.requests.Add(1)
 	if r.Method != "GET" {
 		e.errors.Add(1)
 		writeControl(w, 405, "text/plain; charset=utf-8", []byte("method not allowed\n"))
 		return
 	}
+	// The effective ability is the connection's negotiated one unless
+	// a peer edge forwarded its own client's ability — peer-fill must
+	// hit the same ability-keyed entry the terminal client would.
+	gen := r.PeerGen
+	if v := r.HeaderValue(core.EdgeGenHeader); v != "" {
+		if g, err := strconv.ParseUint(v, 10, 8); err == nil {
+			gen = http2.GenAbility(g)
+		}
+	}
+	key := cacheKey(path, gen)
+	now := e.now()
+
+	// A fill request from a peer edge answers from the shard only:
+	// no origin pull, no recursion — the asking edge owns the retry
+	// and fallback ladder for its client.
+	if r.HeaderValue(peerFillHeader) != "" {
+		e.peerServe(w, key, now)
+		return
+	}
+
 	// Ring check: a request for a key the ring places on another edge
 	// means the client's picker failed over to us (or the ring
 	// resharded after an edge death). Count it and serve anyway.
 	if owner := e.ring.Lookup(path); owner != "" && owner != e.cfg.Name {
 		e.failovers.Add(1)
 	}
-
-	key := cacheKey(path, r.PeerGen)
-	now := e.now()
 
 	if v, ok := e.cache.Get(key); ok {
 		ent := v.(*edgeEntry)
@@ -244,14 +458,15 @@ func (e *Edge) serve(w *http2.ResponseWriter, r *http2.Request) {
 	// the same key into one upstream fetch. Once the breaker says the
 	// whole set is down, fail static instead: no terminal client is
 	// parked on a retry ladder that is overwhelmingly likely to time
-	// out — the stale copy goes out now, and a background revalidation
-	// (which doubles as the endpoint probe) notices the heal.
+	// out — the answer comes from a peer shard or the stale copy now,
+	// and a background revalidation (which doubles as the endpoint
+	// probe) notices the heal.
 	if e.upstream.Endpoints().AnyHealthy() {
 		v, err, _ := e.sf.Do(key, func() (any, error) {
 			ctx := r.Stream().Context()
 			return e.upstream.FetchRawContext(ctx, path, hpack.HeaderField{
 				Name:  core.EdgeGenHeader,
-				Value: strconv.FormatUint(uint64(r.PeerGen), 10),
+				Value: strconv.FormatUint(uint64(gen), 10),
 			})
 		})
 		if err == nil {
@@ -269,13 +484,26 @@ func (e *Edge) serve(w *http2.ResponseWriter, r *http2.Request) {
 		// With no poller running, the serve path must kick the probe
 		// itself or the breaker would never see a heal.
 		if !e.pollerOn.Load() {
-			e.revalidate(key, path, r.PeerGen)
+			e.revalidate(key, path, gen)
+		}
+		// Origin written off: on a true miss, consult the key's ring
+		// successors before giving up. A hit joins the shard so the
+		// next request is local. With a servable local copy — stale
+		// included — the fallback below wins instead: the peer's copy
+		// is just as stale (fills preserve age), so the hop would buy
+		// nothing and every request would pay it again.
+		if !e.hasServable(key, now) {
+			if raw, staleFor, ok := e.peerFill(r.Stream().Context(), key, path, gen); ok {
+				e.peerFills.Add(1)
+				e.reply(w, raw, "peer", staleFor)
+				return
+			}
 		}
 	}
 
-	// Upstream failed or written off. Serve the warm entry if one
-	// exists and is not too stale; that is the edge tier's
-	// availability promise during an origin outage.
+	// Upstream failed or written off and no peer could fill. Serve
+	// the warm entry if one exists and is not too stale; that is the
+	// edge tier's availability promise during an origin outage.
 	if v, ok := e.cache.Get(key); ok {
 		ent := v.(*edgeEntry)
 		age := now.Sub(ent.added)
@@ -291,6 +519,196 @@ func (e *Edge) serve(w *http2.ResponseWriter, r *http2.Request) {
 	}
 	e.errors.Add(1)
 	writeControl(w, 502, "text/plain; charset=utf-8", []byte("origin unreachable and no warm copy\n"))
+}
+
+// hasServable reports whether the shard holds a copy of key that is
+// still within the serve-stale window.
+func (e *Edge) hasServable(key string, now time.Time) bool {
+	v, ok := e.cache.Get(key)
+	if !ok {
+		return false
+	}
+	return now.Sub(v.(*edgeEntry).added) <= e.cfg.ttl()+e.cfg.maxStale()
+}
+
+// peerServe answers one peer-fill request from the local shard:
+// fresh, stale-within-bounds, or an immediate 504 — never an origin
+// pull, so a mesh-wide cold key cannot recurse into a pull storm.
+func (e *Edge) peerServe(w *http2.ResponseWriter, key string, now time.Time) {
+	if v, ok := e.cache.Get(key); ok {
+		ent := v.(*edgeEntry)
+		age := now.Sub(ent.added)
+		if age <= e.cfg.ttl() {
+			e.peerServes.Add(1)
+			e.reply(w, ent.raw, "hit", 0)
+			return
+		}
+		if age <= e.cfg.ttl()+e.cfg.maxStale() {
+			e.peerServes.Add(1)
+			e.reply(w, ent.raw, "stale", age-e.cfg.ttl())
+			return
+		}
+	}
+	writeControl(w, 504, "text/plain; charset=utf-8", []byte("peer shard cold\n"))
+}
+
+// peerFill consults up to PeerFillFanout alive ring-successor peers
+// for path, hedged: the first is asked immediately, each further
+// candidate only after HedgeDelay more of silence, and the first 200
+// wins. The filled entry joins the shard backdated by the peer's
+// stale age, so staleness accounting survives the hop.
+func (e *Edge) peerFill(ctx context.Context, key, path string, gen http2.GenAbility) (*core.RawReply, time.Duration, bool) {
+	fanout := e.cfg.peerFillFanout()
+	if e.mesh == nil || fanout == 0 {
+		return nil, 0, false
+	}
+	var cands []*meshPeer
+	for _, name := range e.ring.LookupN(path, e.ring.Len()) {
+		if name == e.cfg.Name {
+			continue
+		}
+		p := e.meshPeers[name]
+		if p == nil || !e.mesh.Alive(name) {
+			continue
+		}
+		cands = append(cands, p)
+		if len(cands) == fanout {
+			break
+		}
+	}
+	if len(cands) == 0 {
+		e.peerFillFails.Add(1)
+		return nil, 0, false
+	}
+	fctx, cancel := context.WithTimeout(ctx, e.cfg.peerFillTimeout())
+	defer cancel()
+	type fillResult struct{ raw *core.RawReply }
+	results := make(chan fillResult, len(cands))
+	fields := []hpack.HeaderField{
+		{Name: core.EdgeGenHeader, Value: strconv.FormatUint(uint64(gen), 10)},
+		{Name: peerFillHeader, Value: "1"},
+	}
+	for i, p := range cands {
+		go func(i int, p *meshPeer) {
+			if i > 0 {
+				t := time.NewTimer(time.Duration(i) * e.cfg.hedgeDelay())
+				select {
+				case <-fctx.Done():
+					t.Stop()
+					results <- fillResult{}
+					return
+				case <-t.C:
+				}
+			}
+			raw, err := p.rc.FetchRawContext(fctx, path, fields...)
+			if err != nil {
+				// Transport-level silence is membership evidence; a
+				// 504 "shard cold" answer is proof of life instead.
+				if fctx.Err() == nil {
+					e.mesh.ReportFailure(p.name)
+				}
+				results <- fillResult{}
+				return
+			}
+			e.mesh.ReportSuccess(p.name)
+			if raw.Status != 200 {
+				results <- fillResult{}
+				return
+			}
+			results <- fillResult{raw}
+		}(i, p)
+	}
+	for range cands {
+		select {
+		case <-fctx.Done():
+			e.peerFillFails.Add(1)
+			return nil, 0, false
+		case res := <-results:
+			if res.raw == nil {
+				continue
+			}
+			raw := res.raw
+			staleFor := raw.StaleAge
+			// Backdate so our own TTL/stale clock continues where the
+			// peer's left off instead of restarting from fresh.
+			added := e.now()
+			if staleFor > 0 {
+				added = added.Add(-(e.cfg.ttl() + staleFor))
+			}
+			e.storeAt(cacheKey(path, gen), path, raw, added)
+			return raw, staleFor, true
+		}
+	}
+	e.peerFillFails.Add(1)
+	return nil, 0, false
+}
+
+// serveControl answers the edge's own /sww-cdn/ surface: health for
+// membership heartbeats, push for origin invalidation fan-out.
+func (e *Edge) serveControl(w *http2.ResponseWriter, r *http2.Request) {
+	path, query, _ := strings.Cut(r.Path, "?")
+	switch path {
+	case healthPath:
+		writeControl(w, 200, "text/plain; charset=utf-8", []byte("ok\n"))
+	case pushPath:
+		e.servePush(w, query)
+	default:
+		writeControl(w, 404, "text/plain; charset=utf-8", []byte("unknown control endpoint\n"))
+	}
+}
+
+// servePush applies one pushed invalidation batch and acks with the
+// sequence this edge now stands at. The origin treats ack < seq as
+// "still behind, re-push from ack" — so a gap (a push lost to a
+// partition) self-heals the moment any later push lands, without
+// waiting for the anti-entropy poller.
+func (e *Edge) servePush(w *http2.ResponseWriter, query string) {
+	q, err := url.ParseQuery(query)
+	if err != nil {
+		writeControl(w, 400, "text/plain; charset=utf-8", []byte("bad push query\n"))
+		return
+	}
+	feed := InvalidationFeed{Reset: q.Get("reset") == "1"}
+	feed.Seq, _ = strconv.ParseUint(q.Get("seq"), 10, 64)
+	feed.Since, _ = strconv.ParseUint(q.Get("since"), 10, 64)
+	if raw := q.Get("paths"); raw != "" {
+		for _, p := range strings.Split(raw, ",") {
+			if u, err := url.QueryUnescape(p); err == nil && u != "" {
+				feed.Paths = append(feed.Paths, u)
+			}
+		}
+	}
+
+	e.feedMu.Lock()
+	last := e.lastSeq.Load()
+	switch {
+	case feed.Reset:
+		// The origin no longer knows what we missed: same answer as
+		// the poller's reset — drop everything.
+		e.invalResets.Add(1)
+		e.flushLocked()
+		e.lastSeq.Store(feed.Seq)
+	case feed.Since > last:
+		// This push assumes deliveries we never saw. Applying it
+		// would silently skip invalidations, so refuse; the ack below
+		// tells the origin where we really are and the poller would
+		// repair it anyway.
+		e.pushGaps.Add(1)
+	case feed.Seq <= last:
+		// Duplicate or stale push (the poller already caught us up).
+	default:
+		for _, p := range feed.Paths {
+			n := e.InvalidatePath(p)
+			e.invalApplied.Add(uint64(n))
+			e.pushApplied.Add(1)
+		}
+		e.lastSeq.Store(feed.Seq)
+	}
+	ack := e.lastSeq.Load()
+	e.feedMu.Unlock()
+
+	body, _ := json.Marshal(pushAck{Ack: ack})
+	writeControl(w, 200, "application/json", body)
 }
 
 // reply writes a raw reply back to the terminal client, stamped with
@@ -323,8 +741,21 @@ func cacheKey(path string, gen http2.GenAbility) string {
 // store caches one raw reply and indexes its key under the bare path
 // so invalidations (which speak paths, not keys) can find it.
 func (e *Edge) store(key, path string, raw *core.RawReply) {
-	ent := &edgeEntry{raw: raw, path: path, added: e.now()}
+	e.storeAt(key, path, raw, e.now())
+}
+
+// storeAt is store with an explicit freshness clock (peer fills and
+// snapshot restores backdate entries). The epoch re-check closes the
+// store/Flush race: the index insert and the cache insert cannot be
+// atomic (the cache's eviction callback takes e.mu), so a Flush or
+// InvalidatePath running between them could sweep the index but miss
+// the entry — leaking an uninvalidatable reply into a flushed shard.
+// Any removal pass bumps storeEpoch; a store that observes the bump
+// withdraws its own entry, trading a rare extra miss for correctness.
+func (e *Edge) storeAt(key, path string, raw *core.RawReply, added time.Time) {
+	ent := &edgeEntry{raw: raw, path: path, added: added}
 	e.mu.Lock()
+	epoch := e.storeEpoch
 	keys := e.byPath[path]
 	if keys == nil {
 		keys = map[string]struct{}{}
@@ -333,6 +764,19 @@ func (e *Edge) store(key, path string, raw *core.RawReply) {
 	keys[key] = struct{}{}
 	e.mu.Unlock()
 	e.cache.Add(key, ent, int64(len(raw.Body))+int64(len(key))+64)
+	e.mu.Lock()
+	if e.storeEpoch != epoch {
+		if keys := e.byPath[path]; keys != nil {
+			delete(keys, key)
+			if len(keys) == 0 {
+				delete(e.byPath, path)
+			}
+		}
+		e.mu.Unlock()
+		e.cache.Remove(key)
+		return
+	}
+	e.mu.Unlock()
 }
 
 // revalidate refreshes key in the background. The singleflight keeps
@@ -385,6 +829,7 @@ func (e *Edge) unindex(path, key string) {
 // InvalidatePath drops every cached form of path.
 func (e *Edge) InvalidatePath(path string) int {
 	e.mu.Lock()
+	e.storeEpoch++
 	keys := make([]string, 0, len(e.byPath[path]))
 	for k := range e.byPath[path] {
 		keys = append(keys, k)
@@ -400,7 +845,15 @@ func (e *Edge) InvalidatePath(path string) int {
 // Flush drops the whole shard — the response to a feed reset, where
 // the origin can no longer say what exactly was unpublished.
 func (e *Edge) Flush() {
+	e.feedMu.Lock()
+	defer e.feedMu.Unlock()
+	e.flushLocked()
+}
+
+// flushLocked is Flush for callers already holding feedMu.
+func (e *Edge) flushLocked() {
 	e.mu.Lock()
+	e.storeEpoch++
 	all := make([]string, 0, len(e.byPath))
 	for _, keys := range e.byPath {
 		for k := range keys {
@@ -414,38 +867,70 @@ func (e *Edge) Flush() {
 	}
 }
 
-// Start runs the invalidation poller until Close. The poller doubles
-// as the origin health prober: its fetches feed the endpoint breaker,
-// so a failed-static edge notices the heal without terminal requests
-// ever probing.
+// Start runs the background loops until Close: the anti-entropy
+// invalidation poller (which doubles as the origin health prober —
+// its fetches feed the endpoint breaker, so a failed-static edge
+// notices the heal without terminal requests ever probing), the
+// membership sweep over dialable peers, and the snapshot loop when
+// persistence is configured.
 func (e *Edge) Start() {
 	e.pollCtx, e.pollCancel = context.WithCancel(context.Background())
 	e.pollDone = make(chan struct{})
 	e.pollerOn.Store(true)
 	go e.pollLoop()
+	if e.mesh != nil {
+		e.mesh.Start()
+	}
+	if e.cfg.SnapshotPath != "" {
+		e.snapDone = make(chan struct{})
+		go e.snapshotLoop()
+	}
 }
 
-// Close stops the poller, cancels in-flight background
-// revalidations, and drops the upstream connection.
+// Close stops the background loops, cancels in-flight background
+// revalidations, writes a final snapshot when persistence is
+// configured, and drops the upstream and peer connections.
 func (e *Edge) Close() error {
 	if e.pollCancel != nil {
 		e.pollerOn.Store(false)
 		e.pollCancel()
 		<-e.pollDone
+		if e.snapDone != nil {
+			<-e.snapDone
+		}
+	}
+	if e.mesh != nil {
+		e.mesh.Close()
 	}
 	e.baseCancel()
+	if e.cfg.SnapshotPath != "" {
+		if err := e.SaveSnapshot(); err != nil {
+			e.snapErrors.Add(1)
+		}
+	}
+	for _, p := range e.meshPeers {
+		p.rc.Close()
+	}
 	return e.upstream.Close()
 }
 
 // PollOnce polls the origin invalidation feed once and applies the
 // result: targeted removals normally, a full flush on reset. This is
-// also where a partitioned edge reconciles — its first successful poll
-// after the heal resumes from the last applied sequence, so every
-// invalidation issued during the partition lands before the edge goes
-// back to trusting its shard.
+// the anti-entropy half of the invalidation protocol — push fan-out
+// delivers fast, the poller guarantees convergence: a partitioned
+// edge's first successful poll after the heal resumes from the last
+// applied sequence, so every invalidation issued during the partition
+// (pushed or not) lands before the edge goes back to trusting its
+// shard. The poll also advertises this edge to the origin (name, and
+// the push address when configured), so subscriptions survive an
+// origin restart without any extra control traffic.
 func (e *Edge) PollOnce(ctx context.Context) error {
 	path := invalidationsPath + "?since=" + strconv.FormatUint(e.lastSeq.Load(), 10)
-	raw, err := e.upstream.FetchRawContext(ctx, path)
+	fields := []hpack.HeaderField{{Name: edgeNameHeader, Value: e.cfg.Name}}
+	if e.cfg.AdvertiseAddr != "" {
+		fields = append(fields, hpack.HeaderField{Name: edgeAddrHeader, Value: e.cfg.AdvertiseAddr})
+	}
+	raw, err := e.upstream.FetchRawContext(ctx, path, fields...)
 	if err != nil {
 		e.pollErrors.Add(1)
 		return err
@@ -455,26 +940,36 @@ func (e *Edge) PollOnce(ctx context.Context) error {
 		e.pollErrors.Add(1)
 		return err
 	}
+	e.feedMu.Lock()
+	defer e.feedMu.Unlock()
 	if feed.Reset {
 		e.invalResets.Add(1)
-		e.Flush()
-	} else {
-		for _, p := range feed.Paths {
-			e.invalApplied.Add(uint64(e.InvalidatePath(p)))
-		}
+		e.flushLocked()
+		e.lastSeq.Store(feed.Seq)
+		return nil
 	}
-	e.lastSeq.Store(feed.Seq)
+	for _, p := range feed.Paths {
+		e.invalApplied.Add(uint64(e.InvalidatePath(p)))
+	}
+	// Monotonic: a push may have advanced lastSeq past this poll's
+	// snapshot while the fetch was in flight.
+	if feed.Seq > e.lastSeq.Load() {
+		e.lastSeq.Store(feed.Seq)
+	}
 	return nil
 }
 
-// pollLoop paces PollOnce, backing off up to 8× the base interval
-// while the origin is unreachable so a partitioned edge does not
-// hammer its side of the partition.
+// pollLoop paces PollOnce with ±20% per-tick jitter (a fleet booted
+// by one script must not poll in lockstep — at N edges the aligned
+// ticks become a thundering herd on the origin), backing off up to 8×
+// the base interval while the origin is unreachable so a partitioned
+// edge does not hammer its side of the partition.
 func (e *Edge) pollLoop() {
 	defer close(e.pollDone)
+	rng := newJitterRng(e.cfg.seed())
 	base := e.cfg.pollInterval()
 	interval := base
-	t := time.NewTimer(interval)
+	t := time.NewTimer(jitterDuration(interval, rng))
 	defer t.Stop()
 	for {
 		select {
@@ -493,7 +988,27 @@ func (e *Edge) pollLoop() {
 		} else {
 			interval = base
 		}
-		t.Reset(interval)
+		t.Reset(jitterDuration(interval, rng))
+	}
+}
+
+// snapshotLoop persists the shard on a jittered interval so a crash
+// loses at most one interval of fills. It shares the poller's
+// lifetime: Close stops it and writes the final snapshot itself.
+func (e *Edge) snapshotLoop() {
+	defer close(e.snapDone)
+	rng := newJitterRng(e.cfg.seed() + 1)
+	for {
+		t := time.NewTimer(jitterDuration(e.cfg.snapshotInterval(), rng))
+		select {
+		case <-e.pollCtx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if err := e.SaveSnapshot(); err != nil {
+			e.snapErrors.Add(1)
+		}
 	}
 }
 
@@ -509,15 +1024,31 @@ type EdgeStats struct {
 	InvalApplied   uint64
 	InvalResets    uint64
 	PollErrors     uint64
+	PushApplied    uint64
+	PushGaps       uint64
+	PeerFills      uint64
+	PeerFillFails  uint64
+	PeerServes     uint64
+	SnapshotSaves  uint64
+	SnapshotErrors uint64
+	SnapshotLoaded int64
 	LastSeq        uint64
 	CacheEntries   int
 	CacheBytes     int64
+
+	// Membership view: peer counts per state and the current ring
+	// size (self included). RingSize shrinks when a peer is declared
+	// dead and recovers with it.
+	PeersAlive   int
+	PeersSuspect int
+	PeersDead    int
+	RingSize     int
 }
 
 // Stats snapshots the edge counters — the same atomics Register
 // exports, for tests and experiment harnesses.
 func (e *Edge) Stats() EdgeStats {
-	return EdgeStats{
+	s := EdgeStats{
 		Requests:       e.requests.Load(),
 		Hits:           e.hits.Load(),
 		Misses:         e.misses.Load(),
@@ -528,10 +1059,23 @@ func (e *Edge) Stats() EdgeStats {
 		InvalApplied:   e.invalApplied.Load(),
 		InvalResets:    e.invalResets.Load(),
 		PollErrors:     e.pollErrors.Load(),
+		PushApplied:    e.pushApplied.Load(),
+		PushGaps:       e.pushGaps.Load(),
+		PeerFills:      e.peerFills.Load(),
+		PeerFillFails:  e.peerFillFails.Load(),
+		PeerServes:     e.peerServes.Load(),
+		SnapshotSaves:  e.snapSaves.Load(),
+		SnapshotErrors: e.snapErrors.Load(),
+		SnapshotLoaded: e.snapRestored.Load(),
 		LastSeq:        e.lastSeq.Load(),
 		CacheEntries:   e.cache.Len(),
 		CacheBytes:     e.cache.Bytes(),
+		RingSize:       e.ring.Len(),
 	}
+	if e.mesh != nil {
+		s.PeersAlive, s.PeersSuspect, s.PeersDead = e.mesh.Counts()
+	}
+	return s
 }
 
 // Register exports the edge's counters and gauges onto reg.
@@ -549,8 +1093,20 @@ func (e *Edge) Register(reg *telemetry.Registry) {
 	reg.Adopt("sww_edge_invalidations_applied_total", &e.invalApplied)
 	reg.Adopt("sww_edge_invalidation_resets_total", &e.invalResets)
 	reg.Adopt("sww_edge_poll_errors_total", &e.pollErrors)
+	reg.Adopt("sww_edge_push_applied_total", &e.pushApplied)
+	reg.Adopt("sww_edge_push_gap_total", &e.pushGaps)
+	reg.Adopt("sww_edge_peer_fill_total", &e.peerFills)
+	reg.Adopt("sww_edge_peer_fill_misses_total", &e.peerFillFails)
+	reg.Adopt("sww_edge_peer_serves_total", &e.peerServes)
+	reg.Adopt("sww_edge_snapshot_saves_total", &e.snapSaves)
+	reg.Adopt("sww_edge_snapshot_errors_total", &e.snapErrors)
 	reg.GaugeFunc("sww_edge_invalidation_seq", func() float64 { return float64(e.lastSeq.Load()) })
 	reg.GaugeFunc("sww_edge_cache_bytes", func() float64 { return float64(e.cache.Bytes()) })
 	reg.GaugeFunc("sww_edge_cache_entries", func() float64 { return float64(e.cache.Len()) })
+	reg.GaugeFunc("sww_edge_snapshot_restored_entries", func() float64 { return float64(e.snapRestored.Load()) })
+	reg.GaugeFunc("sww_edge_ring_size", func() float64 { return float64(e.ring.Len()) })
+	if e.mesh != nil {
+		e.mesh.Register(reg)
+	}
 	e.upstream.Endpoints().Register(reg)
 }

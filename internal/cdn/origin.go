@@ -3,23 +3,43 @@ package cdn
 // The live origin: a core.Server plus the origin half of the edge
 // invalidation protocol. Unpublishes (explicit page removals and
 // LRU evictions of generated content) append to a bounded, sequenced
-// invalidation log, which edges poll over a control endpoint mounted
-// on the site's own listener. Pull beats push here: a partitioned
-// edge misses nothing, because on reconnect its next poll resumes
-// from the last sequence it applied — reconciliation is the protocol's
-// steady state, not a special case. If the log has been truncated past
-// an edge's position, the feed says so (reset=true) and the edge
-// flushes its whole cache rather than risk serving unpublished
-// content forever.
+// invalidation log. Delivery is push with pull repair:
+//
+//   - Push: every subscribed edge gets new log entries fanned out the
+//     moment they are appended, each push carrying the subscriber's
+//     last acked sequence (since) and the new head (seq). The edge
+//     acks with the sequence it now stands at; an ack behind the head
+//     means "still missing deliveries, re-push from here", so lost
+//     pushes heal on the next successful one. One push loop runs per
+//     subscriber — a dead edge costs one error per invalidation
+//     burst, never a stuck fan-out for the others.
+//   - Pull (anti-entropy): edges keep polling the control endpoint on
+//     a jittered interval. A partitioned edge misses nothing, because
+//     on reconnect its next poll resumes from the last sequence it
+//     applied — reconciliation is the protocol's steady state, not a
+//     special case. Polls double as subscription upkeep: each one
+//     carries the edge's name and (when configured) its push address,
+//     so subscriptions survive an origin restart with zero extra
+//     control traffic, and the ?since= value refreshes the origin's
+//     view of how far along the edge is.
+//
+// If the log has been truncated past an edge's position, the feed
+// (pushed or pulled) says so (reset=true) and the edge flushes its
+// whole cache rather than risk serving unpublished content forever.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"sww/internal/core"
+	"sww/internal/device"
 	"sww/internal/hpack"
 	"sww/internal/http2"
 	"sww/internal/telemetry"
@@ -29,10 +49,21 @@ import (
 // control traffic; everything else resolves as normal site traffic.
 const ControlPrefix = "/sww-cdn/"
 
-// Control endpoints under ControlPrefix.
+// Control endpoints under ControlPrefix. health and push are also
+// served by edges (membership heartbeats and invalidation fan-out
+// both land on the edge's own listener).
 const (
 	invalidationsPath = ControlPrefix + "invalidations"
 	healthPath        = ControlPrefix + "health"
+	pushPath          = ControlPrefix + "push"
+)
+
+// Subscription headers an edge rides on its invalidation polls: the
+// name identifies the subscriber, the addr (optional) tells the
+// origin where to dial push deliveries.
+const (
+	edgeNameHeader = "x-sww-edge-name"
+	edgeAddrHeader = "x-sww-edge-addr"
 )
 
 // DefaultInvalidationLog bounds the retained invalidation entries.
@@ -40,11 +71,18 @@ const (
 // further behind than that flushes and refills, which is always safe.
 const DefaultInvalidationLog = 1024
 
-// An InvalidationFeed is one poll's answer, in wire form.
+// pushTimeout bounds one push delivery to one subscriber.
+const pushTimeout = 2 * time.Second
+
+// An InvalidationFeed is one poll's (or push's) answer, in wire form.
 type InvalidationFeed struct {
 	// Seq is the newest sequence number; the edge stores it and sends
 	// it back as ?since= on its next poll.
 	Seq uint64 `json:"seq"`
+	// Since is the position this feed continues from — the edge
+	// refuses a pushed feed whose Since it has not reached (a gap),
+	// instead of silently skipping invalidations.
+	Since uint64 `json:"since,omitempty"`
 	// Reset reports that the log no longer reaches back to the edge's
 	// position: the paths list is not exhaustive and the edge must
 	// flush its entire cache.
@@ -53,9 +91,26 @@ type InvalidationFeed struct {
 	Paths []string `json:"paths,omitempty"`
 }
 
+// pushAck is an edge's answer to one push: the sequence it now
+// stands at.
+type pushAck struct {
+	Ack uint64 `json:"ack"`
+}
+
 type invalEntry struct {
 	seq   uint64
 	paths []string
+}
+
+// subscriber is one edge registered for push fan-out.
+type subscriber struct {
+	name string
+	addr string
+	rc   *core.ResilientClient
+
+	mu      sync.Mutex
+	acked   uint64 // newest sequence the edge confirmed applying
+	pushing bool   // one push loop at a time
 }
 
 // An Origin is a site server with the CDN control surface attached.
@@ -68,9 +123,15 @@ type Origin struct {
 	log    []invalEntry
 	maxLog int
 
+	subMu sync.Mutex
+	subs  map[string]*subscriber
+
 	invalidations telemetry.Counter // paths invalidated
 	feedRequests  telemetry.Counter // invalidation polls answered
 	feedResets    telemetry.Counter // polls answered with reset=true
+	pushes        telemetry.Counter // push deliveries attempted
+	pushErrors    telemetry.Counter // push deliveries failed
+	pushResets    telemetry.Counter // pushes that carried reset=true
 }
 
 // NewOrigin attaches the CDN control surface to srv: unpublish events
@@ -80,7 +141,7 @@ func NewOrigin(srv *core.Server, maxLog int) *Origin {
 	if maxLog <= 0 {
 		maxLog = DefaultInvalidationLog
 	}
-	o := &Origin{srv: srv, maxLog: maxLog}
+	o := &Origin{srv: srv, maxLog: maxLog, subs: map[string]*subscriber{}}
 	srv.SetOnUnpublish(o.Invalidate)
 	srv.SetControl(ControlPrefix, o.control)
 	return o
@@ -89,15 +150,14 @@ func NewOrigin(srv *core.Server, maxLog int) *Origin {
 // Server returns the wrapped site server.
 func (o *Origin) Server() *core.Server { return o.srv }
 
-// Invalidate appends one invalidation entry covering paths and
-// returns its sequence number. Called automatically for unpublish
+// Invalidate appends one invalidation entry covering paths and fans
+// it out to every subscribed edge. Called automatically for unpublish
 // events; exported for tests and manual cache busting.
 func (o *Origin) Invalidate(paths []string) {
 	if len(paths) == 0 {
 		return
 	}
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	o.seq++
 	o.log = append(o.log, invalEntry{seq: o.seq, paths: append([]string(nil), paths...)})
 	o.invalidations.Add(uint64(len(paths)))
@@ -105,6 +165,8 @@ func (o *Origin) Invalidate(paths []string) {
 		o.floor = o.log[over-1].seq
 		o.log = append(o.log[:0], o.log[over:]...)
 	}
+	o.mu.Unlock()
+	o.pushAll()
 }
 
 // Seq returns the newest invalidation sequence number.
@@ -120,13 +182,21 @@ func (o *Origin) Feed(since uint64) InvalidationFeed {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.feedRequests.Add(1)
-	feed := InvalidationFeed{Seq: o.seq}
+	feed := o.feedLocked(since)
+	if feed.Reset {
+		o.feedResets.Add(1)
+	}
+	return feed
+}
+
+// feedLocked builds the feed for one position; callers hold o.mu.
+func (o *Origin) feedLocked(since uint64) InvalidationFeed {
+	feed := InvalidationFeed{Seq: o.seq, Since: since}
 	if since < o.floor {
 		// The edge's position fell off the log: anything might have
 		// been invalidated in the gap, so the only safe answer is
 		// "flush everything".
 		feed.Reset = true
-		o.feedResets.Add(1)
 		return feed
 	}
 	for _, e := range o.log {
@@ -135,6 +205,222 @@ func (o *Origin) Feed(since uint64) InvalidationFeed {
 		}
 	}
 	return feed
+}
+
+// Subscribe registers (or re-dials) an edge for push fan-out and
+// immediately brings it current. Called automatically when a poll
+// carries the subscription headers; exported for in-process wiring.
+func (o *Origin) Subscribe(name, addr string, dial core.DialFunc) {
+	o.subMu.Lock()
+	s, ok := o.subs[name]
+	if ok && s.addr == addr && addr != "" {
+		o.subMu.Unlock()
+		o.schedulePush(s)
+		return
+	}
+	if ok && s.rc != nil {
+		s.rc.Close()
+	}
+	s = &subscriber{
+		name: name,
+		addr: addr,
+		rc: core.NewResilientClient(dial, device.Workstation, nil,
+			core.RetryPolicy{MaxAttempts: 1}, nil),
+	}
+	o.subs[name] = s
+	o.subMu.Unlock()
+	o.schedulePush(s)
+}
+
+// Unsubscribe drops an edge from push fan-out (it can still poll).
+func (o *Origin) Unsubscribe(name string) {
+	o.subMu.Lock()
+	s, ok := o.subs[name]
+	delete(o.subs, name)
+	o.subMu.Unlock()
+	if ok && s.rc != nil {
+		s.rc.Close()
+	}
+}
+
+// Subscribers returns the names of the currently subscribed edges.
+func (o *Origin) Subscribers() []string {
+	o.subMu.Lock()
+	defer o.subMu.Unlock()
+	names := make([]string, 0, len(o.subs))
+	for n := range o.subs {
+		names = append(names, n)
+	}
+	return names
+}
+
+// SubscriberAck returns the last sequence an edge acked (0, false if
+// the edge is not subscribed).
+func (o *Origin) SubscriberAck(name string) (uint64, bool) {
+	o.subMu.Lock()
+	s, ok := o.subs[name]
+	o.subMu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acked, true
+}
+
+// Close drops every subscriber transport. In-flight push loops fail
+// fast and exit.
+func (o *Origin) Close() {
+	o.subMu.Lock()
+	subs := make([]*subscriber, 0, len(o.subs))
+	for _, s := range o.subs {
+		subs = append(subs, s)
+	}
+	o.subs = map[string]*subscriber{}
+	o.subMu.Unlock()
+	for _, s := range subs {
+		if s.rc != nil {
+			s.rc.Close()
+		}
+	}
+}
+
+// pushAll schedules a push loop for every subscriber that is behind.
+func (o *Origin) pushAll() {
+	o.subMu.Lock()
+	subs := make([]*subscriber, 0, len(o.subs))
+	for _, s := range o.subs {
+		subs = append(subs, s)
+	}
+	o.subMu.Unlock()
+	for _, s := range subs {
+		o.schedulePush(s)
+	}
+}
+
+// schedulePush starts s's push loop unless one is already draining.
+func (o *Origin) schedulePush(s *subscriber) {
+	s.mu.Lock()
+	if s.pushing {
+		s.mu.Unlock()
+		return
+	}
+	s.pushing = true
+	s.mu.Unlock()
+	go o.pushLoop(s)
+}
+
+// pushLoop drains one subscriber: push from its acked position, adopt
+// the ack, repeat until the edge stands at the head or delivery
+// fails. Failures are abandoned, not retried in place — the edge's
+// anti-entropy poll repairs the gap, and the next Invalidate (or the
+// next poll observation) schedules a fresh loop.
+func (o *Origin) pushLoop(s *subscriber) {
+	defer func() {
+		s.mu.Lock()
+		s.pushing = false
+		s.mu.Unlock()
+	}()
+	for {
+		s.mu.Lock()
+		acked := s.acked
+		s.mu.Unlock()
+		o.mu.Lock()
+		head := o.seq
+		feed := o.feedLocked(acked)
+		o.mu.Unlock()
+		if acked >= head {
+			return
+		}
+		ack, err := o.pushOnce(s, feed)
+		if err != nil {
+			o.pushErrors.Add(1)
+			return
+		}
+		s.mu.Lock()
+		if ack > s.acked {
+			s.acked = ack
+		}
+		progressed := s.acked > acked
+		s.mu.Unlock()
+		if !progressed {
+			// The edge refused (gap from its point of view) and its
+			// ack did not move ours back either — stop rather than
+			// spin; anti-entropy owns this repair.
+			return
+		}
+	}
+}
+
+// pushOnce delivers one feed to one subscriber and returns its ack.
+func (o *Origin) pushOnce(s *subscriber, feed InvalidationFeed) (uint64, error) {
+	o.pushes.Add(1)
+	if feed.Reset {
+		o.pushResets.Add(1)
+	}
+	q := url.Values{}
+	q.Set("since", strconv.FormatUint(feed.Since, 10))
+	q.Set("seq", strconv.FormatUint(feed.Seq, 10))
+	if feed.Reset {
+		q.Set("reset", "1")
+	}
+	if len(feed.Paths) > 0 {
+		// Escape each path before joining: the comma separator must
+		// survive paths that contain commas themselves.
+		escaped := make([]string, len(feed.Paths))
+		for i, p := range feed.Paths {
+			escaped[i] = url.QueryEscape(p)
+		}
+		q.Set("paths", strings.Join(escaped, ","))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), pushTimeout)
+	defer cancel()
+	raw, err := s.rc.FetchRawContext(ctx, pushPath+"?"+q.Encode())
+	if err != nil {
+		return 0, err
+	}
+	if raw.Status != 200 {
+		return 0, fmt.Errorf("push status %d", raw.Status)
+	}
+	var ack pushAck
+	if err := json.Unmarshal(raw.Body, &ack); err != nil {
+		return 0, err
+	}
+	return ack.Ack, nil
+}
+
+// observePoll folds one poll's subscription metadata into the
+// registry: refresh (or establish) the subscription when the edge
+// advertises a push address, and advance our view of its position.
+// since is trustworthy as a floor — the edge computed it from its own
+// applied state.
+func (o *Origin) observePoll(name, addr string, since uint64) {
+	if name == "" {
+		return
+	}
+	if addr != "" {
+		o.subMu.Lock()
+		s, ok := o.subs[name]
+		sameAddr := ok && s.addr == addr
+		o.subMu.Unlock()
+		if !sameAddr {
+			addr := addr
+			o.Subscribe(name, addr, func() (net.Conn, error) {
+				return net.Dial("tcp", addr)
+			})
+		}
+	}
+	o.subMu.Lock()
+	s, ok := o.subs[name]
+	o.subMu.Unlock()
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	if since > s.acked {
+		s.acked = since
+	}
+	s.mu.Unlock()
 }
 
 // control serves the CDN endpoints on the site listener.
@@ -150,6 +436,7 @@ func (o *Origin) control(w *http2.ResponseWriter, r *http2.Request) {
 				since, _ = strconv.ParseUint(v, 10, 64)
 			}
 		}
+		o.observePoll(r.HeaderValue(edgeNameHeader), r.HeaderValue(edgeAddrHeader), since)
 		body, err := json.Marshal(o.Feed(since))
 		if err != nil {
 			writeControl(w, 500, "text/plain; charset=utf-8", []byte(fmt.Sprintf("encode: %v\n", err)))
@@ -178,5 +465,13 @@ func (o *Origin) Register(reg *telemetry.Registry) {
 	reg.Adopt("sww_cdn_origin_invalidations_total", &o.invalidations)
 	reg.Adopt("sww_cdn_origin_feed_requests_total", &o.feedRequests)
 	reg.Adopt("sww_cdn_origin_feed_resets_total", &o.feedResets)
+	reg.Adopt("sww_cdn_origin_pushes_total", &o.pushes)
+	reg.Adopt("sww_cdn_origin_push_errors_total", &o.pushErrors)
+	reg.Adopt("sww_cdn_origin_push_resets_total", &o.pushResets)
 	reg.GaugeFunc("sww_cdn_origin_seq", func() float64 { return float64(o.Seq()) })
+	reg.GaugeFunc("sww_cdn_origin_subscribers", func() float64 {
+		o.subMu.Lock()
+		defer o.subMu.Unlock()
+		return float64(len(o.subs))
+	})
 }

@@ -62,6 +62,10 @@ type Endpoint struct {
 	lastFail    time.Time
 	probing     bool // a probe is in flight; others must not pile on
 
+	// onStateChange fires outside the lock whenever the endpoint
+	// crosses the down threshold or recovers (see SetOnStateChange).
+	onStateChange func(healthy bool)
+
 	failures  telemetry.Counter
 	successes telemetry.Counter
 	probes    telemetry.Counter
@@ -98,27 +102,47 @@ func (e *Endpoint) usable() bool {
 	return false
 }
 
+// SetOnStateChange installs a hook fired (outside the endpoint lock)
+// whenever the breaker transitions: false when the endpoint crosses
+// the failure threshold and is marked down, true when a success
+// brings a down endpoint back. Transport outcomes thus double as
+// membership evidence — the edge mesh feeds them into its
+// suspect/revive ladder without a second health channel. Set it
+// before concurrent use.
+func (e *Endpoint) SetOnStateChange(fn func(healthy bool)) { e.onStateChange = fn }
+
 // ReportSuccess records a completed request: the endpoint is healthy.
 func (e *Endpoint) ReportSuccess() {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.successes.Add(1)
 	e.consecFails = 0
+	wasDown := e.down
 	e.down = false
 	e.probing = false
+	fn := e.onStateChange
+	e.mu.Unlock()
+	if wasDown && fn != nil {
+		fn(true)
+	}
 }
 
 // ReportFailure records a transport-level failure against the
 // endpoint; FailureThreshold in a row mark it down.
 func (e *Endpoint) ReportFailure() {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.failures.Add(1)
 	e.consecFails++
 	e.lastFail = e.now()
 	e.probing = false
+	wentDown := false
 	if e.consecFails >= e.cfg.threshold() {
+		wentDown = !e.down
 		e.down = true
+	}
+	fn := e.onStateChange
+	e.mu.Unlock()
+	if wentDown && fn != nil {
+		fn(false)
 	}
 }
 

@@ -1,0 +1,123 @@
+package faultnet
+
+// Crash models a process death and restart at the dial layer: every
+// connection established through a crashed peer's dial dies at once
+// (the kernel resets a dead process's sockets — nothing lingers), and
+// new dials fail outright until Restart. Unlike a blackhole, which
+// models a network that silently eats packets, a crash is *loud*: the
+// peer's transport errors immediately, which is exactly what breaker
+// and membership ladders key on. In-process chaos tests use it to
+// rehearse the kill→restart sequence the edge tier's warm-restart
+// path exists for, without forking real processes.
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// ErrCrashed is returned from dials attempted while the peer is down.
+var ErrCrashed = errors.New("faultnet: peer crashed")
+
+// A Crash is a kill switch over one peer's dial func. The zero value
+// is a running (not crashed) peer.
+type Crash struct {
+	mu    sync.Mutex
+	down  bool
+	conns map[*crashConn]struct{}
+	kills int
+}
+
+// Wrap returns a dial that tracks every connection it establishes so
+// Kill can sever them all, and that fails with ErrCrashed while the
+// peer is down.
+func (c *Crash) Wrap(dial func() (net.Conn, error)) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		c.mu.Lock()
+		if c.down {
+			c.mu.Unlock()
+			return nil, ErrCrashed
+		}
+		c.mu.Unlock()
+		conn, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		cc := &crashConn{Conn: conn, owner: c}
+		c.mu.Lock()
+		// A Kill may have landed between the check and the dial
+		// completing; the late connection dies with the rest.
+		if c.down {
+			c.mu.Unlock()
+			conn.Close()
+			return nil, ErrCrashed
+		}
+		if c.conns == nil {
+			c.conns = map[*crashConn]struct{}{}
+		}
+		c.conns[cc] = struct{}{}
+		c.mu.Unlock()
+		return cc, nil
+	}
+}
+
+// Kill crashes the peer: all live connections are severed and future
+// dials fail until Restart. Idempotent.
+func (c *Crash) Kill() {
+	c.mu.Lock()
+	if c.down {
+		c.mu.Unlock()
+		return
+	}
+	c.down = true
+	c.kills++
+	conns := make([]*crashConn, 0, len(c.conns))
+	for cc := range c.conns {
+		conns = append(conns, cc)
+	}
+	c.conns = nil
+	c.mu.Unlock()
+	for _, cc := range conns {
+		cc.Conn.Close()
+	}
+}
+
+// Restart brings the peer back: dials succeed again. Connections
+// severed by the kill stay dead — survivors must redial, as after a
+// real restart.
+func (c *Crash) Restart() {
+	c.mu.Lock()
+	c.down = false
+	c.mu.Unlock()
+}
+
+// Down reports whether the peer is currently crashed.
+func (c *Crash) Down() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down
+}
+
+// Kills returns how many times the peer has been killed.
+func (c *Crash) Kills() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.kills
+}
+
+// crashConn untracks itself on close so the Crash's conn table does
+// not grow with every dial over a long test.
+type crashConn struct {
+	net.Conn
+	owner *Crash
+	once  sync.Once
+}
+
+func (cc *crashConn) Close() error {
+	cc.once.Do(func() {
+		cc.owner.mu.Lock()
+		delete(cc.owner.conns, cc)
+		cc.owner.mu.Unlock()
+	})
+	return cc.Conn.Close()
+}

@@ -112,6 +112,22 @@ func (l *ByteLRU) Remove(key string) bool {
 	return true
 }
 
+// Each visits every entry from most- to least-recently used without
+// promoting anything. The snapshot is taken under the lock and fn runs
+// outside it, so fn may call back into the cache; entries added or
+// removed after Each begins may or may not be reflected.
+func (l *ByteLRU) Each(fn func(key string, value any, size int64)) {
+	l.mu.Lock()
+	snap := make([]lruEntry, 0, l.order.Len())
+	for e := l.order.Front(); e != nil; e = e.Next() {
+		snap = append(snap, *e.Value.(*lruEntry))
+	}
+	l.mu.Unlock()
+	for _, ent := range snap {
+		fn(ent.key, ent.value, ent.size)
+	}
+}
+
 // Len returns the entry count.
 func (l *ByteLRU) Len() int {
 	l.mu.Lock()
