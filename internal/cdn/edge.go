@@ -295,6 +295,7 @@ type Edge struct {
 	pollErrors     telemetry.Counter
 	pushApplied    telemetry.Counter // invalidation paths applied via push
 	pushGaps       telemetry.Counter // pushes refused for skipping sequences
+	pushOverlaps   telemetry.Counter // pushes skipped for re-covering applied sequences
 	peerFills      telemetry.Counter // misses answered by a peer shard
 	peerFillFails  telemetry.Counter // consultations that came back empty
 	peerServes     telemetry.Counter // fill requests answered for peers
@@ -696,7 +697,17 @@ func (e *Edge) servePush(w *http2.ResponseWriter, query string) {
 		e.pushGaps.Add(1)
 	case feed.Seq <= last:
 		// Duplicate or stale push (the poller already caught us up).
+	case feed.Since < last:
+		// Overlapping push: the origin's acked view lags our actual
+		// position (its push raced our poll), so this batch includes
+		// paths from (Since, last] we already applied — re-invalidating
+		// those would drop entries legitimately re-cached since. Skip;
+		// the ack below resyncs the origin's watermark and its push
+		// loop re-sends exactly (last, Seq].
+		e.pushOverlaps.Add(1)
 	default:
+		// feed.Since == last: the push continues precisely from our
+		// position.
 		for _, p := range feed.Paths {
 			n := e.InvalidatePath(p)
 			e.invalApplied.Add(uint64(n))
@@ -1026,6 +1037,7 @@ type EdgeStats struct {
 	PollErrors     uint64
 	PushApplied    uint64
 	PushGaps       uint64
+	PushOverlaps   uint64
 	PeerFills      uint64
 	PeerFillFails  uint64
 	PeerServes     uint64
@@ -1061,6 +1073,7 @@ func (e *Edge) Stats() EdgeStats {
 		PollErrors:     e.pollErrors.Load(),
 		PushApplied:    e.pushApplied.Load(),
 		PushGaps:       e.pushGaps.Load(),
+		PushOverlaps:   e.pushOverlaps.Load(),
 		PeerFills:      e.peerFills.Load(),
 		PeerFillFails:  e.peerFillFails.Load(),
 		PeerServes:     e.peerServes.Load(),
@@ -1095,6 +1108,7 @@ func (e *Edge) Register(reg *telemetry.Registry) {
 	reg.Adopt("sww_edge_poll_errors_total", &e.pollErrors)
 	reg.Adopt("sww_edge_push_applied_total", &e.pushApplied)
 	reg.Adopt("sww_edge_push_gap_total", &e.pushGaps)
+	reg.Adopt("sww_edge_push_overlap_total", &e.pushOverlaps)
 	reg.Adopt("sww_edge_peer_fill_total", &e.peerFills)
 	reg.Adopt("sww_edge_peer_fill_misses_total", &e.peerFillFails)
 	reg.Adopt("sww_edge_peer_serves_total", &e.peerServes)

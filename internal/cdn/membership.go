@@ -114,11 +114,20 @@ func (c MemberConfig) deadAfter() time.Duration {
 	return c.DeadAfter
 }
 
+// suspectFailures is how many consecutive data-path failures suspect
+// an alive peer. Probes refresh lastOK every heartbeat, so a silence
+// threshold alone would let a peer whose probe port answers but whose
+// data path is broken stay a peer-fill candidate forever; a short
+// failure streak is evidence enough to stop filling through it, while
+// still letting one flaky fetch pass.
+const suspectFailures = 3
+
 type member struct {
 	name   string
 	probe  ProbeFunc
 	state  MemberState
 	lastOK time.Time
+	fails  int // consecutive data-path failures since the last success
 }
 
 // A Membership tracks the liveness of a peer set. All methods are
@@ -231,6 +240,7 @@ func (m *Membership) ReportSuccess(name string) {
 		return
 	}
 	p.lastOK = m.now()
+	p.fails = 0
 	fire := m.setStateLocked(p, MemberAlive)
 	m.mu.Unlock()
 	if fire != nil {
@@ -238,12 +248,15 @@ func (m *Membership) ReportSuccess(name string) {
 	}
 }
 
-// ReportFailure records a data-path failure against the peer. It can
-// escalate alive→suspect immediately (failures are evidence enough to
-// stop peer-filling through it) but never declares death — removal
-// from the ring is reserved for the sweep, which requires DeadAfter
-// of sustained silence, so one burst of data-path errors cannot
-// reshard the fleet.
+// ReportFailure records a data-path failure against the peer. It
+// escalates alive→suspect after suspectFailures consecutive failures
+// (or sooner, when probes have also been silent for SuspectAfter) —
+// probes refresh lastOK every heartbeat, so without the streak count a
+// peer with a live probe port but a broken data path would never stop
+// being a peer-fill candidate. It never declares death — removal from
+// the ring is reserved for the sweep, which requires DeadAfter of
+// sustained silence, so a burst of data-path errors cannot reshard
+// the fleet.
 func (m *Membership) ReportFailure(name string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -251,8 +264,10 @@ func (m *Membership) ReportFailure(name string) {
 	if !ok || p.state != MemberAlive {
 		return
 	}
-	if m.now().Sub(p.lastOK) >= m.cfg.suspectAfter() {
+	p.fails++
+	if p.fails >= suspectFailures || m.now().Sub(p.lastOK) >= m.cfg.suspectAfter() {
 		p.state = MemberSuspect
+		p.fails = 0
 		m.transitions.Add(1)
 	}
 }
@@ -313,6 +328,7 @@ func (m *Membership) Tick(ctx context.Context) {
 		}
 		if results[i] == nil {
 			p.lastOK = now
+			p.fails = 0
 			if fire := m.setStateLocked(p, MemberAlive); fire != nil {
 				fires = append(fires, fire)
 			}

@@ -192,6 +192,17 @@ func (o *Origin) Feed(since uint64) InvalidationFeed {
 // feedLocked builds the feed for one position; callers hold o.mu.
 func (o *Origin) feedLocked(since uint64) InvalidationFeed {
 	feed := InvalidationFeed{Seq: o.seq, Since: since}
+	if since > o.seq {
+		// The edge stands ahead of our head: it anchored against a
+		// previous origin incarnation (the log is in-memory, so a
+		// restart re-starts seq at 0). Anything may have been
+		// unpublished across the restart and the old sequence space
+		// means nothing now, so the only safe answer is a reset — the
+		// edge flushes and re-anchors at the new head instead of
+		// trusting a cursor no log backs anymore.
+		feed.Reset = true
+		return feed
+	}
 	if since < o.floor {
 		// The edge's position fell off the log: anything might have
 		// been invalidated in the gap, so the only safe answer is
@@ -208,9 +219,13 @@ func (o *Origin) feedLocked(since uint64) InvalidationFeed {
 }
 
 // Subscribe registers (or re-dials) an edge for push fan-out and
-// immediately brings it current. Called automatically when a poll
-// carries the subscription headers; exported for in-process wiring.
-func (o *Origin) Subscribe(name, addr string, dial core.DialFunc) {
+// immediately brings it current. since is the newest sequence the edge
+// has already applied — a new subscriber is born at that watermark, so
+// the racing push loop cannot deliver the whole retained log (or a
+// spurious reset) to an edge that is in fact current. Called
+// automatically when a poll carries the subscription headers; exported
+// for in-process wiring.
+func (o *Origin) Subscribe(name, addr string, since uint64, dial core.DialFunc) {
 	o.subMu.Lock()
 	s, ok := o.subs[name]
 	if ok && s.addr == addr && addr != "" {
@@ -222,8 +237,9 @@ func (o *Origin) Subscribe(name, addr string, dial core.DialFunc) {
 		s.rc.Close()
 	}
 	s = &subscriber{
-		name: name,
-		addr: addr,
+		name:  name,
+		addr:  addr,
+		acked: since,
 		rc: core.NewResilientClient(dial, device.Workstation, nil,
 			core.RetryPolicy{MaxAttempts: 1}, nil),
 	}
@@ -391,9 +407,15 @@ func (o *Origin) pushOnce(s *subscriber, feed InvalidationFeed) (uint64, error) 
 
 // observePoll folds one poll's subscription metadata into the
 // registry: refresh (or establish) the subscription when the edge
-// advertises a push address, and advance our view of its position.
-// since is trustworthy as a floor — the edge computed it from its own
-// applied state.
+// advertises a push address, and adopt its position. since is the
+// edge's actual applied state, so it is adopted in both directions:
+// forward when the edge applied entries we never saw acked, and
+// backward when the edge re-anchored below us (a cold restart, or a
+// feed reset after an origin restart) — without the backward move,
+// pushes would stay suppressed until seq outgrew the stale watermark
+// and every invalidation until then would rely on the poller alone. A
+// stale since from a poll racing a push costs at most one redundant
+// push, which the edge dedups and re-acks forward.
 func (o *Origin) observePoll(name, addr string, since uint64) {
 	if name == "" {
 		return
@@ -405,7 +427,7 @@ func (o *Origin) observePoll(name, addr string, since uint64) {
 		o.subMu.Unlock()
 		if !sameAddr {
 			addr := addr
-			o.Subscribe(name, addr, func() (net.Conn, error) {
+			o.Subscribe(name, addr, since, func() (net.Conn, error) {
 				return net.Dial("tcp", addr)
 			})
 		}
@@ -417,9 +439,7 @@ func (o *Origin) observePoll(name, addr string, since uint64) {
 		return
 	}
 	s.mu.Lock()
-	if since > s.acked {
-		s.acked = since
-	}
+	s.acked = since
 	s.mu.Unlock()
 }
 

@@ -157,6 +157,42 @@ func TestMembershipDataPathEvidence(t *testing.T) {
 	}
 }
 
+// TestMembershipConsecutiveFailures: a streak of data-path failures
+// suspects an alive peer even while probes keep refreshing lastOK (a
+// peer whose probe port answers but whose data path is broken), a
+// success resets the streak, and the streak alone never declares
+// death.
+func TestMembershipConsecutiveFailures(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	m := NewMembership(MemberConfig{
+		SuspectAfter: time.Hour, // silence alone never triggers here
+		Clock:        clock.now,
+	})
+	m.AddPeer("p1", nil)
+
+	m.ReportFailure("p1")
+	m.ReportFailure("p1")
+	if s := m.State("p1"); s != MemberAlive {
+		t.Fatalf("%d failures suspected early: %v", suspectFailures-1, s)
+	}
+	m.ReportSuccess("p1")
+	m.ReportFailure("p1")
+	m.ReportFailure("p1")
+	if s := m.State("p1"); s != MemberAlive {
+		t.Fatalf("success did not reset the failure streak: %v", s)
+	}
+	m.ReportFailure("p1")
+	if s := m.State("p1"); s != MemberSuspect {
+		t.Fatalf("%d consecutive failures should suspect: %v", suspectFailures, s)
+	}
+	for i := 0; i < 10*suspectFailures; i++ {
+		m.ReportFailure("p1")
+	}
+	if s := m.State("p1"); s == MemberDead {
+		t.Fatal("data-path failures must never declare death")
+	}
+}
+
 // TestPollJitter: the per-tick jitter is deterministic for a seed,
 // stays within ±20%, centers on the base interval, and two edges
 // derive different schedules from their names alone.
@@ -470,7 +506,7 @@ func TestPushInvalidation(t *testing.T) {
 		t.Fatal("warming fetch did not cache")
 	}
 
-	h.origin.Subscribe("edge1", "pipe://edge1", h.dialTo("edge1"))
+	h.origin.Subscribe("edge1", "pipe://edge1", e.LastSeq(), h.dialTo("edge1"))
 	h.origin.Invalidate([]string{path})
 
 	deadline := time.Now().Add(10 * time.Second)
@@ -527,6 +563,153 @@ func TestPushInvalidation(t *testing.T) {
 	}
 	if got := e.Stats().CacheEntries; got != 0 {
 		t.Errorf("reset push left %d entries", got)
+	}
+}
+
+// TestOriginRestartReset: an edge whose cursor is ahead of the
+// origin's head (the origin restarted and its in-memory log re-started
+// at 0) gets a reset — it flushes and re-anchors at the new head
+// instead of keeping a cursor no log backs, which would suppress every
+// invalidation until the new seq outgrew it.
+func TestOriginRestartReset(t *testing.T) {
+	h := newMesh(t, []string{"edge1"}, nil)
+	e := h.edges["edge1"]
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	path := workload.CDNPagePath(0)
+
+	if feed := h.origin.Feed(5); !feed.Reset {
+		t.Fatalf("Feed(since ahead of head) = %+v, want reset", feed)
+	}
+
+	// The restart scenario end to end: a warm edge anchored at 7 from
+	// a previous origin incarnation polls the restarted origin (seq 1).
+	if raw, err := h.fetchVia(ctx, "edge1", path); err != nil || raw.Status != 200 {
+		t.Fatalf("warming fetch: %v status %d", err, raw.Status)
+	}
+	e.lastSeq.Store(7)
+	h.origin.Invalidate([]string{"/unrelated"})
+	if err := e.PollOnce(ctx); err != nil {
+		t.Fatalf("poll against restarted origin: %v", err)
+	}
+	if got := e.LastSeq(); got != h.origin.Seq() {
+		t.Errorf("edge did not re-anchor: lastSeq %d, origin seq %d", got, h.origin.Seq())
+	}
+	s := e.Stats()
+	if s.InvalResets != 1 {
+		t.Errorf("inval resets = %d, want 1", s.InvalResets)
+	}
+	if s.CacheEntries != 0 {
+		t.Errorf("reset left %d entries cached", s.CacheEntries)
+	}
+
+	// The origin's acked view must follow the edge back down too, or
+	// push delivery would stay suppressed until seq outgrew the stale
+	// watermark.
+	h.origin.Subscribe("edge1", "pipe://edge1", 7, h.dialTo("edge1"))
+	h.origin.observePoll("edge1", "pipe://edge1", e.LastSeq())
+	if ack, ok := h.origin.SubscriberAck("edge1"); !ok || ack != e.LastSeq() {
+		t.Errorf("subscriber ack = %d,%v want %d", ack, ok, e.LastSeq())
+	}
+}
+
+// TestSubscribeBornCurrent: subscribing a fully current edge must not
+// push it anything — before the watermark rode on Subscribe, a new
+// subscriber was born at acked=0 and the racing push loop could
+// deliver the whole retained log, or a reset (flushing the warm shard)
+// once the log had truncated.
+func TestSubscribeBornCurrent(t *testing.T) {
+	h := newMesh(t, []string{"edge1"}, nil)
+	e := h.edges["edge1"]
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	path := workload.CDNPagePath(0)
+
+	// Truncate the log (floor > 0) so a push loop starting from
+	// acked=0 would deliver reset=true.
+	for i := 0; i < DefaultInvalidationLog+10; i++ {
+		h.origin.Invalidate([]string{"/churn"})
+	}
+	if raw, err := h.fetchVia(ctx, "edge1", path); err != nil || raw.Status != 200 {
+		t.Fatalf("warming fetch: %v status %d", err, raw.Status)
+	}
+	e.lastSeq.Store(h.origin.Seq()) // the edge is current
+
+	h.origin.Subscribe("edge1", "pipe://edge1", e.LastSeq(), h.dialTo("edge1"))
+	time.Sleep(100 * time.Millisecond) // let any racing push loop run
+	if got := h.origin.pushes.Load(); got != 0 {
+		t.Errorf("subscribing a current edge attempted %d pushes", got)
+	}
+	s := e.Stats()
+	if s.InvalResets != 0 {
+		t.Errorf("subscription flushed a current edge: %d resets", s.InvalResets)
+	}
+	if s.CacheEntries == 0 {
+		t.Error("warm entry lost after subscribing")
+	}
+	if ack, ok := h.origin.SubscriberAck("edge1"); !ok || ack != e.LastSeq() {
+		t.Errorf("subscriber ack = %d,%v want %d", ack, ok, e.LastSeq())
+	}
+}
+
+// TestPushOverlapSkipped: a push whose Since is behind the edge's
+// position (the origin's acked view lags a poll) is not re-applied —
+// re-invalidating the overlap would drop entries legitimately
+// re-cached since — and the ack tells the origin where to resume.
+func TestPushOverlapSkipped(t *testing.T) {
+	h := newMesh(t, []string{"edge1"}, nil)
+	e := h.edges["edge1"]
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	path := workload.CDNPagePath(0)
+
+	rc := core.NewResilientClient(h.dialTo("edge1"), device.Workstation, nil, tierRetry(), nil)
+	defer rc.Close()
+	push := func(since, seq uint64, paths string) pushAck {
+		t.Helper()
+		url := fmt.Sprintf("%s?since=%d&seq=%d&paths=%s", pushPath, since, seq, paths)
+		raw, err := rc.FetchRawContext(ctx, url)
+		if err != nil || raw.Status != 200 {
+			t.Fatalf("push transport: %v status %d", err, raw.Status)
+		}
+		var ack pushAck
+		if err := json.Unmarshal(raw.Body, &ack); err != nil {
+			t.Fatalf("push ack: %v", err)
+		}
+		return ack
+	}
+
+	// Bring the edge to seq 2, then re-cache path — the entry the
+	// overlapping push must not drop.
+	if ack := push(0, 2, "/churn"); ack.Ack != 2 {
+		t.Fatalf("aligned push ack = %d, want 2", ack.Ack)
+	}
+	if raw, err := h.fetchVia(ctx, "edge1", path); err != nil || raw.Status != 200 {
+		t.Fatalf("re-caching fetch: %v status %d", err, raw.Status)
+	}
+
+	// Overlapping push: covers (1, 3] while we stand at 2, naming the
+	// re-cached path. Must be skipped, acked with 2.
+	if ack := push(1, 3, path); ack.Ack != 2 {
+		t.Errorf("overlap push ack = %d, want 2", ack.Ack)
+	}
+	s := e.Stats()
+	if s.PushOverlaps != 1 {
+		t.Errorf("push overlap counter = %d, want 1", s.PushOverlaps)
+	}
+	if e.LastSeq() != 2 {
+		t.Errorf("overlap push moved lastSeq to %d", e.LastSeq())
+	}
+	if s.CacheEntries == 0 {
+		t.Error("overlap push dropped the re-cached entry")
+	}
+
+	// The resumed, exactly-aligned push applies.
+	if ack := push(2, 3, path); ack.Ack != 3 {
+		t.Errorf("resumed push ack = %d, want 3", ack.Ack)
+	}
+	if got := e.Stats().CacheEntries; got != 0 {
+		t.Errorf("resumed push left %d entries", got)
 	}
 }
 

@@ -172,7 +172,7 @@ func (f *selfHealFleet) bootEdge(name string, mod func(string, *cdn.EdgeConfig))
 // subscribePush registers an edge for push fan-out over its crashable
 // push link.
 func (f *selfHealFleet) subscribePush(name string) {
-	f.origin.Subscribe(name, "", f.pushCrash[name].Wrap(func() (net.Conn, error) {
+	f.origin.Subscribe(name, "", f.edges[name].LastSeq(), f.pushCrash[name].Wrap(func() (net.Conn, error) {
 		cEnd, sEnd := net.Pipe()
 		f.edges[name].StartConn(sEnd)
 		return cEnd, nil
