@@ -6,7 +6,7 @@
 //	sww-bench [-only t1|t2|fig2|steps|sizes|text|article|matrix|
 //	                 energy|carbon|traffic|cdn|video|storage|ablations|
 //	                 chaos|overload|abuse|fastpath|telemetry|edgetier|
-//	                 selfheal]
+//	                 selfheal|originha]
 //	          [-quick]
 //
 // Without -only, all experiments run in order. -quick trims the
@@ -64,6 +64,7 @@ func main() {
 		{"telemetry", "E22 operational telemetry cross-check", runTelemetry},
 		{"edgetier", "E23 edge tier failover & serve-stale chaos", runEdgeTier},
 		{"selfheal", "E24 self-healing mesh: restart, push loss, peer-fill", runSelfHeal},
+		{"originha", "E25 origin HA: durable log, failover, fencing, retry budget", runOriginHA},
 	}
 	failed := false
 	for _, e := range all {
@@ -601,6 +602,72 @@ func runSelfHeal() error {
 	if rep.FillGoodputRatio < 0.9 {
 		return fmt.Errorf("peer-fill goodput fell to %.2fx of serve-stale baseline (want >= 0.9)",
 			rep.FillGoodputRatio)
+	}
+	return nil
+}
+
+// runOriginHA prints E25 as JSON and fails if origin high availability
+// missed its bars: a restarted origin resumes its durable sequence and
+// the edge reconciles with zero resets; a killed primary's standby
+// promotes with zero lost sequences and the edge fails over to it; the
+// restarted zombie is epoch-fenced; and the retry budget holds a
+// blackhole storm's upstream attempts to burst + ratio x pulls.
+func runOriginHA() error {
+	rep, err := experiments.OriginHASweep(quickMode)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", out)
+	fmt.Printf("warm restart: seq %d -> %d, %d edge resets, caught up %v\n",
+		rep.SeqBeforeRestart, rep.SeqAfterRestart, rep.RestartResets, rep.RestartCaughtUp)
+	fmt.Printf("failover: primary died at seq %d; standby promoted to epoch %d at seq %d "+
+		"in %v (%d lost seqs); edge failovers %d, resets %d, fresh invalidation served %v\n",
+		rep.PrimarySeqAtKill, rep.PromotedEpoch, rep.PromotedSeq,
+		rep.FailoverAfter.Round(time.Millisecond), rep.LostSeqs,
+		rep.EdgeFailovers, rep.FailoverResets, rep.FreshInvalServed)
+	fmt.Printf("fencing: zombie returned at epoch %d, fenced %v (%d refusals); "+
+		"edge refused %d stale-epoch feeds\n",
+		rep.ZombieEpoch, rep.ZombieFenced, rep.FenceRefusals, rep.EdgeEpochFenced)
+	fmt.Printf("retry storm: %d pulls vs blackholed origin; budgeted %d retries "+
+		"(ceiling %.0f, exhausted %d), unbudgeted %d retries\n",
+		rep.StormFetches, rep.BudgetedRetries, rep.RetryCeiling,
+		rep.BudgetExhausted, rep.UnbudgetedRetries)
+	if rep.RestartResets != 0 {
+		return fmt.Errorf("origin restart flushed the edge %d times (want 0)", rep.RestartResets)
+	}
+	if !rep.RestartCaughtUp {
+		return fmt.Errorf("edge never reconciled the post-restart feed")
+	}
+	if rep.LostSeqs != 0 {
+		return fmt.Errorf("failover lost %d invalidation sequences (want 0)", rep.LostSeqs)
+	}
+	if rep.EdgeFailovers == 0 {
+		return fmt.Errorf("edge never adopted the promoted standby's epoch")
+	}
+	if rep.FailoverResets != 0 {
+		return fmt.Errorf("failover flushed the edge %d times (want 0)", rep.FailoverResets)
+	}
+	if !rep.FreshInvalServed {
+		return fmt.Errorf("post-failover invalidation was not refilled fresh")
+	}
+	if !rep.ZombieFenced {
+		return fmt.Errorf("restarted old primary was never fenced")
+	}
+	if rep.EdgeEpochFenced == 0 {
+		return fmt.Errorf("edge accepted the zombie's stale-epoch push")
+	}
+	// The budget's whole point: retries bounded by deposit flow, not by
+	// MaxAttempts x pulls. Allow one bucket of slack for rounding.
+	if float64(rep.BudgetedRetries) > rep.RetryCeiling+float64(rep.BudgetBurst) {
+		return fmt.Errorf("budgeted storm spent %d retries (ceiling %.0f)",
+			rep.BudgetedRetries, rep.RetryCeiling)
+	}
+	if rep.BudgetExhausted == 0 {
+		return fmt.Errorf("retry budget never reported exhaustion under a storm")
 	}
 	return nil
 }

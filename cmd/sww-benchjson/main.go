@@ -7,12 +7,14 @@
 //	go test -bench 'SynthKernel' -benchtime 1x -benchmem ./... | sww-benchjson > BENCH_PR5.json
 //	sww-benchjson -telemetry http://127.0.0.1:8421/statusz < bench.txt > BENCH_PR5.json
 //
-// -telemetry merges the latency histograms of a running server's ops
-// listener (the /statusz JSON of -ops-addr, fetched from a http://
-// URL or read from a file) into the document: each histogram becomes
-// one result named telemetry/<metric> with count and p50/p95/p99
-// milliseconds, so a load run's server-side percentiles land next to
-// the micro-benchmarks in one artifact.
+// -telemetry merges a running server's ops listener snapshot (the
+// /statusz JSON of -ops-addr, fetched from a http:// URL or read from
+// a file) into the document: each histogram becomes one result named
+// telemetry/<metric> with count and p50/p95/p99 milliseconds, and each
+// counter and gauge becomes a single-value row, so a load run's
+// server-side percentiles and resilience counters (failovers, fence
+// refusals, retry-budget exhaustion) land next to the micro-benchmarks
+// in one artifact.
 //
 // Each benchmark result line has the shape
 //
@@ -142,21 +144,21 @@ func telemetryResults(source string) ([]benchResult, error) {
 	if err := json.Unmarshal(raw, &statusz); err != nil {
 		return nil, err
 	}
-	hists := statusz.Metrics.Histograms
-	if len(hists) == 0 {
-		var snap telemetry.Snapshot
-		if err := json.Unmarshal(raw, &snap); err == nil {
-			hists = snap.Histograms
+	snap := statusz.Metrics
+	if len(snap.Histograms) == 0 && len(snap.Counters) == 0 && len(snap.Gauges) == 0 {
+		var bare telemetry.Snapshot
+		if err := json.Unmarshal(raw, &bare); err == nil {
+			snap = bare
 		}
 	}
-	names := make([]string, 0, len(hists))
-	for name := range hists {
+	names := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	results := make([]benchResult, 0, len(names))
+	results := make([]benchResult, 0, len(names)+len(snap.Counters)+len(snap.Gauges))
 	for _, name := range names {
-		h := hists[name]
+		h := snap.Histograms[name]
 		results = append(results, benchResult{
 			Name:       "telemetry/" + name,
 			Iterations: int64(h.Count),
@@ -167,6 +169,31 @@ func telemetryResults(source string) ([]benchResult, error) {
 				"p95_ms":      h.P95ms,
 				"p99_ms":      h.P99ms,
 			},
+		})
+	}
+	// Counters and gauges ride along as single-value rows so resilience
+	// counters (failovers, fence refusals, retry-budget exhaustion, ...)
+	// are comparable across PR artifacts like the latency families are.
+	names = names[:0]
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		results = append(results, benchResult{
+			Name:    "telemetry/" + name,
+			Metrics: map[string]float64{"value": float64(snap.Counters[name])},
+		})
+	}
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		results = append(results, benchResult{
+			Name:    "telemetry/" + name,
+			Metrics: map[string]float64{"value": snap.Gauges[name]},
 		})
 	}
 	return results, nil

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sww-server [-role origin|edge] [-addr :8420] [-image-model sd3-medium]
+//	sww-server [-role origin|standby|edge] [-addr :8420] [-image-model sd3-medium]
 //	           [-text-model deepseek-r1-8b] [-policy generative|traditional]
 //	           [-max-gen-workers 4] [-gen-queue-deadline 500ms]
 //	           [-admit-rps 0] [-admit-burst 0]
@@ -18,7 +18,12 @@
 //	           [-abuse-window-update-budget 4000] [-abuse-empty-data-budget 100]
 //	           [-ops-addr 127.0.0.1:8421]
 //	           [-inval-log 1024] [-drain-timeout 5s]
-//	sww-server -role edge -origin-addr localhost:8420
+//	           [-origin-log /var/lib/sww/origin] [-origin-epoch-dir /var/lib/sww/origin]
+//	sww-server -role standby -origin-addr localhost:8420
+//	           [-addr :8425] [-origin-log /var/lib/sww/standby]
+//	           [-standby-advertise 127.0.0.1:8425]
+//	           [-standby-poll 250ms] [-promote-after 2s]
+//	sww-server -role edge -origin-addr localhost:8420,localhost:8425
 //	           [-addr :8430] [-edge-name edge1]
 //	           [-peers edge1=127.0.0.1:8430,edge2=127.0.0.1:8440]
 //	           [-edge-advertise 127.0.0.1:8430]
@@ -30,16 +35,35 @@
 //	           [-edge-snapshot-interval 5s]
 //	           [-origin-attempts 3] [-origin-attempt-timeout 2s]
 //	           [-origin-breaker-failures 3] [-origin-probe-cooldown 500ms]
+//	           [-retry-budget 0.2]
 //	           [-ops-addr 127.0.0.1:8431] [-drain-timeout 5s]
 //
 // -role origin (the default) runs the generative server with the CDN
 // control surface attached: the /sww-cdn/ invalidation feed that edge
 // replicas poll, fed by unpublishes and cache evictions, plus push
-// fan-out to any edge that advertises a push address. -role edge runs
-// an edge replica instead: it terminates SWW HTTP/2 from terminal
-// clients, serves from a local cache shard, pulls misses from
-// -origin-addr, and keeps serving warm entries (age-stamped stale)
-// when the origin is unreachable.
+// fan-out to any edge that advertises a push address. -origin-log
+// makes the invalidation log durable (fsynced WAL plus snapshot
+// compaction in that directory), so a restarted origin resumes its
+// sequence numbers and edges reconcile incrementally instead of
+// flushing. -origin-epoch-dir persists the fencing epoch (defaults to
+// the -origin-log directory).
+//
+// -role standby runs a warm-standby origin: it mirrors the primary at
+// -origin-addr over the same push/poll feed the edges use, and after
+// -promote-after of primary silence promotes itself — bumping and
+// persisting the fencing epoch so a returning old primary is refused
+// (409) rather than splitting the sequence space. List the standby in
+// every edge's -origin-addr so edges fail over to it.
+//
+// -role edge runs an edge replica instead: it terminates SWW HTTP/2
+// from terminal clients, serves from a local cache shard, pulls misses
+// from -origin-addr (a comma-separated list: first the primary, then
+// failover origins such as the standby), and keeps serving warm
+// entries (age-stamped stale) when every origin is unreachable.
+// -retry-budget caps the edge's upstream retries at that fraction of
+// recent request volume (a token bucket shared by origin pulls and
+// peer fills), so a fleet of edges cannot amplify an origin outage
+// into a retry storm; negative disables the budget.
 //
 // -peers names the edge fleet, either as bare names (placement ring
 // only, the pre-mesh behaviour) or as name=addr pairs, which
@@ -127,8 +151,14 @@ func main() {
 	abuseEmptyDataBudget := flag.Int("abuse-empty-data-budget", 100, "empty DATA frames tolerated per window")
 	opsAddr := flag.String("ops-addr", "", "operations listener address for /metrics, /statusz, /tracez, /debug/pprof (empty disables)")
 	invalLog := flag.Int("inval-log", cdn.DefaultInvalidationLog, "origin invalidation log depth")
+	originLogDir := flag.String("origin-log", "", "origin/standby role: directory for the durable invalidation log (fsynced WAL + snapshot; empty = in-memory only)")
+	originEpochDir := flag.String("origin-epoch-dir", "", "origin/standby role: directory persisting the fencing epoch (empty = the -origin-log directory)")
+	standbyAdvertise := flag.String("standby-advertise", "", "standby role: address the primary pushes feeds to (empty = poll only)")
+	standbyPoll := flag.Duration("standby-poll", 250*time.Millisecond, "standby role: mirror poll interval")
+	promoteAfter := flag.Duration("promote-after", 2*time.Second, "standby role: primary silence before self-promotion")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "grace for in-flight streams on SIGTERM/SIGINT")
-	originAddr := flag.String("origin-addr", "", "edge role: origin address to pull misses from")
+	originAddr := flag.String("origin-addr", "", "edge role: comma-separated origin addresses to pull misses from (primary first); standby role: the primary to mirror")
+	retryBudget := flag.Float64("retry-budget", 0.2, "edge role: retry deposit per upstream request (token-bucket storm guard; 0 = default, negative disables)")
 	edgeName := flag.String("edge-name", "edge1", "edge role: this edge's ring name")
 	peerNames := flag.String("peers", "", "edge role: comma-separated fleet, name or name=addr (addr joins the health/peer-fill mesh)")
 	edgeAdvertise := flag.String("edge-advertise", "", "edge role: address advertised to the origin for push invalidation (empty = pull only)")
@@ -169,13 +199,18 @@ func main() {
 			attemptTimeout:   *originAttemptTimeout,
 			breakerFailures:  *originBreakerFailures,
 			probeCooldown:    *originProbeCooldown,
+			retryBudget:      *retryBudget,
 			opsAddr:          *opsAddr,
 			drainTimeout:     *drainTimeout,
 		})
 		return
 	}
-	if *role != "origin" {
-		log.Fatalf("unknown role %q (want origin|edge)", *role)
+	if *role != "origin" && *role != "standby" {
+		log.Fatalf("unknown role %q (want origin|standby|edge)", *role)
+	}
+	isStandby := *role == "standby"
+	if isStandby && *originAddr == "" {
+		log.Fatal("-role standby requires -origin-addr (the primary to mirror)")
 	}
 
 	srv, err := core.NewServer(*imageModel, *textModel)
@@ -228,8 +263,41 @@ func main() {
 	// The CDN control surface: edge replicas poll /sww-cdn/ for the
 	// sequenced invalidation feed (fed by unpublishes and evictions)
 	// and are pushed new entries when they advertise a push address.
-	origin := cdn.NewOrigin(srv, *invalLog)
-	fmt.Printf("cdn: invalidation feed on %s (log depth %d)\n", cdn.ControlPrefix, *invalLog)
+	epochDir := *originEpochDir
+	if epochDir == "" {
+		epochDir = *originLogDir
+	}
+	origin, err := cdn.NewOriginWithConfig(srv, cdn.OriginConfig{
+		MaxLog:   *invalLog,
+		LogDir:   *originLogDir,
+		EpochDir: epochDir,
+		Standby:  isStandby,
+	})
+	if err != nil {
+		log.Fatalf("origin log: %v", err)
+	}
+	fmt.Printf("cdn: invalidation feed on %s (log depth %d, role %s, epoch %d, seq %d)\n",
+		cdn.ControlPrefix, *invalLog, origin.Role(), origin.Epoch(), origin.Seq())
+	if *originLogDir != "" {
+		fmt.Printf("cdn: durable invalidation log in %s\n", *originLogDir)
+	}
+	var standby *cdn.Standby
+	if isStandby {
+		primary := *originAddr
+		standby = cdn.NewStandby(origin, cdn.StandbyConfig{
+			Name:          "standby",
+			AdvertiseAddr: *standbyAdvertise,
+			PrimaryDial: func() (net.Conn, error) {
+				return net.DialTimeout("tcp", primary, 5*time.Second)
+			},
+			PollInterval: *standbyPoll,
+			PromoteAfter: *promoteAfter,
+			Retry:        core.RetryPolicy{MaxAttempts: 1, AttemptTimeout: 2 * time.Second},
+		})
+		standby.Start()
+		fmt.Printf("cdn: standby mirroring %s (poll %v, promote after %v)\n",
+			primary, *standbyPoll, *promoteAfter)
+	}
 
 	// Telemetry attaches after the overload/cache flags above so the
 	// adopted counters are the ones actually serving.
@@ -237,6 +305,9 @@ func main() {
 		set := telemetry.NewSet()
 		srv.EnableTelemetry(set)
 		origin.Register(set.Registry)
+		if standby != nil {
+			standby.Register(set.Registry)
+		}
 		ol, err := net.Listen("tcp", *opsAddr)
 		if err != nil {
 			log.Fatalf("ops listen: %v", err)
@@ -282,7 +353,12 @@ func main() {
 			go h3.ServeConn(nc)
 		}
 	}
-	serveDraining(l, srv.StartConn, *drainTimeout, func() { origin.Close() })
+	serveDraining(l, srv.StartConn, *drainTimeout, func() {
+		if standby != nil {
+			standby.Close()
+		}
+		origin.Close()
+	})
 }
 
 // notifyShutdown returns a channel that fires on SIGTERM/SIGINT.
@@ -379,6 +455,7 @@ type edgeOpts struct {
 	attemptTimeout                time.Duration
 	breakerFailures               int
 	probeCooldown                 time.Duration
+	retryBudget                   float64
 	opsAddr                       string
 	drainTimeout                  time.Duration
 }
@@ -420,9 +497,28 @@ func runEdge(o edgeOpts) {
 		FailureThreshold: o.breakerFailures,
 		ProbeCooldown:    o.probeCooldown,
 	})
-	origins.Add("origin", func() (net.Conn, error) {
-		return net.DialTimeout("tcp", o.originAddr, 5*time.Second)
-	})
+	// -origin-addr is a failover list: the first entry (the primary)
+	// is preferred while healthy, later ones (a warm standby) take
+	// over when its breaker opens or it answers fenced.
+	var originAddrs []string
+	for i, addr := range strings.Split(o.originAddr, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		name := "origin"
+		if i > 0 {
+			name = fmt.Sprintf("origin%d", i+1)
+		}
+		addr := addr
+		origins.Add(name, func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		})
+		originAddrs = append(originAddrs, addr)
+	}
+	if len(originAddrs) == 0 {
+		log.Fatal("-role edge requires at least one address in -origin-addr")
+	}
 	e := cdn.NewEdge(cdn.EdgeConfig{
 		Name:         o.name,
 		CacheBytes:   o.cacheBytes,
@@ -442,6 +538,7 @@ func runEdge(o edgeOpts) {
 		PeerFillFanout:   o.peerFill,
 		SnapshotPath:     o.snapshot,
 		SnapshotInterval: o.snapshotInterval,
+		RetryBudgetRatio: o.retryBudget,
 	}, origins)
 	if o.opsAddr != "" {
 		set := telemetry.NewSet()
@@ -463,8 +560,8 @@ func runEdge(o edgeOpts) {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	fmt.Printf("sww-edge %q listening on %s, origin %s, fleet %v (%d mesh peers)\n",
-		o.name, l.Addr(), o.originAddr, peers, len(peerDials))
+	fmt.Printf("sww-edge %q listening on %s, origins %v, fleet %v (%d mesh peers)\n",
+		o.name, l.Addr(), originAddrs, peers, len(peerDials))
 	fmt.Printf("edge: cache %d B, ttl %v, max-stale %v, poll %v, snapshot %q\n",
 		o.cacheBytes, o.ttl, o.maxStale, o.poll, o.snapshot)
 	// Close flushes the final snapshot after the drain, so entries

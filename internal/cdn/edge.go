@@ -50,8 +50,8 @@ package cdn
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net"
-	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -137,6 +137,13 @@ type EdgeConfig struct {
 
 	// SnapshotInterval paces background snapshots. <= 0 means 5s.
 	SnapshotInterval time.Duration
+
+	// RetryBudgetRatio caps upstream retries at this fraction of
+	// recent request volume, shared across every pull path (sync
+	// misses, background revalidation, the invalidation poller). 0
+	// means core.DefaultRetryBudgetRatio; negative disables the
+	// budget.
+	RetryBudgetRatio float64
 
 	// Seed drives the poll/membership jitter; 0 derives one from
 	// Name, so a fleet desynchronizes by default.
@@ -262,6 +269,16 @@ type Edge struct {
 	feedMu  sync.Mutex
 	lastSeq atomic.Uint64 // newest invalidation sequence applied
 
+	// originEpoch is the newest origin epoch seen on any feed or
+	// push. A feed carrying an older (non-zero) epoch comes from a
+	// fenced zombie and is refused; a newer one is a failover — the
+	// promoted standby is the authority now.
+	originEpoch atomic.Uint64
+
+	// budget is the shared retry budget over every upstream pull path
+	// (nil when disabled); see EdgeConfig.RetryBudgetRatio.
+	budget *core.RetryBudget
+
 	// mesh is the live membership over PeerDials; nil when the edge
 	// has no dialable peers.
 	mesh      *Membership
@@ -301,7 +318,9 @@ type Edge struct {
 	peerServes     telemetry.Counter // fill requests answered for peers
 	snapSaves      telemetry.Counter
 	snapErrors     telemetry.Counter
-	snapRestored   atomic.Int64 // entries reloaded by the last boot
+	snapRestored   atomic.Int64      // entries reloaded by the last boot
+	originFailover telemetry.Counter // origin epoch advances adopted (failovers observed)
+	epochFenced    telemetry.Counter // feeds/pushes refused for a stale origin epoch
 }
 
 // NewEdge builds an edge pulling from the origins in the endpoint set
@@ -327,6 +346,10 @@ func NewEdge(cfg EdgeConfig, origins *core.EndpointSet) *Edge {
 		now:       time.Now,
 	}
 	e.baseCtx, e.baseCancel = context.WithCancel(context.Background())
+	if cfg.RetryBudgetRatio >= 0 {
+		e.budget = core.NewRetryBudget(cfg.RetryBudgetRatio, 0)
+		e.upstream.SetRetryBudget(e.budget)
+	}
 	e.cache.SetOnEvict(func(key string, value any, _ int64) {
 		e.unindex(value.(*edgeEntry).path, key)
 	})
@@ -352,6 +375,10 @@ func (e *Edge) buildMesh() {
 		}
 		rc := core.NewResilientClient(dial, device.Workstation, nil,
 			core.RetryPolicy{MaxAttempts: 1}, nil)
+		// Peer transports draw on the same budget as the upstream:
+		// "pull paths" is one pool, so a dead origin plus dead peers
+		// cannot each claim their own retry allowance.
+		rc.SetRetryBudget(e.budget)
 		e.meshPeers[name] = &meshPeer{name: name, rc: rc}
 		e.ring.Add(name)
 	}
@@ -399,6 +426,53 @@ func (e *Edge) Upstream() *core.ResilientClient { return e.upstream }
 
 // LastSeq returns the newest invalidation sequence applied.
 func (e *Edge) LastSeq() uint64 { return e.lastSeq.Load() }
+
+// OriginEpoch returns the newest origin epoch seen on any feed.
+func (e *Edge) OriginEpoch() uint64 { return e.originEpoch.Load() }
+
+// RetryBudget returns the shared upstream retry budget, nil when
+// disabled.
+func (e *Edge) RetryBudget() *core.RetryBudget { return e.budget }
+
+// observeOriginEpoch folds one feed's epoch into the edge's view.
+// False means the feed is from a fenced origin incarnation and must
+// not be applied. Epoch 0 (a pre-epoch origin) always passes; an
+// advance past a known non-zero epoch is a failover — the promoted
+// standby's first feed — and is counted as one.
+func (e *Edge) observeOriginEpoch(epoch uint64) bool {
+	if epoch == 0 {
+		return true
+	}
+	for {
+		cur := e.originEpoch.Load()
+		if epoch < cur {
+			return false
+		}
+		if epoch == cur {
+			return true
+		}
+		if e.originEpoch.CompareAndSwap(cur, epoch) {
+			if cur != 0 {
+				e.originFailover.Add(1)
+			}
+			return true
+		}
+	}
+}
+
+// noteUpstreamFenced records a feed refused for a stale epoch and
+// counts the serving endpoint down: the transport is healthy (it
+// answered), so without an explicit failure report the sticky
+// endpoint preference would keep polling the zombie forever while a
+// promoted standby sits unused in the set.
+func (e *Edge) noteUpstreamFenced() {
+	e.epochFenced.Add(1)
+	if eps := e.upstream.Endpoints(); eps != nil {
+		if ep := eps.Get(e.upstream.CurrentEndpoint()); ep != nil {
+			ep.ReportFailure()
+		}
+	}
+}
 
 // StartConn serves one terminal-client connection in the background.
 func (e *Edge) StartConn(c net.Conn) *http2.ServerConn { return e.h2.StartConn(c) }
@@ -664,20 +738,19 @@ func (e *Edge) serveControl(w *http2.ResponseWriter, r *http2.Request) {
 // partition) self-heals the moment any later push lands, without
 // waiting for the anti-entropy poller.
 func (e *Edge) servePush(w *http2.ResponseWriter, query string) {
-	q, err := url.ParseQuery(query)
+	feed, err := parseFeedQuery(query)
 	if err != nil {
 		writeControl(w, 400, "text/plain; charset=utf-8", []byte("bad push query\n"))
 		return
 	}
-	feed := InvalidationFeed{Reset: q.Get("reset") == "1"}
-	feed.Seq, _ = strconv.ParseUint(q.Get("seq"), 10, 64)
-	feed.Since, _ = strconv.ParseUint(q.Get("since"), 10, 64)
-	if raw := q.Get("paths"); raw != "" {
-		for _, p := range strings.Split(raw, ",") {
-			if u, err := url.QueryUnescape(p); err == nil && u != "" {
-				feed.Paths = append(feed.Paths, u)
-			}
-		}
+	if !e.observeOriginEpoch(feed.Epoch) {
+		// A fenced zombie is still pushing. Refuse the batch — its
+		// view of the sequence space is dead — and ack our position
+		// with the newer epoch, which is how the zombie learns.
+		e.epochFenced.Add(1)
+		body, _ := json.Marshal(pushAck{Ack: e.lastSeq.Load(), Epoch: e.originEpoch.Load()})
+		writeControl(w, 200, "application/json", body)
+		return
 	}
 
 	e.feedMu.Lock()
@@ -718,7 +791,7 @@ func (e *Edge) servePush(w *http2.ResponseWriter, query string) {
 	ack := e.lastSeq.Load()
 	e.feedMu.Unlock()
 
-	body, _ := json.Marshal(pushAck{Ack: ack})
+	body, _ := json.Marshal(pushAck{Ack: ack, Epoch: e.originEpoch.Load()})
 	writeControl(w, 200, "application/json", body)
 }
 
@@ -941,15 +1014,38 @@ func (e *Edge) PollOnce(ctx context.Context) error {
 	if e.cfg.AdvertiseAddr != "" {
 		fields = append(fields, hpack.HeaderField{Name: edgeAddrHeader, Value: e.cfg.AdvertiseAddr})
 	}
+	if ep := e.originEpoch.Load(); ep > 0 {
+		// Ride the highest seen epoch on the poll: a zombie origin
+		// fences itself the moment any edge that lived through the
+		// failover talks to it.
+		fields = append(fields, hpack.HeaderField{Name: originEpochHeader,
+			Value: strconv.FormatUint(ep, 10)})
+	}
 	raw, err := e.upstream.FetchRawContext(ctx, path, fields...)
 	if err != nil {
 		e.pollErrors.Add(1)
 		return err
 	}
+	if raw.Status != 200 {
+		// A fenced origin answers 409: the transport is healthy, so
+		// only an explicit failure report moves the sticky endpoint
+		// preference off the zombie and onto the promoted standby.
+		e.pollErrors.Add(1)
+		if raw.Status == statusFenced {
+			e.noteUpstreamFenced()
+		}
+		return errStatus(raw.Status)
+	}
 	var feed InvalidationFeed
 	if err := json.Unmarshal(raw.Body, &feed); err != nil {
 		e.pollErrors.Add(1)
 		return err
+	}
+	if !e.observeOriginEpoch(feed.Epoch) {
+		// The feed predates a failover we already lived through.
+		e.pollErrors.Add(1)
+		e.noteUpstreamFenced()
+		return fmt.Errorf("stale origin epoch %d (have %d)", feed.Epoch, e.originEpoch.Load())
 	}
 	e.feedMu.Lock()
 	defer e.feedMu.Unlock()
@@ -1048,6 +1144,16 @@ type EdgeStats struct {
 	CacheEntries   int
 	CacheBytes     int64
 
+	// Origin HA view: the highest origin epoch the edge has observed,
+	// how many epoch advances it adopted (each one is an origin
+	// failover it lived through), how many stale-epoch feeds it
+	// refused, and the retry-budget pressure on its pull paths.
+	OriginEpoch          uint64
+	OriginFailovers      uint64
+	EpochFenced          uint64
+	RetryBudgetExhausted uint64
+	RetryBudgetTokens    float64
+
 	// Membership view: peer counts per state and the current ring
 	// size (self included). RingSize shrinks when a peer is declared
 	// dead and recovers with it.
@@ -1084,6 +1190,12 @@ func (e *Edge) Stats() EdgeStats {
 		CacheEntries:   e.cache.Len(),
 		CacheBytes:     e.cache.Bytes(),
 		RingSize:       e.ring.Len(),
+
+		OriginEpoch:          e.originEpoch.Load(),
+		OriginFailovers:      e.originFailover.Load(),
+		EpochFenced:          e.epochFenced.Load(),
+		RetryBudgetExhausted: e.budget.Exhausted(),
+		RetryBudgetTokens:    e.budget.Tokens(),
 	}
 	if e.mesh != nil {
 		s.PeersAlive, s.PeersSuspect, s.PeersDead = e.mesh.Counts()
@@ -1114,6 +1226,10 @@ func (e *Edge) Register(reg *telemetry.Registry) {
 	reg.Adopt("sww_edge_peer_serves_total", &e.peerServes)
 	reg.Adopt("sww_edge_snapshot_saves_total", &e.snapSaves)
 	reg.Adopt("sww_edge_snapshot_errors_total", &e.snapErrors)
+	reg.Adopt("sww_edge_failovers_total", &e.originFailover)
+	reg.Adopt("sww_edge_epoch_fenced_total", &e.epochFenced)
+	reg.GaugeFunc("sww_edge_origin_epoch", func() float64 { return float64(e.originEpoch.Load()) })
+	e.budget.Register(reg, "sww_edge")
 	reg.GaugeFunc("sww_edge_invalidation_seq", func() float64 { return float64(e.lastSeq.Load()) })
 	reg.GaugeFunc("sww_edge_cache_bytes", func() float64 { return float64(e.cache.Bytes()) })
 	reg.GaugeFunc("sww_edge_cache_entries", func() float64 { return float64(e.cache.Len()) })

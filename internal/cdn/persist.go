@@ -7,8 +7,9 @@ package cdn
 // capacity event, not a blip). So the edge periodically snapshots its
 // shard — every cached raw reply with its freshness clock, plus the
 // last applied invalidation sequence — to one JSON file, written
-// atomically (temp file + rename) so a crash mid-write leaves the
-// previous snapshot intact, never a torn one.
+// atomically (temp file, fsync, rename, directory fsync) so a crash
+// at any instant — mid-write or right after the rename — leaves the
+// previous snapshot or the new one intact, never a torn one.
 //
 // On boot the snapshot is reloaded before the edge serves: entries
 // already beyond TTL+MaxStale are dropped (they could never be served
@@ -24,10 +25,61 @@ package cdn
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"time"
 
 	"sww/internal/core"
 )
+
+// atomicWriteFile writes data to path so a crash at any instant leaves
+// either the old file or the new one, never a torn or missing write:
+// the bytes go to a temp file in the same directory, the temp file is
+// fsynced before the rename (a rename only orders the *name*; without
+// the fsync the kernel may commit the rename before the data blocks,
+// and a crash then restores an empty or truncated file under the final
+// name), and after the rename the containing directory is fsynced so
+// the new directory entry itself is durable. It is the shared write
+// path for edge shard snapshots, the origin's durable invalidation
+// log snapshot, and the fencing epoch file.
+func atomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that refuse directory fsync (it is optional on some)
+// still got the rename's atomicity, so their error is not fatal.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}
 
 // snapshotVersion guards the on-disk format; a mismatch means the
 // snapshot was written by an incompatible build and is ignored (a
@@ -91,11 +143,7 @@ func (e *Edge) SaveSnapshot() error {
 	if err != nil {
 		return err
 	}
-	tmp := e.cfg.SnapshotPath + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, e.cfg.SnapshotPath); err != nil {
+	if err := atomicWriteFile(e.cfg.SnapshotPath, data); err != nil {
 		return err
 	}
 	e.snapSaves.Add(1)

@@ -137,6 +137,12 @@ func (p RetryPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
 //     max(backoff, Retry-After): the transport is healthy, the server
 //     just asked for a pause, and redialling would only add load.
 //  4. Context cancellation and protocol violations are fatal.
+//
+// An attached RetryBudget (SetRetryBudget) gates rungs 1 and 3: every
+// retry beyond the first attempt withdraws a token, and an empty
+// bucket fails the fetch with ErrRetryBudgetExhausted instead. The
+// degrade rung is exempt — it is a mode switch, not a re-send, and
+// suppressing it would trade load for a worse answer.
 type ResilientClient struct {
 	dial    DialFunc
 	factory ClientFactory
@@ -151,6 +157,12 @@ type ResilientClient struct {
 	// is how an edge fails over between origins, and a terminal client
 	// between edges.
 	endpoints *EndpointSet
+
+	// budget, when set, caps retries at a fraction of recent request
+	// volume (SetRetryBudget in retrybudget.go). Shared between every
+	// client that pulls from the same upstream, it turns a fleet-wide
+	// outage into bounded extra load instead of a retry storm.
+	budget *RetryBudget
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -362,6 +374,8 @@ func (rc *ResilientClient) FetchContext(ctx context.Context, path string) (*Fetc
 	var lastErr error
 	degraded, degradeReason := false, ""
 	maxAttempts := rc.policy.maxAttempts()
+	budget := rc.retryBudget()
+	budget.Deposit()
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -392,6 +406,9 @@ func (rc *ResilientClient) FetchContext(ctx context.Context, path string) (*Fetc
 			// signal into a reconnect storm.
 			rc.met.busy.Inc()
 			if attempt < maxAttempts {
+				if !budget.Withdraw() {
+					return nil, fmt.Errorf("core: fetch %s: %w: %v", path, ErrRetryBudgetExhausted, lastErr)
+				}
 				d := rc.nextDelay(attempt)
 				if busy.RetryAfter > d {
 					d = busy.RetryAfter
@@ -428,6 +445,9 @@ func (rc *ResilientClient) FetchContext(ctx context.Context, path string) (*Fetc
 			rc.endpointFailure()
 			rc.drop()
 			if attempt < maxAttempts {
+				if !budget.Withdraw() {
+					return nil, fmt.Errorf("core: fetch %s: %w: %v", path, ErrRetryBudgetExhausted, lastErr)
+				}
 				d := rc.nextDelay(attempt)
 				rc.met.backoff.Observe(d)
 				if err := rc.sleep(ctx, d); err != nil {
@@ -451,6 +471,8 @@ func (rc *ResilientClient) FetchContext(ctx context.Context, path string) (*Fetc
 func (rc *ResilientClient) FetchRawContext(ctx context.Context, path string, extra ...hpack.HeaderField) (*RawReply, error) {
 	var lastErr error
 	maxAttempts := rc.policy.maxAttempts()
+	budget := rc.retryBudget()
+	budget.Deposit()
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -474,6 +496,9 @@ func (rc *ResilientClient) FetchRawContext(ctx context.Context, path string, ext
 			rc.endpointSuccess()
 			rc.met.busy.Inc()
 			if attempt < maxAttempts {
+				if !budget.Withdraw() {
+					return nil, fmt.Errorf("core: raw fetch %s: %w: %v", path, ErrRetryBudgetExhausted, lastErr)
+				}
 				d := rc.nextDelay(attempt)
 				if busy.RetryAfter > d {
 					d = busy.RetryAfter
@@ -492,6 +517,9 @@ func (rc *ResilientClient) FetchRawContext(ctx context.Context, path string, ext
 			rc.endpointFailure()
 			rc.drop()
 			if attempt < maxAttempts {
+				if !budget.Withdraw() {
+					return nil, fmt.Errorf("core: raw fetch %s: %w: %v", path, ErrRetryBudgetExhausted, lastErr)
+				}
 				d := rc.nextDelay(attempt)
 				rc.met.backoff.Observe(d)
 				if err := rc.sleep(ctx, d); err != nil {

@@ -1,0 +1,158 @@
+package core
+
+// A token-bucket retry budget, the storm guard between a retrying
+// client fleet and a struggling server. Backoff alone shapes *when*
+// retries land; the budget caps *how many* there can be: each
+// top-level fetch deposits a fraction of a token, each retry (any
+// attempt after the first, busy-waits included) withdraws a whole
+// one, so sustained retry volume cannot exceed Ratio x request volume
+// no matter how many requests are failing at once. The Burst tokens
+// the bucket starts with (and is capped at) let a brief blip retry
+// freely; a real outage drains them and every further fetch fails
+// after its first attempt — the fleet's aggregate load on the healing
+// server stays a bounded multiple of offered load instead of the
+// metastable MaxAttempts multiple.
+//
+// One budget is meant to be shared across every client that pulls
+// from the same upstream for the same purpose (an edge's sync pulls,
+// background revalidations and pollers all draw on one bucket), which
+// is why it is a standalone object handed to ResilientClient rather
+// than a RetryPolicy field.
+
+import (
+	"errors"
+	"sync"
+
+	"sww/internal/telemetry"
+)
+
+// ErrRetryBudgetExhausted marks a fetch that failed because the retry
+// budget had no token for another attempt. It wraps the underlying
+// transport error, and is retryable-later by construction: budgets
+// refill from request volume.
+var ErrRetryBudgetExhausted = errors.New("retry budget exhausted")
+
+// DefaultRetryBudgetRatio is the deposit per request: at most one
+// retry per five requests, sustained.
+const DefaultRetryBudgetRatio = 0.2
+
+// DefaultRetryBudgetBurst is the bucket depth: how many retries a
+// cold bucket can spend before the ratio governs.
+const DefaultRetryBudgetBurst = 10
+
+// A RetryBudget is a shared token bucket capping retries at a
+// fraction of recent request volume. The zero value is not usable;
+// build with NewRetryBudget. All methods are safe for concurrent use,
+// and every method no-ops (permitting everything) on a nil receiver,
+// so client code threads an optional budget without nil checks.
+type RetryBudget struct {
+	mu     sync.Mutex
+	ratio  float64
+	burst  float64
+	tokens float64
+
+	exhausted telemetry.Counter // withdrawals refused on an empty bucket
+}
+
+// NewRetryBudget builds a budget depositing ratio tokens per request
+// (clamped into (0, 1], <= 0 means DefaultRetryBudgetRatio) with
+// burst bucket depth (<= 0 means DefaultRetryBudgetBurst). The bucket
+// starts full.
+func NewRetryBudget(ratio float64, burst int) *RetryBudget {
+	if ratio <= 0 {
+		ratio = DefaultRetryBudgetRatio
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	if burst <= 0 {
+		burst = DefaultRetryBudgetBurst
+	}
+	return &RetryBudget{ratio: ratio, burst: float64(burst), tokens: float64(burst)}
+}
+
+// Deposit credits one request's worth of budget (ratio tokens, capped
+// at the burst depth). ResilientClient calls it once per top-level
+// fetch.
+func (b *RetryBudget) Deposit() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Withdraw spends one token for one retry. False means the bucket is
+// empty and the retry must not happen.
+func (b *RetryBudget) Withdraw() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.exhausted.Add(1)
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens returns the current bucket level.
+func (b *RetryBudget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Ratio returns the deposit per request.
+func (b *RetryBudget) Ratio() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.ratio
+}
+
+// Exhausted returns how many retries the empty bucket has refused.
+func (b *RetryBudget) Exhausted() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.exhausted.Load()
+}
+
+// Register exports the budget's instruments onto reg under prefix
+// (e.g. "sww_edge" yields sww_edge_retry_budget_exhausted_total and
+// sww_edge_retry_budget_tokens).
+func (b *RetryBudget) Register(reg *telemetry.Registry, prefix string) {
+	if b == nil || reg == nil {
+		return
+	}
+	reg.Adopt(prefix+"_retry_budget_exhausted_total", &b.exhausted)
+	reg.GaugeFunc(prefix+"_retry_budget_tokens", b.Tokens)
+}
+
+// SetRetryBudget attaches a shared retry budget to the client: each
+// FetchContext/FetchRawContext call deposits, each retry beyond the
+// first attempt must withdraw, and an empty bucket fails the fetch
+// with ErrRetryBudgetExhausted instead of retrying. nil detaches.
+// Call before the first fetch.
+func (rc *ResilientClient) SetRetryBudget(b *RetryBudget) {
+	rc.mu.Lock()
+	rc.budget = b
+	rc.mu.Unlock()
+}
+
+// retryBudget reads the attached budget under the client lock.
+func (rc *ResilientClient) retryBudget() *RetryBudget {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.budget
+}
