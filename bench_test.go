@@ -23,6 +23,7 @@ import (
 	"sww/internal/genai/imagegen"
 	"sww/internal/genai/textgen"
 	"sww/internal/html"
+	"sww/internal/http2"
 	"sww/internal/workload"
 )
 
@@ -336,6 +337,47 @@ func BenchmarkServeTravelBlog(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := client.Fetch(workload.TravelBlogPath); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmServeWire isolates the wire path: a raw h2 client
+// fetches the §2.1 prompt page from a warm server (no client-side
+// generation, no server-side synthesis — the page resolves from the
+// registry every time). allocs/op here is the end-to-end per-request
+// wire cost: request encode, header decode, response field assembly,
+// HPACK block, frame emission, and body delivery.
+func BenchmarkWarmServeWire(b *testing.B) {
+	srv, err := core.NewServer(imagegen.SD3Medium, textgen.DeepSeek8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.AddPage(workload.TravelBlog())
+	cEnd, sEnd := net.Pipe()
+	srv.StartConn(sEnd)
+	cc, err := http2.NewClientConn(cEnd, http2.Config{GenAbility: http2.GenFull})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cc.Close()
+	warm, err := cc.Get(workload.TravelBlogPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := http2.ReadAllBody(warm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := cc.Get(workload.TravelBlogPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := http2.ReadAllBody(resp); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -24,6 +24,20 @@
 // are kept verbatim as metric keys, so custom b.ReportMetric units
 // survive. Non-benchmark lines (pkg headers, PASS, ok) are skipped;
 // `goos`/`goarch`/`pkg`/`cpu` headers are captured as environment.
+//
+// -gate compares the parsed results against a committed baseline
+// document and exits non-zero when any benchmark present in both
+// regresses its allocs/op beyond -gate-tolerance (default 10%).
+// Gating is on allocations, not nanoseconds: allocs/op is stable
+// across machines and load, so the gate works on shared CI runners
+// where timing thresholds would flake. The GOMAXPROCS suffix
+// (`Benchmark...-8`) is stripped before matching, for the same
+// reason. A baseline of 0 allocs/op admits no regression at all —
+// 10% of zero is zero, which is exactly right for the zero-allocation
+// wire benchmarks.
+//
+//	go test -bench 'FramerWrite|WarmServeWire' -benchtime 10000x -benchmem ./... \
+//	  | sww-benchjson -gate BENCH_PR9.json > BENCH_PR9_ci.json
 package main
 
 import (
@@ -55,6 +69,8 @@ type benchDoc struct {
 
 func main() {
 	telSource := flag.String("telemetry", "", "ops /statusz source (http:// URL or file path) whose histograms are merged into the document")
+	gateFile := flag.String("gate", "", "baseline benchmark JSON; exit non-zero when a shared benchmark's allocs/op regresses beyond -gate-tolerance")
+	gateTol := flag.Float64("gate-tolerance", 0.10, "allowed fractional allocs/op regression in -gate mode")
 	flag.Parse()
 	doc := benchDoc{Env: map[string]string{}, Results: []benchResult{}}
 	sc := bufio.NewScanner(os.Stdin)
@@ -88,6 +104,71 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sww-benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *gateFile != "" {
+		if err := gateAllocs(doc, *gateFile, *gateTol); err != nil {
+			fmt.Fprintf(os.Stderr, "sww-benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// benchKey normalizes a benchmark name for cross-run matching by
+// stripping the GOMAXPROCS suffix go test appends (`Name-8`).
+func benchKey(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// gateAllocs fails when any benchmark shared between doc and the
+// baseline file regresses allocs/op beyond tol.
+func gateAllocs(doc benchDoc, baselinePath string, tol float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("gate baseline: %v", err)
+	}
+	var base benchDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("gate baseline %s: %v", baselinePath, err)
+	}
+	baseAllocs := map[string]float64{}
+	for _, r := range base.Results {
+		if v, ok := r.Metrics["allocs/op"]; ok {
+			baseAllocs[benchKey(r.Name)] = v
+		}
+	}
+	compared, failures := 0, 0
+	for _, r := range doc.Results {
+		got, ok := r.Metrics["allocs/op"]
+		if !ok {
+			continue
+		}
+		want, ok := baseAllocs[benchKey(r.Name)]
+		if !ok {
+			continue
+		}
+		compared++
+		limit := want * (1 + tol)
+		if got > limit {
+			failures++
+			fmt.Fprintf(os.Stderr, "sww-benchjson: gate FAIL %s: %.0f allocs/op, baseline %.0f (limit %.1f)\n",
+				benchKey(r.Name), got, want, limit)
+		} else {
+			fmt.Fprintf(os.Stderr, "sww-benchjson: gate ok %s: %.0f allocs/op (baseline %.0f)\n",
+				benchKey(r.Name), got, want)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("gate: no benchmarks shared with baseline %s", baselinePath)
+	}
+	if failures > 0 {
+		return fmt.Errorf("gate: %d of %d benchmarks regressed allocs/op beyond %.0f%%", failures, compared, tol*100)
+	}
+	fmt.Fprintf(os.Stderr, "sww-benchjson: gate passed: %d benchmarks within %.0f%% of baseline\n", compared, tol*100)
+	return nil
 }
 
 // parseBenchLine parses one `Benchmark... iters value unit ...` line.

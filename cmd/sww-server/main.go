@@ -109,6 +109,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -150,6 +151,8 @@ func main() {
 	abuseWUBudget := flag.Int("abuse-window-update-budget", 4000, "WINDOW_UPDATEs tolerated per window")
 	abuseEmptyDataBudget := flag.Int("abuse-empty-data-budget", 100, "empty DATA frames tolerated per window")
 	opsAddr := flag.String("ops-addr", "", "operations listener address for /metrics, /statusz, /tracez, /debug/pprof (empty disables)")
+	mutexProfileFraction := flag.Int("mutex-profile-fraction", 0, "runtime mutex-contention sampling: 1/n events recorded for /debug/pprof/mutex (0 disables)")
+	blockProfileRate := flag.Int("block-profile-rate", 0, "runtime blocking-event sampling: one event per n ns blocked for /debug/pprof/block (0 disables)")
 	invalLog := flag.Int("inval-log", cdn.DefaultInvalidationLog, "origin invalidation log depth")
 	originLogDir := flag.String("origin-log", "", "origin/standby role: directory for the durable invalidation log (fsynced WAL + snapshot; empty = in-memory only)")
 	originEpochDir := flag.String("origin-epoch-dir", "", "origin/standby role: directory persisting the fencing epoch (empty = the -origin-log directory)")
@@ -177,6 +180,17 @@ func main() {
 	originBreakerFailures := flag.Int("origin-breaker-failures", 3, "edge role: consecutive upstream failures that open the origin breaker")
 	originProbeCooldown := flag.Duration("origin-probe-cooldown", 500*time.Millisecond, "edge role: open-breaker cooldown before a probe")
 	flag.Parse()
+
+	// Contention profiling for the wire fast path: off by default
+	// (sampling costs the hot loop), switched on per run when pprof's
+	// mutex/block profiles need data. Set before any serving starts so
+	// the profiles cover the whole process lifetime.
+	if *mutexProfileFraction > 0 {
+		runtime.SetMutexProfileFraction(*mutexProfileFraction)
+	}
+	if *blockProfileRate > 0 {
+		runtime.SetBlockProfileRate(*blockProfileRate)
+	}
 
 	if *role == "edge" {
 		runEdge(edgeOpts{

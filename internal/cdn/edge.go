@@ -798,24 +798,30 @@ func (e *Edge) servePush(w *http2.ResponseWriter, query string) {
 // reply writes a raw reply back to the terminal client, stamped with
 // the edge observability headers.
 func (e *Edge) reply(w *http2.ResponseWriter, raw *core.RawReply, cache string, staleFor time.Duration) {
-	fields := []hpack.HeaderField{
-		{Name: "content-type", Value: raw.ContentType},
-		{Name: "content-length", Value: strconv.Itoa(len(raw.Body))},
-		{Name: core.EdgeHeader, Value: e.cfg.Name},
-		{Name: core.EdgeCacheHeader, Value: cache},
-	}
+	// Pooled field list + retained body write: cached replies are
+	// immutable once stored, so a warm edge hit serves by reference
+	// through the same zero-copy path as the origin.
+	fl := hpack.AcquireFieldList()
+	fl.Add("content-type", raw.ContentType)
+	fl.Add("content-length", strconv.Itoa(len(raw.Body)))
+	fl.Add(core.EdgeHeader, e.cfg.Name)
+	fl.Add(core.EdgeCacheHeader, cache)
 	if raw.Mode != "" {
-		fields = append(fields, hpack.HeaderField{Name: core.ModeHeader, Value: raw.Mode})
+		fl.Add(core.ModeHeader, raw.Mode)
 	}
 	if staleFor > 0 {
 		secs := int(staleFor / time.Second)
 		if secs < 1 {
 			secs = 1
 		}
-		fields = append(fields, hpack.HeaderField{Name: core.EdgeStaleHeader, Value: strconv.Itoa(secs)})
+		fl.Add(core.EdgeStaleHeader, strconv.Itoa(secs))
 	}
-	w.WriteHeaders(raw.Status, fields...)
-	w.Write(raw.Body)
+	err := w.WriteHeaders(raw.Status, fl.Fields...)
+	hpack.ReleaseFieldList(fl)
+	if err != nil {
+		return
+	}
+	w.WriteRetained(raw.Body)
 }
 
 func cacheKey(path string, gen http2.GenAbility) string {

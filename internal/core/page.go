@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"sww/internal/html"
 	"sww/internal/http2"
@@ -29,10 +31,40 @@ type Page struct {
 
 	Unique    []Asset
 	Originals []Asset
+
+	// Serving memos, computed lazily on first use. Doc is never
+	// mutated once a page is being served (derived forms clone it), so
+	// the rendered prompt bytes and the capability requirements are
+	// stable for the page's lifetime.
+	promptOnce  sync.Once
+	promptBytes []byte
+	promptLen   string // strconv of len(promptBytes), for content-length
+	reqOnce     sync.Once
+	req         http2.GenAbility
 }
 
 // HTML renders the page's SWW form.
 func (p *Page) HTML() string { return html.RenderString(p.Doc) }
+
+// PromptBytes returns the page's SWW (prompt) form as immutable
+// bytes, rendered once and memoized. The serve path hands these bytes
+// to the transport by reference, so a warm prompt serve does no
+// per-request render and no body copy. Callers must not mutate the
+// returned slice — or Doc, once the page is served.
+func (p *Page) PromptBytes() []byte {
+	p.promptOnce.Do(func() {
+		p.promptBytes = []byte(html.RenderString(p.Doc))
+		p.promptLen = strconv.Itoa(len(p.promptBytes))
+	})
+	return p.promptBytes
+}
+
+// PromptLen returns len(PromptBytes()) pre-formatted for a
+// content-length field, memoized alongside the bytes.
+func (p *Page) PromptLen() string {
+	p.PromptBytes()
+	return p.promptLen
+}
 
 // Placeholders returns the page's generated-content divs.
 func (p *Page) Placeholders() []Placeholder {
@@ -104,18 +136,21 @@ func (p *Page) MediaCompressionRatio() float64 {
 // pages traditionally, per §3's "more complex support options, such
 // as upscale-only").
 func (p *Page) Requirements() http2.GenAbility {
-	req := http2.GenNone
-	for _, ph := range p.Placeholders() {
-		switch ph.Content.Type {
-		case ContentImage:
-			req |= http2.GenBasic | http2.GenImage
-		case ContentText:
-			req |= http2.GenBasic | http2.GenText
-		case ContentUpscale:
-			req |= http2.GenBasic | http2.GenUpscaleOnly
+	p.reqOnce.Do(func() {
+		req := http2.GenNone
+		for _, ph := range p.Placeholders() {
+			switch ph.Content.Type {
+			case ContentImage:
+				req |= http2.GenBasic | http2.GenImage
+			case ContentText:
+				req |= http2.GenBasic | http2.GenText
+			case ContentUpscale:
+				req |= http2.GenBasic | http2.GenUpscaleOnly
+			}
 		}
-	}
-	return req
+		p.req = req
+	})
+	return p.req
 }
 
 // TraditionalDoc materializes the page's traditional form using the

@@ -132,6 +132,8 @@ type Server struct {
 
 type servedTraditional struct {
 	html       string
+	body       []byte // html as immutable bytes, served by reference
+	lenStr     string // strconv of len(body), for content-length
 	assets     map[string][]byte
 	report     *ProcessReport
 	assetPaths []string
@@ -419,6 +421,13 @@ func (s *Server) SetConfig(cfg http2.Config) {
 
 // payload is the protocol-agnostic form of one response; the HTTP/2
 // and HTTP/3 adapters serialize it with their own header encodings.
+//
+// body is always safe to hand to the transport by reference: every
+// producer fills it with either immutable cached bytes (asset data,
+// memoized prompt pages, the generated-content cache) or a fresh
+// buffer that is never touched again. The responders exploit this
+// with retained writes — a warm serve never copies the body into a
+// frame buffer.
 type payload struct {
 	status      int
 	contentType string
@@ -427,6 +436,7 @@ type payload struct {
 	outcome     string // Outcome* label for telemetry and traces
 	retryAfter  int    // seconds, 503 only
 	body        []byte
+	bodyLen     string // memoized strconv of len(body); "" → format on demand
 }
 
 // resolve is the protocol-agnostic request entry point: it implements
@@ -480,13 +490,15 @@ func (s *Server) resolve(ctx context.Context, method, path string, peerGen http2
 					}
 				}
 			}
-			// Rung 1: prompts as usual.
+			// Rung 1: prompts as usual — the memoized render, served by
+			// reference.
 			return payload{
 				status:      200,
 				contentType: "text/html; charset=utf-8",
 				mode:        ModeGenerative,
 				outcome:     OutcomePrompt,
-				body:        []byte(page.HTML()),
+				body:        page.PromptBytes(),
+				bodyLen:     page.PromptLen(),
 			}
 		}
 		return s.resolveTraditional(ctx, page)
@@ -545,13 +557,104 @@ func (s *Server) resolveTraditional(ctx context.Context, p *Page) payload {
 		contentType: "text/html; charset=utf-8",
 		mode:        ModeTraditional,
 		outcome:     outcome,
-		body:        []byte(st.html),
+		body:        st.body,
+		bodyLen:     st.lenStr,
 	}
 }
 
-// serve adapts resolve to HTTP/2. The stream context makes resets
-// effective: a canceled request stops waiting for (or holding) a
-// generation worker.
+// A transportResponder serializes one resolved payload onto a
+// specific transport: the status line, the shared header vocabulary
+// (content-type, mode, shed rung, retry-after) in the transport's
+// native field encoding, then the body — by reference, since payload
+// bodies are immutable (see payload).
+type transportResponder interface {
+	respond(pl *payload) error
+}
+
+// serveRequest is the single serve core both transports flow through:
+// telemetry begin, the SWW resolution ladder, transport-specific
+// serialization, telemetry finish. Everything protocol-dependent
+// lives behind the responder.
+func (s *Server) serveRequest(ctx context.Context, proto, method, path string, peerGen http2.GenAbility, w transportResponder) {
+	ctx, tr, start := s.beginRequest(ctx, proto, path, peerGen)
+	pl := s.resolve(ctx, method, path, peerGen)
+	sp := tr.StartSpan("serve")
+	w.respond(&pl)
+	sp.End()
+	s.finishRequest(tr, pl, start)
+}
+
+// effectivePeerGen applies the edge relay override: an edge stamps
+// its terminal client's ability on the request via EdgeGenHeader.
+// Honoring the header unconditionally is safe: a direct client could
+// claim any ability in SETTINGS anyway, so this grants nothing new.
+func effectivePeerGen(negotiated http2.GenAbility, edgeHdr string) http2.GenAbility {
+	if edgeHdr != "" {
+		if g, err := strconv.ParseUint(edgeHdr, 10, 32); err == nil {
+			return http2.GenAbility(g)
+		}
+	}
+	return negotiated
+}
+
+// h2Responder serializes payloads as HTTP/2 responses. HTTP/2 carries
+// an explicit content-length; the field list and header block come
+// from pools, and the body goes out as a retained write.
+type h2Responder struct{ w *http2.ResponseWriter }
+
+func (r h2Responder) respond(pl *payload) error {
+	fl := hpack.AcquireFieldList()
+	fl.Add("content-type", pl.contentType)
+	cl := pl.bodyLen
+	if cl == "" {
+		cl = strconv.Itoa(len(pl.body))
+	}
+	fl.Add("content-length", cl)
+	if pl.mode != "" {
+		fl.Add(ModeHeader, pl.mode)
+	}
+	if pl.shed != "" {
+		fl.Add(ShedHeader, pl.shed)
+	}
+	if pl.retryAfter > 0 {
+		fl.Add(RetryAfterHeader, strconv.Itoa(pl.retryAfter))
+	}
+	err := r.w.WriteHeaders(pl.status, fl.Fields...)
+	hpack.ReleaseFieldList(fl)
+	if err != nil {
+		return err
+	}
+	_, err = r.w.WriteRetained(pl.body)
+	return err
+}
+
+// h3Responder serializes payloads as HTTP/3 responses. The HTTP/3
+// message framing carries the length implicitly, so no explicit
+// content-length field is emitted.
+type h3Responder struct{ w *http3.ResponseWriter }
+
+func (r h3Responder) respond(pl *payload) error {
+	fl := http3.AcquireFieldList()
+	fl.Add("content-type", pl.contentType)
+	if pl.mode != "" {
+		fl.Add(ModeHeader, pl.mode)
+	}
+	if pl.shed != "" {
+		fl.Add(ShedHeader, pl.shed)
+	}
+	if pl.retryAfter > 0 {
+		fl.Add(RetryAfterHeader, strconv.Itoa(pl.retryAfter))
+	}
+	r.w.WriteHeaders(pl.status, fl.Fields...)
+	http3.ReleaseFieldList(fl)
+	_, err := r.w.WriteRetained(pl.body)
+	return err
+}
+
+// serve adapts HTTP/2 to the shared core. The stream context makes
+// resets effective: a canceled request stops waiting for (or holding)
+// a generation worker. The control-prefix intercept stays here — the
+// CDN origin's invalidation feed is an h2-only wire protocol.
 func (s *Server) serve(w *http2.ResponseWriter, r *http2.Request) {
 	s.mu.RLock()
 	ctlPrefix, ctl := s.controlPrefix, s.controlHandler
@@ -560,57 +663,14 @@ func (s *Server) serve(w *http2.ResponseWriter, r *http2.Request) {
 		ctl(w, r)
 		return
 	}
-	peerGen := r.PeerGen
-	if v := r.HeaderValue(EdgeGenHeader); v != "" {
-		// An edge is relaying and stamps its terminal client's ability
-		// on the request. Honoring the header unconditionally is safe:
-		// a direct client could claim any ability in SETTINGS anyway,
-		// so this grants nothing new.
-		if g, err := strconv.ParseUint(v, 10, 32); err == nil {
-			peerGen = http2.GenAbility(g)
-		}
-	}
-	ctx, tr, start := s.beginRequest(r.Stream().Context(), "h2", r.Path, peerGen)
-	pl := s.resolve(ctx, r.Method, r.Path, peerGen)
-	sp := tr.StartSpan("serve")
-	fields := []hpack.HeaderField{
-		{Name: "content-type", Value: pl.contentType},
-		{Name: "content-length", Value: fmt.Sprint(len(pl.body))},
-	}
-	if pl.mode != "" {
-		fields = append(fields, hpack.HeaderField{Name: ModeHeader, Value: pl.mode})
-	}
-	if pl.shed != "" {
-		fields = append(fields, hpack.HeaderField{Name: ShedHeader, Value: pl.shed})
-	}
-	if pl.retryAfter > 0 {
-		fields = append(fields, hpack.HeaderField{Name: RetryAfterHeader, Value: strconv.Itoa(pl.retryAfter)})
-	}
-	w.WriteHeaders(pl.status, fields...)
-	w.Write(pl.body)
-	sp.End()
-	s.finishRequest(tr, pl, start)
+	peerGen := effectivePeerGen(r.PeerGen, r.HeaderValue(EdgeGenHeader))
+	s.serveRequest(r.Stream().Context(), "h2", r.Method, r.Path, peerGen, h2Responder{w})
 }
 
-// serveH3 adapts resolve to HTTP/3.
+// serveH3 adapts HTTP/3 to the shared core.
 func (s *Server) serveH3(w *http3.ResponseWriter, r *http3.Request) {
-	ctx, tr, start := s.beginRequest(context.Background(), "h3", r.Path, r.PeerGen)
-	pl := s.resolve(ctx, r.Method, r.Path, r.PeerGen)
-	sp := tr.StartSpan("serve")
-	fields := []http3.Field{{Name: "content-type", Value: pl.contentType}}
-	if pl.mode != "" {
-		fields = append(fields, http3.Field{Name: ModeHeader, Value: pl.mode})
-	}
-	if pl.shed != "" {
-		fields = append(fields, http3.Field{Name: ShedHeader, Value: pl.shed})
-	}
-	if pl.retryAfter > 0 {
-		fields = append(fields, http3.Field{Name: RetryAfterHeader, Value: strconv.Itoa(pl.retryAfter)})
-	}
-	w.WriteHeaders(pl.status, fields...)
-	w.Write(pl.body)
-	sp.End()
-	s.finishRequest(tr, pl, start)
+	peerGen := effectivePeerGen(r.PeerGen, r.HeaderValue(EdgeGenHeader))
+	s.serveRequest(context.Background(), "h3", r.Method, r.Path, peerGen, h3Responder{w})
 }
 
 // H3Server returns an HTTP/3 server serving this site (§3.1: the
@@ -719,6 +779,8 @@ func (s *Server) generateTraditional(ctx context.Context, p *Page) (st *servedTr
 		gen.End()
 		ok = true
 		st := &servedTraditional{html: htmlRender(doc), assets: assets, report: report}
+		st.body = []byte(st.html)
+		st.lenStr = strconv.Itoa(len(st.body))
 		st.bytes = int64(len(st.html))
 		for path, data := range assets {
 			st.assetPaths = append(st.assetPaths, path)

@@ -1,0 +1,25 @@
+package hpack
+
+import "testing"
+
+// BenchmarkHPACKEncode measures one response header block the way
+// the h2 server emits it: assemble the per-response field list, then
+// encode it. The field values repeat across iterations, so after the
+// first op the dynamic table serves indexed entries — the steady
+// state of a warm serve loop.
+func BenchmarkHPACKEncode(b *testing.B) {
+	enc := NewEncoder()
+	var block []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fields := []HeaderField{
+			{Name: ":status", Value: "200"},
+			{Name: "content-type", Value: "text/html; charset=utf-8"},
+			{Name: "content-length", Value: "20210"},
+			{Name: "x-sww-mode", Value: "generative"},
+		}
+		block = enc.AppendFields(nil, fields)
+	}
+	_ = block
+}

@@ -1,0 +1,42 @@
+package hpack
+
+import "sync"
+
+// A FieldList is a reusable header-field slice for assembling one
+// request's or response's field set without a per-message allocation
+// (the dgrr/http2 AcquireHeaderField idiom, lifted to whole lists
+// since this codebase encodes field sets in one shot).
+//
+// Ownership: the acquirer owns the list until ReleaseFieldList.
+// Encoding a list does not retain the slice — Encoder.AppendFields
+// reads it synchronously — so the usual shape is acquire, append,
+// encode, release. A released list must not be touched again.
+type FieldList struct {
+	Fields []HeaderField
+}
+
+var fieldListPool = sync.Pool{
+	New: func() any {
+		return &FieldList{Fields: make([]HeaderField, 0, 16)}
+	},
+}
+
+// AcquireFieldList returns an empty field list from the pool.
+func AcquireFieldList() *FieldList {
+	return fieldListPool.Get().(*FieldList)
+}
+
+// ReleaseFieldList clears l (dropping its string references so the
+// pool does not pin header values) and returns it to the pool.
+func ReleaseFieldList(l *FieldList) {
+	for i := range l.Fields {
+		l.Fields[i] = HeaderField{}
+	}
+	l.Fields = l.Fields[:0]
+	fieldListPool.Put(l)
+}
+
+// Add appends a field.
+func (l *FieldList) Add(name, value string) {
+	l.Fields = append(l.Fields, HeaderField{Name: name, Value: value})
+}

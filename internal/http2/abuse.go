@@ -206,6 +206,26 @@ type abuseBucket struct {
 	cur, prev int
 }
 
+// slide expires the bucket's counts against the sliding window ending
+// at now, then returns the windowed estimate: the current bucket plus
+// the previous bucket weighted by its remaining overlap.
+func (b *abuseBucket) slide(now time.Time, w time.Duration) float64 {
+	if b.start.IsZero() {
+		b.start = now
+	}
+	switch elapsed := now.Sub(b.start); {
+	case elapsed >= 2*w:
+		// The whole window slid past: both buckets expire.
+		b.prev, b.cur = 0, 0
+		b.start = now
+	case elapsed >= w:
+		b.prev, b.cur = b.cur, 0
+		b.start = b.start.Add(w)
+	}
+	frac := 1 - float64(now.Sub(b.start))/float64(w)
+	return float64(b.cur) + float64(b.prev)*frac
+}
+
 // abuseLedger scores abuse events for one connection.
 type abuseLedger struct {
 	policy *AbusePolicy
@@ -213,6 +233,7 @@ type abuseLedger struct {
 
 	mu       sync.Mutex
 	buckets  [numAbuseKinds]abuseBucket
+	dataSent abuseBucket // DATA frames sent to the peer (earned credit)
 	calmed   bool
 	calmKind AbuseKind
 }
@@ -232,23 +253,22 @@ func (l *abuseLedger) note(k AbuseKind) AbuseAction {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	b := &l.buckets[k]
-	if b.start.IsZero() {
-		b.start = now
-	}
-	switch elapsed := now.Sub(b.start); {
-	case elapsed >= 2*w:
-		// The whole window slid past: both buckets expire.
-		b.prev, b.cur = 0, 0
-		b.start = now
-	case elapsed >= w:
-		b.prev, b.cur = b.cur, 0
-		b.start = b.start.Add(w)
-	}
+	est := b.slide(now, w) + 1 // +1 counts the event being noted
 	b.cur++
 
-	frac := 1 - float64(now.Sub(b.start))/float64(w)
-	est := float64(b.cur) + float64(b.prev)*frac
 	budget := float64(l.policy.budget(k))
+	if k == AbuseWindowUpdateFlood {
+		// A receiver's legitimate WINDOW_UPDATE rate is bounded by the
+		// DATA we send it — it cannot honestly return window it was
+		// never delivered. Each DATA frame sent earns the peer credit
+		// for two updates (one stream-level, one connection-level), so
+		// a fast transfer on a long-lived connection never trips the
+		// budget, while a flood on an idle connection still hits the
+		// fixed floor. Without this, dropping over-budget updates
+		// permanently leaks send window and deadlocks a legitimately
+		// fast peer.
+		budget += 2 * l.dataSent.slide(now, w)
+	}
 	switch {
 	case est <= budget:
 		return AbuseNone
@@ -263,6 +283,20 @@ func (l *abuseLedger) note(k AbuseKind) AbuseAction {
 	default:
 		return AbuseKill
 	}
+}
+
+// noteDataSent records one flow-consuming DATA frame sent to the
+// peer. Sent DATA earns the peer WINDOW_UPDATE budget (see note):
+// updates proportional to delivered data are the protocol working as
+// designed, not abuse. Zero-length frames earn nothing — they consume
+// no window and so oblige no update.
+func (l *abuseLedger) noteDataSent() {
+	now := l.now()
+	w := l.policy.window()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dataSent.slide(now, w)
+	l.dataSent.cur++
 }
 
 // flagged reports whether the connection has reached the Calm stage,

@@ -118,17 +118,7 @@ func (cc *ClientConn) DoContext(ctx context.Context, req *Request) (*Response, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	st, err := cc.c.openStream()
-	if err != nil {
-		return nil, err
-	}
-	if ctx.Done() != nil {
-		stop := context.AfterFunc(ctx, func() {
-			st.cancel(fmt.Errorf("http2: request canceled: %w", context.Cause(ctx)))
-		})
-		defer stop()
-	}
-	fields := make([]hpack.HeaderField, 0, len(req.Header)+4)
+	fl := hpack.AcquireFieldList()
 	method := req.Method
 	if method == "" {
 		method = "GET"
@@ -141,20 +131,39 @@ func (cc *ClientConn) DoContext(ctx context.Context, req *Request) (*Response, e
 	if path == "" {
 		path = "/"
 	}
-	fields = append(fields,
-		hpack.HeaderField{Name: ":method", Value: method},
-		hpack.HeaderField{Name: ":scheme", Value: scheme},
-		hpack.HeaderField{Name: ":path", Value: path},
-	)
+	fl.Add(":method", method)
+	fl.Add(":scheme", scheme)
+	fl.Add(":path", path)
 	if req.Authority != "" {
-		fields = append(fields, hpack.HeaderField{Name: ":authority", Value: req.Authority})
+		fl.Add(":authority", req.Authority)
 	}
-	fields = append(fields, req.Header...)
+	fl.Fields = append(fl.Fields, req.Header...)
 
 	endStream := req.Body == nil
-	if err := cc.c.writeHeaderBlock(st.id, fields, endStream); err != nil {
+
+	// Allocate the stream id and write its opening HEADERS as one
+	// atomic step: stream ids must reach the peer in increasing order,
+	// and a gap between allocation and write lets a concurrent request
+	// emit its HEADERS first (see conn.openMu).
+	cc.c.openMu.Lock()
+	st, err := cc.c.openStream()
+	if err != nil {
+		cc.c.openMu.Unlock()
+		hpack.ReleaseFieldList(fl)
+		return nil, err
+	}
+	err = cc.c.writeHeaderBlock(st.id, fl.Fields, endStream)
+	cc.c.openMu.Unlock()
+	hpack.ReleaseFieldList(fl)
+	if err != nil {
 		st.Close()
 		return nil, err
+	}
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			st.cancel(fmt.Errorf("http2: request canceled: %w", context.Cause(ctx)))
+		})
+		defer stop()
 	}
 	if endStream {
 		st.mu.Lock()

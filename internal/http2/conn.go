@@ -172,6 +172,18 @@ type conn struct {
 	wmu  sync.Mutex
 	henc *hpack.Encoder
 
+	// openMu serializes client stream allocation together with the
+	// HEADERS write that opens it on the wire. RFC 9113 §5.1.1 requires
+	// locally initiated stream ids to reach the peer in increasing
+	// order; allocating under mu but writing under wmu leaves a window
+	// where two concurrent requests emit their HEADERS swapped. Held
+	// before mu and wmu, never while holding either.
+	openMu sync.Mutex
+
+	// hblock is the reusable header-block encode scratch, guarded by
+	// wmu like henc.
+	hblock []byte
+
 	// hdec is used only by the read loop.
 	hdec *hpack.Decoder
 
@@ -354,7 +366,12 @@ func (c *conn) readFrames() error {
 			return &TransportError{Op: "read", Err: err}
 		}
 		c.lastFrame.Store(time.Now().UnixNano())
-		c.logf("%s read %v", c.role(), fr.FrameHeader)
+		if c.cfg.Logf != nil {
+			// Guarded at the call site: boxing fr.FrameHeader into the
+			// variadic ...any escapes per frame, a hot-loop allocation
+			// when logging is off.
+			c.logf("%s read %v", c.role(), fr.FrameHeader)
+		}
 		if !sawSettings {
 			if fr.Type != FrameSettings || fr.Has(FlagAck) {
 				err := connError(ErrCodeProtocol, "first frame %v, want SETTINGS", fr.Type)
@@ -1017,7 +1034,12 @@ func (c *conn) writeHeaderBlock(streamID uint32, fields []hpack.HeaderField, end
 
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	block := c.henc.AppendFields(nil, fields)
+	// Encode into the connection-owned scratch block (guarded by wmu,
+	// like henc). The framer copies each chunk into a pooled slab
+	// before WriteHeaders returns, so reusing the scratch across
+	// responses is safe.
+	c.hblock = c.henc.AppendFields(c.hblock[:0], fields)
+	block := c.hblock
 	first := true
 	for {
 		chunk := block
@@ -1043,8 +1065,11 @@ func (c *conn) writeHeaderBlock(streamID uint32, fields []hpack.HeaderField, end
 }
 
 // writeData sends data on the stream, honoring both flow-control
-// windows and the peer's maximum frame size.
-func (c *conn) writeData(st *Stream, data []byte, endStream bool) error {
+// windows and the peer's maximum frame size. When retained is true
+// the chunks are handed to the transport by reference (the caller
+// guarantees data is immutable); otherwise each chunk is copied into
+// a pooled frame buffer.
+func (c *conn) writeData(st *Stream, data []byte, endStream, retained bool) error {
 	st.wroteData.Store(true)
 	if len(data) == 0 {
 		if !endStream {
@@ -1077,10 +1102,19 @@ func (c *conn) writeData(st *Stream, data []byte, endStream bool) error {
 		data = data[m:]
 		end := endStream && len(data) == 0
 		c.wmu.Lock()
-		err = c.fr.WriteData(st.id, end, chunk)
+		if retained {
+			err = c.fr.WriteDataRetained(st.id, end, chunk)
+		} else {
+			err = c.fr.WriteData(st.id, end, chunk)
+		}
 		c.wmu.Unlock()
 		if err != nil {
 			return err
+		}
+		if c.abuse != nil {
+			// Flow-consuming DATA earns the peer WINDOW_UPDATE budget:
+			// its future updates for this data are legitimate.
+			c.abuse.noteDataSent()
 		}
 	}
 	return nil

@@ -102,6 +102,12 @@ type Framer struct {
 	r io.Reader
 	w io.Writer
 
+	// bw is set when w is the connection's asyncWriter. Frames are
+	// then assembled straight into pooled buffers and enqueued — no
+	// per-frame allocation and no intermediate wbuf copy — and the
+	// retained DATA path becomes available.
+	bw *asyncWriter
+
 	// maxReadSize is the largest payload this endpoint accepts,
 	// i.e. its own advertised SETTINGS_MAX_FRAME_SIZE.
 	maxReadSize uint32
@@ -113,9 +119,11 @@ type Framer struct {
 
 // NewFramer returns a Framer that reads from r and writes to w.
 func NewFramer(w io.Writer, r io.Reader) *Framer {
+	aw, _ := w.(*asyncWriter)
 	return &Framer{
 		r:           r,
 		w:           w,
+		bw:          aw,
 		maxReadSize: minMaxFrameSize,
 		rbuf:        make([]byte, minMaxFrameSize),
 	}
@@ -161,6 +169,13 @@ func (f *Framer) ReadFrame() (Frame, error) {
 	return fr, nil
 }
 
+// appendFrameHeader appends the fixed 9-octet frame header.
+func appendFrameHeader(dst []byte, length int, t FrameType, flags uint8, streamID uint32) []byte {
+	return append(dst, byte(length>>16), byte(length>>8), byte(length),
+		byte(t), flags,
+		byte(streamID>>24)&0x7f, byte(streamID>>16), byte(streamID>>8), byte(streamID))
+}
+
 // writeFrame writes a single frame with the given payload parts.
 func (f *Framer) writeFrame(t FrameType, flags uint8, streamID uint32, parts ...[]byte) error {
 	length := 0
@@ -170,10 +185,16 @@ func (f *Framer) writeFrame(t FrameType, flags uint8, streamID uint32, parts ...
 	if length > maxMaxFrameSize {
 		return connError(ErrCodeFrameSize, "attempted %d byte frame", length)
 	}
+	if f.bw != nil {
+		s := getWireSlab()
+		s.b = appendFrameHeader(s.b, length, t, flags, streamID)
+		for _, p := range parts {
+			s.b = append(s.b, p...)
+		}
+		return f.bw.enqueue(wireEntry{b: s.b, slab: s})
+	}
 	f.wbuf = f.wbuf[:0]
-	f.wbuf = append(f.wbuf, byte(length>>16), byte(length>>8), byte(length),
-		byte(t), flags,
-		byte(streamID>>24)&0x7f, byte(streamID>>16), byte(streamID>>8), byte(streamID))
+	f.wbuf = appendFrameHeader(f.wbuf, length, t, flags, streamID)
 	for _, p := range parts {
 		f.wbuf = append(f.wbuf, p...)
 	}
@@ -189,6 +210,30 @@ func (f *Framer) WriteData(streamID uint32, endStream bool, data []byte) error {
 		flags |= FlagEndStream
 	}
 	return f.writeFrame(FrameData, flags, streamID, data)
+}
+
+// WriteDataRetained writes a DATA frame whose payload is passed to
+// the transport by reference: only the 9-octet header is assembled in
+// a pooled buffer, and data itself is never copied into a frame
+// buffer. The caller must guarantee data is not mutated or reused
+// until the connection is done with it — in practice, that it is
+// immutable for the connection's lifetime (cached reply bytes). Falls
+// back to the copying path when the writer does not support retained
+// entries.
+func (f *Framer) WriteDataRetained(streamID uint32, endStream bool, data []byte) error {
+	if f.bw == nil || len(data) == 0 {
+		return f.WriteData(streamID, endStream, data)
+	}
+	if len(data) > maxMaxFrameSize {
+		return connError(ErrCodeFrameSize, "attempted %d byte frame", len(data))
+	}
+	var flags uint8
+	if endStream {
+		flags |= FlagEndStream
+	}
+	s := getWireSlab()
+	s.b = appendFrameHeader(s.b, len(data), FrameData, flags, streamID)
+	return f.bw.enqueue(wireEntry{b: s.b, slab: s}, wireEntry{b: data})
 }
 
 // WriteHeaders writes a HEADERS frame carrying a header block

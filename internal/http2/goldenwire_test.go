@@ -1,0 +1,219 @@
+package http2
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"sww/internal/hpack"
+)
+
+// The golden wire test pins the server's exact byte stream for a
+// representative request/response exchange. The wire fast path
+// (pooled write buffers, batch coalescing, zero-copy DATA) must be
+// invisible on the wire: same frames, same ordering, same flags, same
+// HPACK dynamic-table evolution. Regenerate with
+//
+//	go test ./internal/http2 -run TestGoldenWireBytes -update-golden
+//
+// only when an intentional wire-visible change is made.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_wire.hex from the current implementation")
+
+const goldenWireFile = "testdata/golden_wire.hex"
+
+// recordingConn tees every byte the server writes to the transport.
+type recordingConn struct {
+	net.Conn
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (rc *recordingConn) Write(p []byte) (int, error) {
+	rc.mu.Lock()
+	rc.buf.Write(p)
+	rc.mu.Unlock()
+	return rc.Conn.Write(p)
+}
+
+func (rc *recordingConn) bytes() []byte {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return append([]byte(nil), rc.buf.Bytes()...)
+}
+
+// goldenBody builds a deterministic response body of n bytes.
+func goldenBody(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + i>>8)
+	}
+	return b
+}
+
+// runGoldenExchange drives the scripted exchange and returns every
+// byte the server put on the wire: its SETTINGS, the SETTINGS ack,
+// and two complete responses (HEADERS + body DATA across a frame
+// boundary + the END_STREAM marker), the second reusing the HPACK
+// dynamic table.
+func runGoldenExchange(t *testing.T) []byte {
+	t.Helper()
+	body := goldenBody(20000)
+	srv := &Server{
+		Handler: HandlerFunc(func(w *ResponseWriter, r *Request) {
+			w.WriteHeaders(200,
+				hpack.HeaderField{Name: "content-type", Value: "text/html; charset=utf-8"},
+				hpack.HeaderField{Name: "content-length", Value: strconv.Itoa(len(body))},
+				hpack.HeaderField{Name: "x-sww-mode", Value: "generative"},
+			)
+			w.Write(body)
+		}),
+		Config: Config{GenAbility: GenFull},
+	}
+	cEnd, sEnd := net.Pipe()
+	rec := &recordingConn{Conn: sEnd}
+	srv.StartConn(rec)
+
+	// Scripted raw client: preface, SETTINGS, then two sequential GETs.
+	if _, err := io.WriteString(cEnd, ClientPreface); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFramer(cEnd, cEnd)
+	frameCh := make(chan Frame, 64)
+	readErr := make(chan error, 1)
+	go func() {
+		for {
+			f, err := fr.ReadFrame()
+			if err != nil {
+				readErr <- err
+				return
+			}
+			f.Payload = append([]byte(nil), f.Payload...)
+			frameCh <- f
+		}
+	}()
+	if err := fr.WriteSettings(Setting{SettingGenAbility, uint32(GenFull)}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the server's SETTINGS and its ack of ours before the
+	// first request, so the server-side byte order is fully pinned.
+	sawSettings, sawAck := false, false
+	for !sawSettings || !sawAck {
+		f := nextGoldenFrame(t, frameCh, readErr)
+		if f.Type == FrameSettings {
+			if f.Has(FlagAck) {
+				sawAck = true
+			} else {
+				sawSettings = true
+			}
+		}
+	}
+
+	enc := hpack.NewEncoder()
+	request := func(streamID uint32, path string, extra ...hpack.HeaderField) {
+		fields := []hpack.HeaderField{
+			{Name: ":method", Value: "GET"},
+			{Name: ":scheme", Value: "https"},
+			{Name: ":path", Value: path},
+			{Name: ":authority", Value: "sww.local"},
+		}
+		fields = append(fields, extra...)
+		block := enc.AppendFields(nil, fields)
+		if err := fr.WriteHeaders(streamID, true, true, block); err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for {
+			f := nextGoldenFrame(t, frameCh, readErr)
+			if f.Type != FrameData || f.StreamID != streamID {
+				continue
+			}
+			got += int(f.Length)
+			if f.Has(FlagEndStream) {
+				break
+			}
+		}
+		if got != len(body) {
+			t.Fatalf("stream %d: got %d body bytes, want %d", streamID, got, len(body))
+		}
+	}
+	request(1, "/blog/hike")
+	request(3, "/news/article", hpack.HeaderField{Name: "x-sww-peer-gen", Value: "3"})
+
+	// Everything the exchange produces has reached the client (net.Pipe
+	// is synchronous), so the recording is complete.
+	cEnd.Close()
+	return rec.bytes()
+}
+
+func nextGoldenFrame(t *testing.T, frameCh chan Frame, readErr chan error) Frame {
+	t.Helper()
+	select {
+	case f := <-frameCh:
+		return f
+	case err := <-readErr:
+		t.Fatalf("client read: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting for server frame")
+	}
+	return Frame{}
+}
+
+func TestGoldenWireBytes(t *testing.T) {
+	got := runGoldenExchange(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenWireFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		dump := hex.EncodeToString(got)
+		for len(dump) > 0 {
+			n := 64
+			if n > len(dump) {
+				n = len(dump)
+			}
+			fmt.Fprintln(&out, dump[:n])
+			dump = dump[n:]
+		}
+		if err := os.WriteFile(goldenWireFile, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d wire bytes to %s", len(got), goldenWireFile)
+		return
+	}
+	raw, err := os.ReadFile(goldenWireFile)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	want, err := hex.DecodeString(string(bytes.ReplaceAll(bytes.TrimSpace(raw), []byte("\n"), nil)))
+	if err != nil {
+		t.Fatalf("decoding golden file: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		i := 0
+		for i < len(got) && i < len(want) && got[i] == want[i] {
+			i++
+		}
+		t.Fatalf("wire bytes diverge from golden at offset %d (got %d bytes, want %d)\ngot  ...%x\nwant ...%x",
+			i, len(got), len(want), tail(got, i), tail(want, i))
+	}
+}
+
+func tail(b []byte, from int) []byte {
+	end := from + 32
+	if end > len(b) {
+		end = len(b)
+	}
+	if from > len(b) {
+		from = len(b)
+	}
+	return b[from:end]
+}

@@ -116,10 +116,12 @@ func (w *ResponseWriter) WriteHeaders(status int, fields ...hpack.HeaderField) e
 		return fmt.Errorf("http2: WriteHeaders called twice on stream %d", w.stream.id)
 	}
 	w.wroteHeaders = true
-	all := make([]hpack.HeaderField, 0, len(fields)+1)
-	all = append(all, hpack.HeaderField{Name: ":status", Value: strconv.Itoa(status)})
-	all = append(all, fields...)
-	return w.stream.c.writeHeaderBlock(w.stream.id, all, false)
+	fl := hpack.AcquireFieldList()
+	fl.Add(":status", strconv.Itoa(status))
+	fl.Fields = append(fl.Fields, fields...)
+	err := w.stream.c.writeHeaderBlock(w.stream.id, fl.Fields, false)
+	hpack.ReleaseFieldList(fl)
+	return err
 }
 
 // Write sends response body bytes, emitting default 200 headers first
@@ -131,6 +133,19 @@ func (w *ResponseWriter) Write(p []byte) (int, error) {
 		}
 	}
 	return w.stream.Write(p)
+}
+
+// WriteRetained sends response body bytes by reference — the
+// transport writes p in place, so p must be immutable from here on
+// (cached page bytes, CDN shard entries). Emits default 200 headers
+// first if the handler has not sent any.
+func (w *ResponseWriter) WriteRetained(p []byte) (int, error) {
+	if !w.wroteHeaders {
+		if err := w.WriteHeaders(200); err != nil {
+			return 0, err
+		}
+	}
+	return w.stream.WriteRetained(p)
 }
 
 // Finish half-closes the response. The server calls it automatically

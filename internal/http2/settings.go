@@ -135,7 +135,28 @@ func (a GenAbility) Intersect(b GenAbility) GenAbility {
 	return a & b
 }
 
+// genAbilityKnown masks the defined ability bits.
+const genAbilityKnown = GenBasic | GenImage | GenText | GenUpscaleOnly | GenVideoFrameRate | GenVideoResolution
+
+// genAbilityNames caches the formatted form of every combination of
+// known bits. String is on the response hot path (the mode header
+// carries it), so per-call formatting would allocate per request.
+var genAbilityNames = func() [genAbilityKnown + 1]string {
+	var names [genAbilityKnown + 1]string
+	for a := range names {
+		names[a] = GenAbility(a).format()
+	}
+	return names
+}()
+
 func (a GenAbility) String() string {
+	if a <= genAbilityKnown {
+		return genAbilityNames[a]
+	}
+	return a.format()
+}
+
+func (a GenAbility) format() string {
 	if a == GenNone {
 		return "none"
 	}
@@ -155,7 +176,7 @@ func (a GenAbility) String() string {
 			parts = append(parts, f.name)
 		}
 	}
-	if rest := a &^ (GenBasic | GenImage | GenText | GenUpscaleOnly | GenVideoFrameRate | GenVideoResolution); rest != 0 {
+	if rest := a &^ genAbilityKnown; rest != 0 {
 		parts = append(parts, fmt.Sprintf("unknown(%#x)", uint32(rest)))
 	}
 	return strings.Join(parts, "+")

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -232,9 +233,15 @@ func readMessage(st *quic.Stream) (fields []Field, body []byte, err error) {
 // bound well above any SWW page or asset.
 const maxMessageBody = 64 << 20
 
-// writeMessage emits HEADERS (+DATA) and closes the send side.
+// writeMessage emits HEADERS (+DATA) and closes the send side. The
+// field section is encoded into pooled scratch; writeFrame is done
+// with the bytes when it returns.
 func writeMessage(st *quic.Stream, fields []Field, body []byte) error {
-	if err := writeFrame(st, FrameHeaders, EncodeFieldSection(fields)); err != nil {
+	sc := getEncodeScratch()
+	sc.b = AppendFieldSection(sc.b, fields)
+	err := writeFrame(st, FrameHeaders, sc.b)
+	putEncodeScratch(sc)
+	if err != nil {
 		return err
 	}
 	if len(body) > 0 {
@@ -264,16 +271,31 @@ type ResponseWriter struct {
 	body   []byte
 }
 
-// WriteHeaders sets the response status and headers.
+// WriteHeaders sets the response status and headers. The fields are
+// copied, so callers may reuse (or release to a pool) their slice as
+// soon as this returns.
 func (w *ResponseWriter) WriteHeaders(status int, fields ...Field) {
 	w.status = status
-	w.header = fields
+	w.header = append(w.header[:0], fields...)
 }
 
 // Write appends body bytes.
 func (w *ResponseWriter) Write(p []byte) (int, error) {
 	w.body = append(w.body, p...)
 	return len(p), nil
+}
+
+// WriteRetained sets the response body to p by reference when no
+// body bytes have been written yet, avoiding the copy for immutable
+// cached replies. The slice is re-capped so a subsequent Write cannot
+// grow into p's backing array; if body bytes already exist, it falls
+// back to copying.
+func (w *ResponseWriter) WriteRetained(p []byte) (int, error) {
+	if w.body == nil {
+		w.body = p[:len(p):len(p)]
+		return len(p), nil
+	}
+	return w.Write(p)
 }
 
 // A Server serves HTTP/3 sessions.
@@ -364,8 +386,11 @@ func (s *Server) serveStream(c *conn, st *quic.Stream) {
 	}
 	w := &ResponseWriter{status: 200}
 	s.Handler.ServeSWW3(w, req)
-	resp := append([]Field{{Name: ":status", Value: fmt.Sprint(w.status)}}, w.header...)
-	writeMessage(st, resp, w.body)
+	fl := AcquireFieldList()
+	fl.Add(":status", strconv.Itoa(w.status))
+	fl.Fields = append(fl.Fields, w.header...)
+	writeMessage(st, fl.Fields, w.body)
+	ReleaseFieldList(fl)
 }
 
 // A ClientConn is the client end of an HTTP/3 session.

@@ -41,12 +41,16 @@ const (
 // maxFramePayload bounds a single frame read.
 const maxFramePayload = 1 << 20
 
-// writeFrame emits one frame on st.
+// writeFrame emits one frame on st. Assembly happens in pooled
+// scratch: the quic layer copies the bytes into its own mux frame
+// before Write returns, so the scratch is immediately reusable.
 func writeFrame(st *quic.Stream, ftype uint64, payload []byte) error {
-	buf := quic.AppendVarint(nil, ftype)
-	buf = quic.AppendVarint(buf, uint64(len(payload)))
-	buf = append(buf, payload...)
-	_, err := st.Write(buf)
+	sc := getEncodeScratch()
+	sc.b = quic.AppendVarint(sc.b, ftype)
+	sc.b = quic.AppendVarint(sc.b, uint64(len(payload)))
+	sc.b = append(sc.b, payload...)
+	_, err := st.Write(sc.b)
+	putEncodeScratch(sc)
 	return err
 }
 

@@ -77,22 +77,29 @@ func qpackReadInt(buf []byte, prefix uint8) (uint64, []byte, error) {
 	}
 }
 
-// EncodeFieldSection encodes fields as an RFC 9204 encoded field
-// section with no dynamic-table references.
-func EncodeFieldSection(fields []Field) []byte {
+// AppendFieldSection appends an RFC 9204 encoded field section with
+// no dynamic-table references to dst and returns the extended slice.
+// The caller owns dst, so a hot sender can reuse one scratch buffer
+// across messages with zero intermediate allocations.
+func AppendFieldSection(dst []byte, fields []Field) []byte {
 	// Encoded Field Section Prefix: Required Insert Count = 0
 	// (8-bit prefix), Sign = 0 and Delta Base = 0 (7-bit prefix).
-	out := []byte{0x00, 0x00}
+	dst = append(dst, 0x00, 0x00)
 	for _, f := range fields {
 		// Literal Field Line with Literal Name (§4.5.6):
 		// 001 N H NameLen(3+)  — N=0 (may be indexed by intermediaries),
 		// H=0 (no Huffman).
-		out = qpackAppendInt(out, 0x20, 3, uint64(len(f.Name)))
-		out = append(out, f.Name...)
-		out = qpackAppendInt(out, 0x00, 7, uint64(len(f.Value)))
-		out = append(out, f.Value...)
+		dst = qpackAppendInt(dst, 0x20, 3, uint64(len(f.Name)))
+		dst = append(dst, f.Name...)
+		dst = qpackAppendInt(dst, 0x00, 7, uint64(len(f.Value)))
+		dst = append(dst, f.Value...)
 	}
-	return out
+	return dst
+}
+
+// EncodeFieldSection encodes fields into a fresh buffer.
+func EncodeFieldSection(fields []Field) []byte {
+	return AppendFieldSection(nil, fields)
 }
 
 // DecodeFieldSection decodes a field section produced by

@@ -42,7 +42,8 @@ type Session struct {
 	nc       net.Conn
 	isClient bool
 
-	wmu sync.Mutex // serializes mux frame writes
+	wmu  sync.Mutex // serializes mux frame writes and guards wbuf
+	wbuf []byte     // mux frame assembly scratch, reused across writes
 
 	mu       sync.Mutex
 	streams  map[uint64]*Stream
@@ -301,11 +302,13 @@ func (s *Session) remoteInitiated(id uint64) bool {
 	return clientInitiated != s.isClient
 }
 
-// writeStreamFrame emits one STREAM frame.
+// writeStreamFrame emits one STREAM frame. Assembly reuses the
+// session's wmu-guarded scratch: nc.Write completes before the lock
+// is released, so the buffer is free again for the next frame.
 func (s *Session) writeStreamFrame(id uint64, fin bool, data []byte) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	buf := AppendVarint(nil, frameStream)
+	buf := AppendVarint(s.wbuf[:0], frameStream)
 	buf = AppendVarint(buf, id)
 	var flags byte
 	if fin {
@@ -314,6 +317,7 @@ func (s *Session) writeStreamFrame(id uint64, fin bool, data []byte) error {
 	buf = append(buf, flags)
 	buf = AppendVarint(buf, uint64(len(data)))
 	buf = append(buf, data...)
+	s.wbuf = buf
 	_, err := s.nc.Write(buf)
 	return err
 }
@@ -321,17 +325,19 @@ func (s *Session) writeStreamFrame(id uint64, fin bool, data []byte) error {
 func (s *Session) writeWindow(id uint64, credit int64) {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	buf := AppendVarint(nil, frameWindow)
+	buf := AppendVarint(s.wbuf[:0], frameWindow)
 	buf = AppendVarint(buf, id)
 	buf = AppendVarint(buf, uint64(credit))
+	s.wbuf = buf
 	s.nc.Write(buf)
 }
 
 func (s *Session) writeReset(id uint64, code uint64) {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	buf := AppendVarint(nil, frameReset)
+	buf := AppendVarint(s.wbuf[:0], frameReset)
 	buf = AppendVarint(buf, id)
 	buf = AppendVarint(buf, code)
+	s.wbuf = buf
 	s.nc.Write(buf)
 }
