@@ -6,11 +6,14 @@
 //	sww-bench [-only t1|t2|fig2|steps|sizes|text|article|matrix|
 //	                 energy|carbon|traffic|cdn|video|storage|ablations|
 //	                 chaos|overload|abuse|fastpath|telemetry|edgetier|
-//	                 selfheal|originha]
-//	          [-quick]
+//	                 selfheal|originha|capacity]
+//	          [-quick] [-capacity-out FILE]
 //
 // Without -only, all experiments run in order. -quick trims the
-// heavier sweeps for CI smoke runs.
+// heavier sweeps for CI smoke runs. -capacity-out writes the E27
+// capacity curve as a benchmark-JSON artifact (the format
+// sww-benchjson emits), so CI can archive it and gate goodput against
+// a committed baseline.
 package main
 
 import (
@@ -30,8 +33,10 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment")
 	quick := flag.Bool("quick", false, "trim heavy sweeps for smoke runs")
+	capOut := flag.String("capacity-out", "", "write the E27 capacity curve as benchmark JSON to this file")
 	flag.Parse()
 	quickMode = *quick
+	capacityOut = *capOut
 
 	all := []struct {
 		key  string
@@ -65,6 +70,7 @@ func main() {
 		{"edgetier", "E23 edge tier failover & serve-stale chaos", runEdgeTier},
 		{"selfheal", "E24 self-healing mesh: restart, push loss, peer-fill", runSelfHeal},
 		{"originha", "E25 origin HA: durable log, failover, fencing, retry budget", runOriginHA},
+		{"capacity", "E27 open-loop capacity model & knee", runCapacity},
 	}
 	failed := false
 	for _, e := range all {
@@ -420,14 +426,17 @@ func runOverload() error {
 		return err
 	}
 	fmt.Printf("capacity-limited generative server at multiples of admitted generation\n")
-	fmt.Printf("capacity; healthy signature: flat goodput beyond 1x, excess shed as 503\n")
-	fmt.Printf("%-5s %9s %6s %5s %6s %5s %9s %7s %9s %9s %6s\n",
-		"mult", "offered", "reqs", "ok", "shed", "err", "goodput", "shed%", "p50", "p99", "flips")
+	fmt.Printf("capacity; healthy signature: flat goodput beyond 1x, excess shed as 503.\n")
+	fmt.Printf("p50/p99 measure from each request's intended send slot; legacy columns\n")
+	fmt.Printf("measure from the actual send (the coordinated-omission-prone way).\n")
+	fmt.Printf("%-5s %9s %6s %5s %6s %5s %9s %7s %9s %9s %9s %9s %6s\n",
+		"mult", "offered", "reqs", "ok", "shed", "err", "goodput", "shed%", "p50", "p99", "leg p50", "leg p99", "flips")
 	for _, r := range rows {
-		fmt.Printf("%4.1fx %7.0f/s %6d %5d %6d %5d %7.0f/s %6.1f%% %9v %9v %6d\n",
+		fmt.Printf("%4.1fx %7.0f/s %6d %5d %6d %5d %7.0f/s %6.1f%% %9v %9v %9v %9v %6d\n",
 			r.Multiplier, r.OfferedRPS, r.Requests, r.OK, r.Shed, r.Errors,
 			r.GoodputRPS, 100*r.ShedRate,
 			r.P50.Round(time.Millisecond), r.P99.Round(time.Millisecond),
+			r.LegacyP50.Round(time.Millisecond), r.LegacyP99.Round(time.Millisecond),
 			r.Stats.ShedPolicyFlip)
 	}
 	return nil
@@ -689,8 +698,132 @@ func runTelemetry() error {
 	}
 	fmt.Printf("traces: %d finished / %d total; events: %d; counters==traces: %v\n",
 		rep.TracesFinished, rep.TracesTotal, rep.EventsTotal, rep.CountersMatchTraces)
+	fmt.Printf("client-side paced loops: p50/p99 %.2f/%.2fms from intended slots vs %.2f/%.2fms legacy\n",
+		rep.ClientSchedP50ms, rep.ClientSchedP99ms, rep.ClientLegacyP50ms, rep.ClientLegacyP99ms)
 	if !rep.CountersMatchTraces {
 		return fmt.Errorf("per-outcome counters do not sum to finished traces")
 	}
 	return nil
+}
+
+// capacityOut mirrors the -capacity-out flag: where runCapacity
+// writes the E27 curve as a benchmark-JSON artifact.
+var capacityOut string
+
+// runCapacity prints E27: the calibrated capacity model, the measured
+// open-loop capacity curve with its schedule-based latency tails, the
+// interpolated knee from two identical-seed runs, and the diurnal
+// demonstration leg.
+func runCapacity() error {
+	res, err := experiments.CapacitySweep(quickMode)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: %d workers × %v hold → %.0f gen/s; mix %.0f%% incapable; ",
+		res.GenWorkers, res.GenHold, res.GenCapacityRPS, 100*res.IncapableShare)
+	fmt.Printf("Zipf(1.1) over %d pages, cache = top %d (miss share %.2f)\n",
+		res.CorpusPages, res.CacheTopPages, res.MissShare)
+	fmt.Printf("predicted knee %.0f/s (shed > %.0f%%)\n",
+		res.PredictedKneeRPS, 100*experiments.KneeShedThreshold)
+	fmt.Printf("%-5s %9s %9s %6s %6s %5s %4s %9s %6s %6s %8s %8s %8s\n",
+		"mult", "offered", "realized", "reqs", "ok", "shed", "err", "goodput", "gp_x", "shed%", "p50", "p95", "p99")
+	for _, r := range res.Rows {
+		fmt.Printf("%4.1fx %7.0f/s %7.0f/s %6d %6d %5d %4d %7.0f/s %6.2f %5.1f%% %8v %8v %8v\n",
+			r.Multiplier, r.OfferedRPS, r.RealizedRPS, r.Requests, r.OK, r.Shed, r.Errors,
+			r.GoodputRPS, r.GoodputX, 100*r.ShedRate,
+			r.P50.Round(time.Millisecond), r.P95.Round(time.Millisecond), r.P99.Round(time.Millisecond))
+	}
+	switch {
+	case res.KneeRPS <= 0:
+		fmt.Printf("knee: not reached within the sweep\n")
+	default:
+		delta := 0.0
+		if res.KneeRPS2 > 0 {
+			delta = 100 * (res.KneeRPS2 - res.KneeRPS) / res.KneeRPS
+		}
+		fmt.Printf("measured knee %.0f/s (run2 %.0f/s, delta %+.1f%%; knee_x %.2f)\n",
+			res.KneeRPS, res.KneeRPS2, delta, res.KneeRPS/res.GenCapacityRPS)
+	}
+	if res.DiurnalPeakShed >= 0 {
+		fmt.Printf("diurnal day at knee rate: peak shed %.1f%%, trough shed %.1f%%\n",
+			100*res.DiurnalPeakShed, 100*res.DiurnalTroughShed)
+	}
+	if capacityOut != "" {
+		if err := writeCapacityArtifact(capacityOut, res); err != nil {
+			return fmt.Errorf("writing %s: %w", capacityOut, err)
+		}
+		fmt.Printf("capacity artifact written to %s\n", capacityOut)
+	}
+	return nil
+}
+
+// writeCapacityArtifact renders the E27 result in the benchmark-JSON
+// shape sww-benchjson emits, so the curve can be merged into a PR
+// artifact and gated (goodput_x) against a committed baseline.
+func writeCapacityArtifact(path string, res *experiments.CapacityResult) error {
+	type benchResult struct {
+		Name       string             `json:"name"`
+		Iterations int64              `json:"iterations"`
+		Metrics    map[string]float64 `json:"metrics"`
+	}
+	doc := struct {
+		Env     map[string]string `json:"env,omitempty"`
+		Results []benchResult     `json:"results"`
+	}{
+		Env: map[string]string{"experiment": "E27-capacity"},
+	}
+	for _, r := range res.Rows {
+		doc.Results = append(doc.Results, benchResult{
+			Name:       fmt.Sprintf("capacity/mult=%.2f", r.Multiplier),
+			Iterations: int64(r.Requests),
+			Metrics: map[string]float64{
+				"offered_rps":  r.OfferedRPS,
+				"realized_rps": r.RealizedRPS,
+				"goodput_rps":  r.GoodputRPS,
+				"goodput_x":    r.GoodputX,
+				"goodput_frac": r.GoodputFrac,
+				"shed_rate":    r.ShedRate,
+				"errors":       float64(r.Errors),
+				"p50_ms":       float64(r.P50) / float64(time.Millisecond),
+				"p95_ms":       float64(r.P95) / float64(time.Millisecond),
+				"p99_ms":       float64(r.P99) / float64(time.Millisecond),
+				"cache_hits":   float64(r.Stats.CacheHits),
+			},
+		})
+	}
+	knee := benchResult{
+		Name: "capacity/knee",
+		Metrics: map[string]float64{
+			"knee_rps":           res.KneeRPS,
+			"knee_rps_run2":      res.KneeRPS2,
+			"predicted_knee_rps": res.PredictedKneeRPS,
+			"gen_capacity_rps":   res.GenCapacityRPS,
+			"incapable_share":    res.IncapableShare,
+			"miss_share":         res.MissShare,
+		},
+	}
+	if res.GenCapacityRPS > 0 {
+		knee.Metrics["knee_x"] = res.KneeRPS / res.GenCapacityRPS
+	}
+	doc.Results = append(doc.Results, knee)
+	if res.DiurnalPeakShed >= 0 {
+		doc.Results = append(doc.Results, benchResult{
+			Name: "capacity/diurnal",
+			Metrics: map[string]float64{
+				"peak_shed_rate":   res.DiurnalPeakShed,
+				"trough_shed_rate": res.DiurnalTroughShed,
+			},
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -38,6 +38,19 @@
 //
 //	go test -bench 'FramerWrite|WarmServeWire' -benchtime 10000x -benchmem ./... \
 //	  | sww-benchjson -gate BENCH_PR9.json > BENCH_PR9_ci.json
+//
+// -capacity merges an E27 capacity-curve artifact (the JSON
+// `sww-bench -capacity-out` writes) into the document, and
+// -gate-goodput compares it against a committed baseline: every
+// capacity row shared with the baseline must keep its goodput_frac
+// (the admitted fraction of offered requests) at or above
+// -goodput-min (default 0.9) of the stored value. goodput_frac is
+// gated for the same reason allocs/op is: it is a ratio of counts,
+// stable across machines, where absolute RPS thresholds would flake
+// on shared CI runners.
+//
+//	sww-benchjson -capacity capacity.json -gate-goodput BENCH_PR10.json \
+//	  < /dev/null > BENCH_PR10_ci.json
 package main
 
 import (
@@ -71,6 +84,9 @@ func main() {
 	telSource := flag.String("telemetry", "", "ops /statusz source (http:// URL or file path) whose histograms are merged into the document")
 	gateFile := flag.String("gate", "", "baseline benchmark JSON; exit non-zero when a shared benchmark's allocs/op regresses beyond -gate-tolerance")
 	gateTol := flag.Float64("gate-tolerance", 0.10, "allowed fractional allocs/op regression in -gate mode")
+	capFile := flag.String("capacity", "", "E27 capacity artifact (from sww-bench -capacity-out) to merge into the document")
+	gateGoodput := flag.String("gate-goodput", "", "baseline benchmark JSON; exit non-zero when a shared capacity row's goodput_frac falls below -goodput-min of the stored value")
+	goodputMin := flag.Float64("goodput-min", 0.90, "minimum fraction of the baseline goodput_frac a capacity row must keep in -gate-goodput mode")
 	flag.Parse()
 	doc := benchDoc{Env: map[string]string{}, Results: []benchResult{}}
 	sc := bufio.NewScanner(os.Stdin)
@@ -98,6 +114,14 @@ func main() {
 		}
 		doc.Results = append(doc.Results, results...)
 	}
+	if *capFile != "" {
+		results, err := capacityResults(*capFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sww-benchjson: capacity %s: %v\n", *capFile, err)
+			os.Exit(1)
+		}
+		doc.Results = append(doc.Results, results...)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
@@ -110,6 +134,98 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *gateGoodput != "" {
+		if err := gateGoodputFrac(doc, *gateGoodput, *goodputMin); err != nil {
+			fmt.Fprintf(os.Stderr, "sww-benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// capacityResults reads an E27 capacity artifact — already in the
+// benchmark-JSON shape — and returns its rows for merging.
+func capacityResults(path string) ([]benchResult, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, err
+	}
+	if len(doc.Results) == 0 {
+		return nil, fmt.Errorf("no results in %s", path)
+	}
+	return doc.Results, nil
+}
+
+// gateGoodputFrac fails when the request-weighted mean goodput_frac
+// over the capacity rows shared between doc and the baseline file
+// drops below min × the baseline's weighted mean. Weighting by
+// request count (the row's iterations) and aggregating across rows
+// keeps the gate robust on small quick-mode samples — a single
+// low-traffic row shedding a few extra requests is noise, a curve
+// whose success fraction collapses is a regression. Per-row fractions
+// are still printed for diagnosis. The knee and diurnal rows carry no
+// goodput_frac and pass through unchecked.
+func gateGoodputFrac(doc benchDoc, baselinePath string, min float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("goodput gate baseline: %v", err)
+	}
+	var base benchDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("goodput gate baseline %s: %v", baselinePath, err)
+	}
+	type frac struct {
+		v float64
+		w float64
+	}
+	baseFrac := map[string]frac{}
+	for _, r := range base.Results {
+		if v, ok := r.Metrics["goodput_frac"]; ok {
+			w := float64(r.Iterations)
+			if w <= 0 {
+				w = 1
+			}
+			baseFrac[benchKey(r.Name)] = frac{v: v, w: w}
+		}
+	}
+	compared := 0
+	var gotSum, gotW, wantSum, wantW float64
+	for _, r := range doc.Results {
+		got, ok := r.Metrics["goodput_frac"]
+		if !ok {
+			continue
+		}
+		want, ok := baseFrac[benchKey(r.Name)]
+		if !ok {
+			continue
+		}
+		compared++
+		w := float64(r.Iterations)
+		if w <= 0 {
+			w = 1
+		}
+		gotSum += got * w
+		gotW += w
+		wantSum += want.v * want.w
+		wantW += want.w
+		fmt.Fprintf(os.Stderr, "sww-benchjson: goodput gate row %s: goodput_frac %.3f (baseline %.3f)\n",
+			benchKey(r.Name), got, want.v)
+	}
+	if compared == 0 {
+		return fmt.Errorf("goodput gate: no capacity rows shared with baseline %s", baselinePath)
+	}
+	gotMean, wantMean := gotSum/gotW, wantSum/wantW
+	limit := wantMean * min
+	if gotMean < limit {
+		return fmt.Errorf("goodput gate: weighted goodput_frac %.3f below %.0f%% of baseline %.3f (floor %.3f) over %d rows",
+			gotMean, min*100, wantMean, limit, compared)
+	}
+	fmt.Fprintf(os.Stderr, "sww-benchjson: goodput gate passed: weighted goodput_frac %.3f vs baseline %.3f (floor %.3f) over %d rows\n",
+		gotMean, wantMean, limit, compared)
+	return nil
 }
 
 // benchKey normalizes a benchmark name for cross-run matching by

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	r, ok := parseBenchLine("BenchmarkSynthKernel/1024-8   \t 30   36521342 ns/op   4211 B/op   12 allocs/op")
@@ -40,5 +45,111 @@ func TestParseBenchLineRejectsNoise(t *testing.T) {
 		if _, ok := parseBenchLine(line); ok {
 			t.Errorf("parsed noise line %q", line)
 		}
+	}
+}
+
+func writeDoc(t *testing.T, path string, doc benchDoc) {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func capDoc(fracs map[string]float64) benchDoc {
+	doc := benchDoc{Results: []benchResult{
+		{Name: "capacity/knee", Metrics: map[string]float64{"knee_rps": 370}},
+	}}
+	for name, f := range fracs {
+		doc.Results = append(doc.Results, benchResult{
+			Name:    name,
+			Metrics: map[string]float64{"goodput_frac": f, "shed_rate": 1 - f},
+		})
+	}
+	return doc
+}
+
+func TestCapacityResultsMerge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cap.json")
+	writeDoc(t, path, capDoc(map[string]float64{"capacity/mult=0.50": 1.0}))
+	results, err := capacityResults(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results, want 2", len(results))
+	}
+	if _, err := capacityResults(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	writeDoc(t, empty, benchDoc{})
+	if _, err := capacityResults(empty); err == nil {
+		t.Error("empty artifact accepted")
+	}
+}
+
+func TestGateGoodputFrac(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.json")
+	writeDoc(t, base, capDoc(map[string]float64{
+		"capacity/mult=0.50": 1.00,
+		"capacity/mult=1.20": 0.95,
+		"capacity/mult=2.40": 0.85,
+	}))
+
+	// Same curve passes.
+	doc := capDoc(map[string]float64{
+		"capacity/mult=0.50": 0.99,
+		"capacity/mult=1.20": 0.93,
+		"capacity/mult=2.40": 0.86,
+	})
+	if err := gateGoodputFrac(doc, base, 0.9); err != nil {
+		t.Errorf("healthy curve rejected: %v", err)
+	}
+
+	// A collapsed curve fails: with equal weights the aggregate
+	// (1.00+0.70)/2 = 0.85 is under 0.9 × the baseline's 0.975.
+	doc = capDoc(map[string]float64{
+		"capacity/mult=0.50": 1.00,
+		"capacity/mult=1.20": 0.70,
+	})
+	if err := gateGoodputFrac(doc, base, 0.9); err == nil {
+		t.Error("collapsed goodput passed the gate")
+	}
+
+	// Weighting is by request count: one low-traffic row dipping is
+	// absorbed when the heavy rows hold the curve.
+	doc = benchDoc{Results: []benchResult{
+		{Name: "capacity/mult=0.50", Iterations: 20,
+			Metrics: map[string]float64{"goodput_frac": 0.70}},
+		{Name: "capacity/mult=1.20", Iterations: 500,
+			Metrics: map[string]float64{"goodput_frac": 0.95}},
+		{Name: "capacity/mult=2.40", Iterations: 500,
+			Metrics: map[string]float64{"goodput_frac": 0.85}},
+	}}
+	if err := gateGoodputFrac(doc, base, 0.9); err != nil {
+		t.Errorf("noisy low-traffic row failed the weighted gate: %v", err)
+	}
+	// ...but the same dip on a heavy row is a real regression.
+	doc.Results[0].Iterations = 5000
+	if err := gateGoodputFrac(doc, base, 0.9); err == nil {
+		t.Error("heavy-row collapse passed the weighted gate")
+	}
+
+	// No shared rows is an error, not a silent pass.
+	doc = capDoc(map[string]float64{"capacity/mult=9.99": 1.0})
+	if err := gateGoodputFrac(doc, base, 0.9); err == nil {
+		t.Error("gate passed with nothing to compare")
+	}
+
+	// Knee/diurnal rows (no goodput_frac) are ignored.
+	doc = benchDoc{Results: []benchResult{
+		{Name: "capacity/knee", Metrics: map[string]float64{"knee_rps": 1}},
+	}}
+	if err := gateGoodputFrac(doc, base, 0.9); err == nil {
+		t.Error("knee-only document should have nothing to compare")
 	}
 }

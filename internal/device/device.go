@@ -115,6 +115,87 @@ var (
 // Profiles lists the built-in devices.
 func Profiles() []Profile { return []Profile{Laptop, Workstation, Mobile} }
 
+// A MixEntry weights one device population inside a Mix.
+type MixEntry struct {
+	Profile Profile
+	// Weight is the entry's share of the population; entries are
+	// normalized over the Mix's total, so any positive scale works.
+	Weight float64
+	// Capable marks clients that advertise generative ability. An
+	// incapable client (legacy browser, constrained device, opted-out
+	// user) forces traditional serving — under the §5.1 policy the
+	// server must render for it, which is what makes the split the
+	// first-order input of any capacity model.
+	Capable bool
+}
+
+// A Mix is a weighted device population — the §5.1 capable/incapable
+// policy split that workload generators sample clients from.
+type Mix struct {
+	Entries []MixEntry
+}
+
+// total returns the sum of weights (0 for an empty mix).
+func (m Mix) total() float64 {
+	var t float64
+	for _, e := range m.Entries {
+		if e.Weight > 0 {
+			t += e.Weight
+		}
+	}
+	return t
+}
+
+// Pick maps r ∈ [0,1) onto an entry by cumulative weight. It is
+// deterministic in r, so a seeded rng.Float64() stream yields a
+// reproducible client population. An empty or weightless mix yields a
+// capable Laptop.
+func (m Mix) Pick(r float64) MixEntry {
+	t := m.total()
+	if t <= 0 {
+		return MixEntry{Profile: Laptop, Weight: 1, Capable: true}
+	}
+	target := r * t
+	var cum float64
+	for _, e := range m.Entries {
+		if e.Weight <= 0 {
+			continue
+		}
+		cum += e.Weight
+		if target < cum {
+			return e
+		}
+	}
+	return m.Entries[len(m.Entries)-1]
+}
+
+// CapableShare returns the weight fraction of capable clients.
+func (m Mix) CapableShare() float64 {
+	t := m.total()
+	if t <= 0 {
+		return 1
+	}
+	var c float64
+	for _, e := range m.Entries {
+		if e.Capable && e.Weight > 0 {
+			c += e.Weight
+		}
+	}
+	return c / t
+}
+
+// DefaultMix is the §5.1 evaluation split the load engine uses when
+// the caller has no better census: 40% capable laptops, 20% capable
+// NPU phones, and 40% incapable clients (legacy laptops whose
+// requests the server must render traditionally).
+func DefaultMix() Mix {
+	return Mix{Entries: []MixEntry{
+		{Profile: Laptop, Weight: 0.40, Capable: true},
+		{Profile: Mobile, Weight: 0.20, Capable: true},
+		{Profile: Laptop, Weight: 0.40, Capable: false},
+	}}
+}
+
 // EnergyWh converts a power draw sustained for d into watt-hours.
 func EnergyWh(powerW float64, d time.Duration) float64 {
 	return powerW * d.Hours()

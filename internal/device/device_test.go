@@ -118,3 +118,37 @@ func TestProfiles(t *testing.T) {
 		t.Error("attention splitting flags wrong (§6.1)")
 	}
 }
+
+func TestMixPickAndShares(t *testing.T) {
+	m := DefaultMix()
+	if got := m.CapableShare(); got < 0.59 || got > 0.61 {
+		t.Errorf("DefaultMix capable share = %.3f, want 0.60", got)
+	}
+	// Pick is deterministic and cumulative: walking r across [0,1)
+	// must reproduce the configured weights exactly.
+	const steps = 10000
+	capable := 0
+	for i := 0; i < steps; i++ {
+		e := m.Pick(float64(i) / steps)
+		if e.Capable {
+			capable++
+		}
+	}
+	if got := float64(capable) / steps; got < 0.595 || got > 0.605 {
+		t.Errorf("Pick capable fraction = %.3f, want 0.60", got)
+	}
+	if e := m.Pick(0); !e.Capable || e.Profile.Class != ClassLaptop {
+		t.Errorf("Pick(0) = %+v, want capable laptop", e)
+	}
+	// r at the very top lands on the last entry, never panics.
+	if e := m.Pick(0.999999); e.Capable {
+		t.Errorf("Pick(~1) = %+v, want the incapable tail entry", e)
+	}
+	// Degenerate mixes fall back to a capable laptop.
+	if e := (Mix{}).Pick(0.5); !e.Capable || e.Profile.Class != ClassLaptop {
+		t.Errorf("empty mix Pick = %+v", e)
+	}
+	if got := (Mix{}).CapableShare(); got != 1 {
+		t.Errorf("empty mix CapableShare = %v, want 1", got)
+	}
+}

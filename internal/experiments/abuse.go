@@ -16,6 +16,7 @@ import (
 	"sww/internal/hpack"
 	"sww/internal/http2"
 	"sww/internal/overload"
+	"sww/internal/timeutil"
 	"sww/internal/workload"
 )
 
@@ -177,6 +178,11 @@ const abuseRedialDelay = 50 * time.Millisecond
 // dial, handshake, write units at pace while a reader goroutine counts
 // ENHANCE_YOUR_CALM refusals, and redial after every GOAWAY.
 func runAttacker(srv *core.Server, stop <-chan struct{}, pace time.Duration, unit attackUnit, ctr *attackCounters) {
+	// Redial waits reuse one timer across the attack's lifetime; a
+	// per-redial time.After would pile up live timers for the whole
+	// soak.
+	timer := timeutil.New()
+	defer timer.Stop()
 	for {
 		select {
 		case <-stop:
@@ -184,10 +190,8 @@ func runAttacker(srv *core.Server, stop <-chan struct{}, pace time.Duration, uni
 		default:
 		}
 		attackOneConn(srv, stop, pace, unit, ctr)
-		select {
-		case <-stop:
+		if !timer.Wait(stop, abuseRedialDelay) {
 			return
-		case <-time.After(abuseRedialDelay):
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"sww/internal/genai/imagegen"
 	"sww/internal/genai/textgen"
 	"sww/internal/overload"
+	"sww/internal/telemetry"
 	"sww/internal/workload"
 )
 
@@ -36,8 +37,16 @@ type OverloadRow struct {
 	// ShedRate is Shed / Requests.
 	ShedRate float64
 
-	// P50 / P99 are latency percentiles over successful requests.
-	P50, P99 time.Duration
+	// P50 / P99 are latency percentiles over successful requests,
+	// measured from each request's *intended* send time on the
+	// metronome schedule (telemetry.ScheduleClock). LegacyP50/99 are
+	// the same percentiles measured the old way, from the actual send
+	// — which understates overload latency whenever the driver falls
+	// behind (coordinated omission). The corrected-vs-legacy delta is
+	// itself a finding: it is how much the old numbers flattered the
+	// tail.
+	P50, P99             time.Duration
+	LegacyP50, LegacyP99 time.Duration
 
 	// Stats is the server's overload counter snapshot for the round.
 	Stats overload.Stats
@@ -131,19 +140,24 @@ func OverloadSweep(quick bool) ([]OverloadRow, error) {
 		row := OverloadRow{Multiplier: mult, OfferedRPS: offered, Requests: requests}
 		var mu sync.Mutex
 		var wg sync.WaitGroup
-		var okDurs []time.Duration
+		var okDurs, okSched []time.Duration
 
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		start := time.Now()
+		// The metronome's tick i lands at (i+1)×interval after start;
+		// that instant — not whenever the driver actually got around to
+		// sending — is the latency origin for the corrected percentiles.
+		clock := telemetry.StartSchedule(time.Now())
 		tick := time.NewTicker(interval)
 		for i := 0; i < requests; i++ {
 			<-tick.C
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				intended := time.Duration(i+1) * interval
 				t0 := time.Now()
 				_, err := conns[i%len(conns)].FetchContext(ctx, workload.LoadPagePath(i))
 				d := time.Since(t0)
+				sched := clock.LatencySince(intended)
 				mu.Lock()
 				defer mu.Unlock()
 				var busy *core.ServerBusyError
@@ -151,6 +165,7 @@ func OverloadSweep(quick bool) ([]OverloadRow, error) {
 				case err == nil:
 					row.OK++
 					okDurs = append(okDurs, d)
+					okSched = append(okSched, sched)
 				case errors.As(err, &busy):
 					row.Shed++
 				default:
@@ -160,7 +175,7 @@ func OverloadSweep(quick bool) ([]OverloadRow, error) {
 		}
 		tick.Stop()
 		wg.Wait()
-		elapsed := time.Since(start)
+		elapsed := time.Since(clock.Start())
 		cancel()
 		for _, cl := range conns {
 			cl.Close()
@@ -170,7 +185,8 @@ func OverloadSweep(quick bool) ([]OverloadRow, error) {
 		if row.Requests > 0 {
 			row.ShedRate = float64(row.Shed) / float64(row.Requests)
 		}
-		row.P50, row.P99 = percentiles(okDurs)
+		row.P50, row.P99 = percentiles(okSched)
+		row.LegacyP50, row.LegacyP99 = percentiles(okDurs)
 		row.Stats = srv.OverloadStats()
 		rows = append(rows, row)
 	}

@@ -42,6 +42,18 @@ type TelemetryResult struct {
 
 	// CountersMatchTraces is the invariant above.
 	CountersMatchTraces bool `json:"counters_match_traces"`
+
+	// Client-side latency over the paced fetch loops, measured two
+	// ways from the same requests: Legacy from each actual send,
+	// Sched from the request's intended slot on the pacing schedule
+	// (telemetry.ScheduleClock). The loops are sequential, so any
+	// fetch overrunning its slot delays the next send; the legacy
+	// numbers silently forgive that backlog (coordinated omission),
+	// the schedule-based ones charge it to the requests that waited.
+	ClientLegacyP50ms float64 `json:"client_legacy_p50_ms"`
+	ClientLegacyP99ms float64 `json:"client_legacy_p99_ms"`
+	ClientSchedP50ms  float64 `json:"client_sched_p50_ms"`
+	ClientSchedP99ms  float64 `json:"client_sched_p99_ms"`
 }
 
 // telemetryPage builds a page with one generatable image; withOriginal
@@ -130,20 +142,38 @@ func TelemetrySweep(quick bool) (*TelemetryResult, error) {
 	}
 	defer plain.Close()
 
-	// Outcome "prompt": capable fetches while healthy.
-	for i := 0; i < repeats; i++ {
-		if _, err := capable.Fetch(orig.Path); err != nil {
-			return nil, fmt.Errorf("prompt fetch: %w", err)
+	// Each repeat loop is paced on a schedule and timed twice: from
+	// the actual send (legacy) and from the intended slot (corrected).
+	schedHist := telemetry.NewHistogram(nil)
+	legacyHist := telemetry.NewHistogram(nil)
+	pacedFetch := func(cl *core.Client, path string, n int) error {
+		const interval = 5 * time.Millisecond
+		clock := telemetry.StartSchedule(time.Now())
+		for i := 0; i < n; i++ {
+			intended := time.Duration(i+1) * interval
+			if d := time.Until(clock.Intended(intended)); d > 0 {
+				time.Sleep(d)
+			}
+			t0 := time.Now()
+			if _, err := cl.Fetch(path); err != nil {
+				return err
+			}
+			legacyHist.Observe(time.Since(t0))
+			clock.ObserveSince(schedHist, intended)
 		}
+		return nil
+	}
+
+	// Outcome "prompt": capable fetches while healthy.
+	if err := pacedFetch(capable, orig.Path, repeats); err != nil {
+		return nil, fmt.Errorf("prompt fetch: %w", err)
 	}
 	// Outcomes "traditional" (first) then "cached" (repeats).
 	if _, err := plain.Fetch(warm.Path); err != nil {
 		return nil, fmt.Errorf("traditional fetch: %w", err)
 	}
-	for i := 0; i < repeats; i++ {
-		if _, err := plain.Fetch(warm.Path); err != nil {
-			return nil, fmt.Errorf("cached fetch: %w", err)
-		}
+	if err := pacedFetch(plain, warm.Path, repeats); err != nil {
+		return nil, fmt.Errorf("cached fetch: %w", err)
 	}
 
 	// Saturate: occupy the only worker and park a waiter, then take
@@ -172,10 +202,8 @@ func TelemetrySweep(quick bool) (*TelemetryResult, error) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	for i := 0; i < repeats; i++ {
-		if _, err := capable.Fetch(orig.Path); err != nil {
-			return nil, fmt.Errorf("policy-flip fetch: %w", err)
-		}
+	if err := pacedFetch(capable, orig.Path, repeats); err != nil {
+		return nil, fmt.Errorf("policy-flip fetch: %w", err)
 	}
 	var busy *core.ServerBusyError
 	if _, err := plain.Fetch(cold.Path); !errors.As(err, &busy) {
@@ -208,5 +236,10 @@ func TelemetrySweep(quick bool) (*TelemetryResult, error) {
 		}
 	}
 	res.CountersMatchTraces = counted == uint64(res.TracesFinished) && counted > 0
+	legacy, sched := legacyHist.Snapshot(), schedHist.Snapshot()
+	res.ClientLegacyP50ms = float64(legacy.P50) / float64(time.Millisecond)
+	res.ClientLegacyP99ms = float64(legacy.P99) / float64(time.Millisecond)
+	res.ClientSchedP50ms = float64(sched.P50) / float64(time.Millisecond)
+	res.ClientSchedP99ms = float64(sched.P99) / float64(time.Millisecond)
 	return res, nil
 }

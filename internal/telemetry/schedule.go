@@ -1,0 +1,63 @@
+package telemetry
+
+import "time"
+
+// A ScheduleClock anchors an open-loop load schedule to the wall
+// clock and measures latency from each request's *intended* send time
+// rather than its actual send time.
+//
+// This is the client-side fix for coordinated omission: a closed-loop
+// client that stalls behind a slow response silently stops sampling
+// exactly while the server is at its worst, so percentiles computed
+// from actual send times understate overload latency — sometimes by
+// orders of magnitude. Measuring from the schedule makes every delay
+// the request experienced (local queueing included) part of its
+// latency by construction, which is what a user arriving at that
+// instant would have seen.
+//
+// Usage: build the schedule offsets up front, then
+//
+//	clock := telemetry.StartSchedule(time.Now())
+//	... at each request's offset: fire, then on completion
+//	lat := clock.ObserveSince(hist, offset)
+type ScheduleClock struct {
+	start time.Time
+}
+
+// StartSchedule anchors a schedule at start (time.Now() for a run
+// beginning immediately; a short future instant to give the engine
+// time to spin up its senders).
+func StartSchedule(start time.Time) ScheduleClock {
+	return ScheduleClock{start: start}
+}
+
+// Start returns the schedule's anchor instant.
+func (c ScheduleClock) Start() time.Time { return c.start }
+
+// Intended returns the wall-clock instant of the request scheduled at
+// offset.
+func (c ScheduleClock) Intended(offset time.Duration) time.Time {
+	return c.start.Add(offset)
+}
+
+// LatencySince returns now minus the intended send instant of the
+// request scheduled at offset: the schedule-based latency of a
+// request completing now. Completions that somehow precede their
+// intended instant (a sender fired early) clamp to zero rather than
+// reporting negative latency.
+func (c ScheduleClock) LatencySince(offset time.Duration) time.Duration {
+	d := time.Since(c.start.Add(offset))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// ObserveSince records the schedule-based latency of a request
+// completing now into h (nil-safe, like every Histogram) and returns
+// it.
+func (c ScheduleClock) ObserveSince(h *Histogram, offset time.Duration) time.Duration {
+	d := c.LatencySince(offset)
+	h.Observe(d)
+	return d
+}

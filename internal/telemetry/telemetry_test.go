@@ -280,3 +280,36 @@ func TestConcurrentInstruments(t *testing.T) {
 		t.Fatalf("hist count = %d", s.Count)
 	}
 }
+
+func TestScheduleClockCorrectsOmission(t *testing.T) {
+	// A request intended 50ms ago that completes now carries those
+	// 50ms, even if the sender only fired it 1ms ago — the essence of
+	// the coordinated-omission fix.
+	clock := StartSchedule(time.Now().Add(-50 * time.Millisecond))
+	h := NewHistogram(nil)
+	lat := clock.ObserveSince(h, 0)
+	if lat < 45*time.Millisecond {
+		t.Errorf("schedule-based latency = %v, want >= ~50ms", lat)
+	}
+	if got := h.Snapshot().Count; got != 1 {
+		t.Errorf("histogram count = %d, want 1", got)
+	}
+	// A completion ahead of its intended instant clamps to zero.
+	future := StartSchedule(time.Now().Add(time.Hour))
+	if lat := future.LatencySince(0); lat != 0 {
+		t.Errorf("early completion latency = %v, want 0", lat)
+	}
+	// Nil histogram is a no-op, like the rest of the package.
+	if lat := clock.ObserveSince(nil, 0); lat <= 0 {
+		t.Errorf("nil-histogram observe returned %v", lat)
+	}
+	// Intended is the anchor plus the offset.
+	start := time.Unix(1000, 0)
+	c := StartSchedule(start)
+	if got := c.Intended(3 * time.Second); !got.Equal(start.Add(3 * time.Second)) {
+		t.Errorf("Intended = %v", got)
+	}
+	if !c.Start().Equal(start) {
+		t.Errorf("Start = %v", c.Start())
+	}
+}

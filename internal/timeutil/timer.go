@@ -1,0 +1,51 @@
+// Package timeutil holds small time helpers shared by long-lived
+// loops.
+package timeutil
+
+import "time"
+
+// A Timer is a reusable one-shot timer for wait-or-cancel loops.
+//
+// The tempting `case <-time.After(d)` allocates a new runtime timer
+// and channel on every iteration, and none of them is reclaimed until
+// it fires: a poll loop with a long interval pins minutes' worth of
+// timers, and a soak test across many loops turns that into steady
+// garbage. A Timer allocates once and is Reset each turn.
+//
+// The zero value is not usable; call New.
+type Timer struct {
+	t *time.Timer
+}
+
+// New returns a stopped, drained Timer ready for its first Wait.
+func New() *Timer {
+	t := time.NewTimer(0)
+	if !t.Stop() {
+		<-t.C
+	}
+	return &Timer{t: t}
+}
+
+// Wait parks for d or until done is closed, whichever comes first,
+// and reports whether the full duration elapsed (false: done won).
+// Either way the underlying timer is left stopped and drained, so
+// Wait can be called again immediately — the discipline Go below 1.23
+// requires before Reset.
+func (w *Timer) Wait(done <-chan struct{}, d time.Duration) bool {
+	w.t.Reset(d)
+	select {
+	case <-done:
+		if !w.t.Stop() {
+			<-w.t.C
+		}
+		return false
+	case <-w.t.C:
+		return true
+	}
+}
+
+// Stop releases the underlying timer early. The Timer must not be
+// used afterwards.
+func (w *Timer) Stop() {
+	w.t.Stop()
+}

@@ -1,0 +1,43 @@
+package timeutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWaitElapsesAndCancels(t *testing.T) {
+	w := New()
+	defer w.Stop()
+	if !w.Wait(nil, time.Millisecond) {
+		t.Error("uncancelled wait reported done")
+	}
+	done := make(chan struct{})
+	close(done)
+	if w.Wait(done, time.Hour) {
+		t.Error("closed done did not win")
+	}
+	// The timer must be immediately reusable after a cancelled wait.
+	if !w.Wait(nil, time.Millisecond) {
+		t.Error("reuse after cancel failed")
+	}
+}
+
+// TestWaitSoakDoesNotAllocate is the regression test for the
+// per-iteration time.After pattern this package replaces: a soak loop
+// of waits on a reused timer must not allocate per iteration (each
+// time.After costs a fresh runtime timer plus channel, held live
+// until expiry).
+func TestWaitSoakDoesNotAllocate(t *testing.T) {
+	w := New()
+	defer w.Stop()
+	const iters = 200
+	allocs := testing.AllocsPerRun(5, func() {
+		for i := 0; i < iters; i++ {
+			w.Wait(nil, time.Nanosecond)
+		}
+	})
+	// Allow a little runtime noise, but nothing per iteration.
+	if perIter := allocs / iters; perIter > 0.1 {
+		t.Errorf("%.2f allocs per wait, want ~0 (time.After would be >= 3)", perIter)
+	}
+}

@@ -1,0 +1,330 @@
+// Package loadgen is the open-loop load engine behind the capacity
+// model (ROADMAP item 2): it turns a seeded description of a client
+// population into a deterministic request schedule that fires on the
+// clock, independent of response times.
+//
+// Open-loop matters because a closed-loop client (fire, wait, fire
+// again) backs off exactly when the server slows down: under overload
+// it silently stops offering load and stops sampling latency, so both
+// the offered-load axis and the latency percentiles of a capacity
+// curve are wrong — the coordinated-omission trap. Here the schedule
+// is fixed up front; the driver fires each request at its intended
+// instant and measures latency from that instant (see
+// telemetry.ScheduleClock), so queueing delay the client would have
+// experienced is part of the number by construction.
+//
+// The generators reproduce the traffic shape the paper's deployment
+// sections assume:
+//
+//   - Zipf page popularity over the corpus (rank-frequency slope -s):
+//     a hot head that caches well and a long tail that does not;
+//   - sessions with heavy-tailed (lognormal) interarrivals and think
+//     times — burstier than Poisson at every timescale;
+//   - a §5.1 capable/incapable device mix (device.Mix): capable
+//     clients cost the server a prompt page, incapable ones force a
+//     server-side render, which is what capacity is spent on;
+//   - diurnal/spike ramp shapes modulating the arrival rate, for
+//     soak runs that sweep through a day in miniature.
+//
+// Everything is driven by one seed: identical Config ⇒ byte-identical
+// schedule.
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sww/internal/device"
+)
+
+// A RampShape modulates the arrival rate over the schedule's
+// duration. Shapes are normalized to mean ≈ 1 so Config.RPS remains
+// the average offered rate regardless of shape.
+type RampShape int
+
+const (
+	// RampFlat offers a constant rate.
+	RampFlat RampShape = iota
+	// RampDiurnal sweeps one day in miniature: a sinusoid from a
+	// night-time trough (0.2×) through a peak (1.8×) and back.
+	RampDiurnal
+	// RampSpike is a flash crowd: a flat baseline with a ~3.7× burst
+	// in the middle tenth of the schedule.
+	RampSpike
+)
+
+func (r RampShape) String() string {
+	switch r {
+	case RampFlat:
+		return "flat"
+	case RampDiurnal:
+		return "diurnal"
+	case RampSpike:
+		return "spike"
+	}
+	return "ramp(?)"
+}
+
+// Value returns the rate multiplier at normalized time x ∈ [0,1].
+func (r RampShape) Value(x float64) float64 {
+	switch r {
+	case RampDiurnal:
+		// 1 - 0.8·cos(2πx): trough 0.2 at the edges, peak 1.8 at the
+		// middle, mean exactly 1.
+		return 1 - 0.8*math.Cos(2*math.Pi*x)
+	case RampSpike:
+		// Baseline 0.8 with a 3.8× middle tenth; normalized so the
+		// mean stays 1 (0.8·0.9 + 3.8·0.1 = 1.1).
+		v := 0.8
+		if x >= 0.45 && x < 0.55 {
+			v = 3.8
+		}
+		return v / 1.1
+	default:
+		return 1
+	}
+}
+
+// Config describes one open-loop schedule.
+type Config struct {
+	// Seed drives every random draw. Identical Config (including
+	// Seed) produces an identical schedule.
+	Seed int64
+
+	// Pages is the corpus size; page index == popularity rank (0 is
+	// the hottest). Zero means 192.
+	Pages int
+	// ZipfS is the Zipf exponent (rank-frequency slope). Must be > 1
+	// for math/rand's generator; zero means 1.1.
+	ZipfS float64
+	// ZipfV is the Zipf offset (v ≥ 1 flattens the head). Zero means
+	// 1.
+	ZipfV float64
+
+	// Duration is the span sessions keep arriving over. Zero means
+	// 1s. Requests within a session may run past it.
+	Duration time.Duration
+	// RPS is the mean offered request rate over Duration. Zero means
+	// 100.
+	RPS float64
+	// Ramp modulates the arrival rate over the schedule.
+	Ramp RampShape
+
+	// Mix is the §5.1 device population; the zero value means
+	// device.DefaultMix(). One device is drawn per session (a session
+	// is one user on one device).
+	Mix device.Mix
+
+	// SessionPages is how many page requests each session issues.
+	// Zero means 4.
+	SessionPages int
+	// SessionSigma is the lognormal σ of session interarrival gaps
+	// (heavier tail for bigger σ; exponential-like burstiness needs
+	// none of it). Zero means 1.2.
+	SessionSigma float64
+	// ThinkMean is the mean think time between a session's page
+	// requests. Zero means 25ms.
+	ThinkMean time.Duration
+	// ThinkSigma is the lognormal σ of think times. Zero means 1.0.
+	ThinkSigma float64
+}
+
+func (c Config) pages() int {
+	if c.Pages <= 0 {
+		return 192
+	}
+	return c.Pages
+}
+
+func (c Config) zipfS() float64 {
+	if c.ZipfS <= 1 {
+		return 1.1
+	}
+	return c.ZipfS
+}
+
+func (c Config) zipfV() float64 {
+	if c.ZipfV < 1 {
+		return 1
+	}
+	return c.ZipfV
+}
+
+func (c Config) duration() time.Duration {
+	if c.Duration <= 0 {
+		return time.Second
+	}
+	return c.Duration
+}
+
+func (c Config) rps() float64 {
+	if c.RPS <= 0 {
+		return 100
+	}
+	return c.RPS
+}
+
+func (c Config) mix() device.Mix {
+	if len(c.Mix.Entries) == 0 {
+		return device.DefaultMix()
+	}
+	return c.Mix
+}
+
+func (c Config) sessionPages() int {
+	if c.SessionPages <= 0 {
+		return 4
+	}
+	return c.SessionPages
+}
+
+func (c Config) sessionSigma() float64 {
+	if c.SessionSigma <= 0 {
+		return 1.2
+	}
+	return c.SessionSigma
+}
+
+func (c Config) thinkMean() time.Duration {
+	if c.ThinkMean <= 0 {
+		return 25 * time.Millisecond
+	}
+	return c.ThinkMean
+}
+
+func (c Config) thinkSigma() float64 {
+	if c.ThinkSigma <= 0 {
+		return 1.0
+	}
+	return c.ThinkSigma
+}
+
+// A Request is one scheduled page fetch.
+type Request struct {
+	// At is the intended send instant, as an offset from the
+	// schedule's start. The driver fires at start+At regardless of
+	// earlier responses and measures latency from that instant.
+	At time.Duration
+	// Page is the corpus page index (== popularity rank, 0 hottest).
+	Page int
+	// Session identifies the issuing session; Index is the request's
+	// position within it.
+	Session, Index int
+	// Profile and Capable describe the issuing device (drawn once per
+	// session from the Mix).
+	Profile device.Profile
+	Capable bool
+}
+
+// lognormal1 draws a mean-1 lognormal multiplier with the given σ
+// (E[exp(σN - σ²/2)] = 1).
+func lognormal1(rng *rand.Rand, sigma float64) float64 {
+	return math.Exp(sigma*rng.NormFloat64() - sigma*sigma/2)
+}
+
+// Schedule expands cfg into the full request schedule, sorted by
+// intended send time (ties broken by session then index, so the order
+// is fully deterministic).
+//
+// Construction: sessions arrive as a renewal process whose gaps are
+// mean-1 lognormals scaled by 1/(sessionRate × Ramp(t/T)) — a
+// heavy-tailed, rate-modulated arrival stream. Each session draws one
+// device from the Mix and one Zipf page per request, with lognormal
+// think times between requests. The realized request count therefore
+// fluctuates around RPS×Duration (heavy-tailed gaps do that); callers
+// that need the realized offered rate should divide len(schedule) by
+// its span.
+func Schedule(cfg Config) []Request {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.zipfS(), cfg.zipfV(), uint64(cfg.pages()-1))
+	mix := cfg.mix()
+
+	dur := cfg.duration()
+	sessPages := cfg.sessionPages()
+	sessRate := cfg.rps() / float64(sessPages) // sessions per second
+	sessSigma := cfg.sessionSigma()
+	thinkMean := cfg.thinkMean().Seconds()
+	thinkSigma := cfg.thinkSigma()
+
+	var sched []Request
+	t := 0.0 // session arrival clock, seconds
+	total := dur.Seconds()
+	for session := 0; ; session++ {
+		// Rate-modulated heavy-tailed gap to the next session start.
+		shape := cfg.Ramp.Value(t / total)
+		if shape < 0.05 {
+			shape = 0.05
+		}
+		t += lognormal1(rng, sessSigma) / (sessRate * shape)
+		if t >= total {
+			break
+		}
+		entry := mix.Pick(rng.Float64())
+		at := t
+		for k := 0; k < sessPages; k++ {
+			if k > 0 {
+				at += thinkMean * lognormal1(rng, thinkSigma)
+			}
+			sched = append(sched, Request{
+				At:      time.Duration(at * float64(time.Second)),
+				Page:    int(zipf.Uint64()),
+				Session: session,
+				Index:   k,
+				Profile: entry.Profile,
+				Capable: entry.Capable,
+			})
+		}
+	}
+	sort.Slice(sched, func(i, j int) bool {
+		a, b := sched[i], sched[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Session != b.Session {
+			return a.Session < b.Session
+		}
+		return a.Index < b.Index
+	})
+	return sched
+}
+
+// Span returns the schedule's offered-load span: the later of the
+// last intended send and min. Dividing len(sched) by Span gives the
+// realized offered rate.
+func Span(sched []Request, min time.Duration) time.Duration {
+	if len(sched) == 0 {
+		return min
+	}
+	if last := sched[len(sched)-1].At; last > min {
+		return last
+	}
+	return min
+}
+
+// ZipfTailShare returns the probability that one popularity draw
+// under Zipf(s, v) over n pages lands at rank ≥ w — the long-run
+// cache-miss share of a cache that pins the w hottest pages. This is
+// the analytic half of the capacity model: server-side generation
+// demand = offered × incapableShare × ZipfTailShare(cache size).
+func ZipfTailShare(s, v float64, n, w int) float64 {
+	if w <= 0 {
+		return 1
+	}
+	if w >= n {
+		return 0
+	}
+	var head, total float64
+	for i := 0; i < n; i++ {
+		p := math.Pow(v+float64(i), -s)
+		total += p
+		if i < w {
+			head += p
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	return 1 - head/total
+}

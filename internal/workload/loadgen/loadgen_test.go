@@ -1,0 +1,235 @@
+package loadgen
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"sww/internal/device"
+)
+
+// bigSchedule returns a schedule with enough requests for the
+// distribution tests to be stable under a fixed seed.
+func bigSchedule(t *testing.T, cfg Config) []Request {
+	t.Helper()
+	sched := Schedule(cfg)
+	if len(sched) < 2000 {
+		t.Fatalf("only %d requests; distribution tests need more", len(sched))
+	}
+	return sched
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Duration: 2 * time.Second, RPS: 500, Ramp: RampDiurnal}
+	a := Schedule(cfg)
+	b := Schedule(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seed produced different schedules")
+	}
+	cfg.Seed = 43
+	c := Schedule(cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleSortedAndInRange(t *testing.T) {
+	cfg := Config{Seed: 1, Duration: 4 * time.Second, RPS: 1000}
+	sched := bigSchedule(t, cfg)
+	if !sort.SliceIsSorted(sched, func(i, j int) bool { return sched[i].At < sched[j].At }) {
+		t.Error("schedule not sorted by intended send time")
+	}
+	pages := cfg.pages()
+	sessLen := map[int]int{}
+	for i, r := range sched {
+		if r.At < 0 {
+			t.Fatalf("request %d has negative offset %v", i, r.At)
+		}
+		if r.Page < 0 || r.Page >= pages {
+			t.Fatalf("request %d page %d out of [0,%d)", i, r.Page, pages)
+		}
+		sessLen[r.Session]++
+	}
+	for s, n := range sessLen {
+		if n != cfg.sessionPages() {
+			t.Fatalf("session %d has %d requests, want %d", s, n, cfg.sessionPages())
+		}
+	}
+}
+
+// TestZipfRankFrequencySlope fits the rank-frequency plot of the
+// generated page popularity and checks the log-log slope recovers the
+// configured exponent: counts over ranks follow (v+k)^-s, so a least
+// squares fit of log(count) on log(v+rank) must give ≈ -s.
+func TestZipfRankFrequencySlope(t *testing.T) {
+	cfg := Config{Seed: 9, Duration: 4 * time.Second, RPS: 10_000, Pages: 200, ZipfS: 1.1}
+	sched := bigSchedule(t, cfg)
+	counts := make([]float64, cfg.Pages)
+	for _, r := range sched {
+		counts[r.Page]++
+	}
+	// Fit over the head, where per-rank counts are large enough to be
+	// stable under one seed.
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for k := 0; k < 30; k++ {
+		if counts[k] < 10 {
+			break
+		}
+		x := math.Log(cfg.zipfV() + float64(k))
+		y := math.Log(counts[k])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	if n < 10 {
+		t.Fatalf("only %d head ranks with enough mass", n)
+	}
+	slope := (float64(n)*sxy - sx*sy) / (float64(n)*sxx - sx*sx)
+	if math.Abs(slope-(-cfg.ZipfS)) > 0.25 {
+		t.Errorf("rank-frequency slope = %.3f, want ≈ %.1f", slope, -cfg.ZipfS)
+	}
+}
+
+// TestInterarrivalHeavierThanExponential checks the session arrival
+// process is heavier-tailed than Poisson: for an exponential gap
+// p99/mean ≈ ln(100) ≈ 4.6; the lognormal gaps (σ=1.5 here) push that
+// well past 6.
+func TestInterarrivalHeavierThanExponential(t *testing.T) {
+	cfg := Config{
+		Seed: 3, Duration: 20 * time.Second, RPS: 1000,
+		SessionPages: 1, SessionSigma: 1.5,
+	}
+	sched := bigSchedule(t, cfg)
+	gaps := make([]float64, 0, len(sched)-1)
+	var sum float64
+	for i := 1; i < len(sched); i++ {
+		g := (sched[i].At - sched[i-1].At).Seconds()
+		gaps = append(gaps, g)
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	sort.Float64s(gaps)
+	p99 := gaps[int(float64(len(gaps))*0.99)]
+	if ratio := p99 / mean; ratio < 6 {
+		t.Errorf("gap p99/mean = %.1f, want > 6 (exponential is ≈4.6)", ratio)
+	}
+	// The mean rate still honors the config (±25%; heavy tails are
+	// noisy but 20k samples pin the mean down).
+	rate := 1 / mean
+	if rate < cfg.RPS*0.75 || rate > cfg.RPS*1.25 {
+		t.Errorf("realized rate %.0f/s, want ≈%.0f/s", rate, cfg.RPS)
+	}
+}
+
+// TestDeviceMixProportions checks the §5.1 split is reproduced and
+// that a session keeps one device for all its requests.
+func TestDeviceMixProportions(t *testing.T) {
+	cfg := Config{Seed: 11, Duration: 4 * time.Second, RPS: 4000}
+	sched := bigSchedule(t, cfg)
+	var capable int
+	sessDev := map[int]Request{}
+	for _, r := range sched {
+		if r.Capable {
+			capable++
+		}
+		if first, ok := sessDev[r.Session]; ok {
+			if first.Capable != r.Capable || first.Profile.Name != r.Profile.Name {
+				t.Fatalf("session %d switched devices mid-flight", r.Session)
+			}
+		} else {
+			sessDev[r.Session] = r
+		}
+	}
+	share := float64(capable) / float64(len(sched))
+	want := device.DefaultMix().CapableShare()
+	if math.Abs(share-want) > 0.04 {
+		t.Errorf("capable share = %.3f, want ≈%.2f", share, want)
+	}
+}
+
+// TestDiurnalRamp checks RampDiurnal actually modulates the rate: the
+// middle fifth of the window (peak ≈1.8×) must see far more arrivals
+// than the first fifth (trough ≈0.2–0.6×).
+func TestDiurnalRamp(t *testing.T) {
+	cfg := Config{Seed: 5, Duration: 10 * time.Second, RPS: 2000, Ramp: RampDiurnal}
+	sched := bigSchedule(t, cfg)
+	total := cfg.Duration
+	var early, mid int
+	for _, r := range sched {
+		x := float64(r.At) / float64(total)
+		switch {
+		case x < 0.2:
+			early++
+		case x >= 0.4 && x < 0.6:
+			mid++
+		}
+	}
+	if mid < 2*early {
+		t.Errorf("diurnal peak/trough arrivals = %d/%d, want peak > 2× trough", mid, early)
+	}
+}
+
+func TestRampShapesMeanOne(t *testing.T) {
+	const steps = 10_000
+	for _, ramp := range []RampShape{RampFlat, RampDiurnal, RampSpike} {
+		var sum float64
+		for i := 0; i < steps; i++ {
+			sum += ramp.Value((float64(i) + 0.5) / steps)
+		}
+		if mean := sum / steps; math.Abs(mean-1) > 0.02 {
+			t.Errorf("%v mean multiplier = %.3f, want ≈1", ramp, mean)
+		}
+	}
+}
+
+func TestZipfTailShare(t *testing.T) {
+	// Boundaries.
+	if got := ZipfTailShare(1.1, 1, 100, 0); got != 1 {
+		t.Errorf("w=0: %v, want 1", got)
+	}
+	if got := ZipfTailShare(1.1, 1, 100, 100); got != 0 {
+		t.Errorf("w=n: %v, want 0", got)
+	}
+	// Monotone decreasing in w.
+	prev := 1.0
+	for w := 1; w < 100; w += 10 {
+		s := ZipfTailShare(1.1, 1, 100, w)
+		if s >= prev {
+			t.Fatalf("tail share not decreasing at w=%d: %v >= %v", w, s, prev)
+		}
+		prev = s
+	}
+	// Agrees with the generator's empirical miss share.
+	cfg := Config{Seed: 21, Duration: 4 * time.Second, RPS: 10_000, Pages: 192}
+	sched := bigSchedule(t, cfg)
+	const w = 24
+	var tail int
+	for _, r := range sched {
+		if r.Page >= w {
+			tail++
+		}
+	}
+	emp := float64(tail) / float64(len(sched))
+	ana := ZipfTailShare(cfg.zipfS(), cfg.zipfV(), cfg.Pages, w)
+	if math.Abs(emp-ana) > 0.05 {
+		t.Errorf("empirical tail share %.3f vs analytic %.3f", emp, ana)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	if got := Span(nil, time.Second); got != time.Second {
+		t.Errorf("empty span = %v", got)
+	}
+	sched := []Request{{At: 100 * time.Millisecond}, {At: 2 * time.Second}}
+	if got := Span(sched, time.Second); got != 2*time.Second {
+		t.Errorf("span = %v, want 2s", got)
+	}
+	if got := Span(sched[:1], time.Second); got != time.Second {
+		t.Errorf("span = %v, want 1s (min)", got)
+	}
+}

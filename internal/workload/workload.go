@@ -546,32 +546,56 @@ func makeBullets(n int) []string {
 	return out
 }
 
-// syntheticBytes returns n deterministic pseudorandom bytes standing
+// SyntheticBytes returns n deterministic pseudorandom bytes standing
 // in for compressed media (JPEG-like: incompressible).
-func syntheticBytes(seed int64, n int) []byte {
+func SyntheticBytes(seed int64, n int) []byte {
 	rng := rand.New(rand.NewSource(seed))
 	b := make([]byte, n)
 	rng.Read(b)
 	return b
 }
 
-// partitionBytes splits total into n parts with realistic variation
-// (±40% around the mean), summing exactly to total.
-func partitionBytes(rng *rand.Rand, total, n int) []int {
+// syntheticBytes is the historical internal spelling.
+func syntheticBytes(seed int64, n int) []byte { return SyntheticBytes(seed, n) }
+
+// PartitionBytes splits total into parts with realistic variation
+// (±40% around the mean), each part at least 1 byte, summing exactly
+// to total. It returns n parts when total ≥ n; for smaller totals it
+// returns total one-byte parts (never zero or negative sizes — a
+// clamp bug here used to panic syntheticBytes's make for totals small
+// relative to n). Exported so loadgen can size small synthetic assets
+// with the same generator the corpus uses.
+func PartitionBytes(rng *rand.Rand, total, n int) []int {
+	if n <= 0 || total <= 0 {
+		return nil
+	}
+	if n > total {
+		// Every part must hold at least one byte; fewer parts is the
+		// only split that keeps both invariants.
+		n = total
+	}
 	parts := make([]int, n)
 	mean := total / n
 	remaining := total
 	for i := 0; i < n-1; i++ {
 		v := mean + int(float64(mean)*(rng.Float64()-0.5)*0.8)
+		// Leave at least one byte for each remaining part. Because
+		// total ≥ n, remaining ≥ n-i entering this step, so the cap is
+		// itself ≥ 1 and cannot undercut the floor below.
+		if maxV := remaining - (n - 1 - i); v > maxV {
+			v = maxV
+		}
 		if v < 1 {
 			v = 1
-		}
-		if v > remaining-(n-1-i) {
-			v = remaining - (n - 1 - i)
 		}
 		parts[i] = v
 		remaining -= v
 	}
 	parts[n-1] = remaining
 	return parts
+}
+
+// partitionBytes is the historical internal spelling.
+func partitionBytes(rng *rand.Rand, total, n int) []int {
+	return PartitionBytes(rng, total, n)
 }

@@ -190,6 +190,53 @@ func TestPartitionBytes(t *testing.T) {
 	}
 }
 
+// TestPartitionBytesProperty is the regression property for the
+// small-total clamp bug: for every total ≥ n the split must return n
+// parts, each ≥ 1, summing exactly to total; for total < n it must
+// shrink to total one-byte parts instead of emitting zero or negative
+// sizes (which used to panic syntheticBytes's make).
+func TestPartitionBytesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(64)
+		total := 1 + rng.Intn(200) // deliberately small: exercises total < n, == n, ≈ n
+		if trial%5 == 0 {
+			total = 1 + rng.Intn(2_000_000) // and the realistic large regime
+		}
+		parts := PartitionBytes(rng, total, n)
+		wantLen := n
+		if total < n {
+			wantLen = total
+		}
+		if len(parts) != wantLen {
+			t.Fatalf("total=%d n=%d: %d parts, want %d", total, n, len(parts), wantLen)
+		}
+		sum := 0
+		for i, p := range parts {
+			if p < 1 {
+				t.Fatalf("total=%d n=%d: part[%d] = %d, want >= 1", total, n, i, p)
+			}
+			sum += p
+		}
+		if sum != total {
+			t.Fatalf("total=%d n=%d: sum = %d, want %d", total, n, sum, total)
+		}
+	}
+	// Degenerate inputs are nil, not a panic.
+	if parts := PartitionBytes(rng, 0, 5); parts != nil {
+		t.Errorf("total=0: got %v, want nil", parts)
+	}
+	if parts := PartitionBytes(rng, 5, 0); parts != nil {
+		t.Errorf("n=0: got %v, want nil", parts)
+	}
+	// The exact shape that used to panic: every part still ≥ 1.
+	for _, p := range PartitionBytes(rng, 5, 10) {
+		if p != 1 {
+			t.Errorf("total=5 n=10: part %d, want 1", p)
+		}
+	}
+}
+
 func TestSyntheticBytesDeterministic(t *testing.T) {
 	a := syntheticBytes(5, 1000)
 	b := syntheticBytes(5, 1000)
